@@ -1,0 +1,692 @@
+(* Benchmark harness: regenerates every quantitative result of the paper's
+   evaluation (section 4) plus the companion experiments indexed in
+   DESIGN.md (E1-E9), and a bechamel micro-benchmark suite of the core
+   computational kernels.
+
+     dune exec bench/main.exe           runs E1..E9
+     dune exec bench/main.exe -- e4     runs one experiment
+     dune exec bench/main.exe -- micro  runs the bechamel suite
+
+   Reported latencies are *simulated* times on the T9000-era machine model;
+   the paper's numbers were measured on the real Transvision platform, so
+   shapes (ratios, scaling, crossovers), not absolute values, are the
+   reproduction target. EXPERIMENTS.md records the output of this harness
+   against the paper's claims. *)
+
+module V = Skel.Value
+
+let ms t = t *. 1e3
+let line () = print_endline (String.make 74 '-')
+
+let header id title =
+  print_newline ();
+  line ();
+  Printf.printf "%s: %s\n" id title;
+  line ()
+
+(* ------------------------------------------------------------------ *)
+(* Shared tracking-run helper                                          *)
+
+type tracking_run = {
+  steady_ms : float;  (* steady-state per-frame latency, tracking mode *)
+  reinit_ms : float;  (* latency of an isolated reinitialisation frame *)
+  messages : int;
+  utilisation : float;
+}
+
+let run_tracking ?(frames = 20) ?(fps = 25.0) ~nproc () =
+  let config = Tracking.Funcs.(with_nproc nproc default_config) in
+  let arch = Archi.ring nproc in
+  (* steady state over a paced stream *)
+  let table = Tracking.Funcs.table config in
+  let prog = Tracking.Funcs.ir ~frames config in
+  let g = Procnet.Expand.expand table prog in
+  let r =
+    Executive.run ~table ~arch
+      ~placement:(Syndex.Place.canonical g arch)
+      ~graph:g ~frames ~input_period:(1.0 /. fps)
+      ~input:(Tracking.Funcs.input_value config)
+      ()
+  in
+  let steady = List.nth r.Executive.latencies (frames - 1) in
+  (* isolated reinitialisation frame (the initial state is Reinit mode) *)
+  let table1 = Tracking.Funcs.table config in
+  let prog1 = Tracking.Funcs.ir ~frames:1 config in
+  let g1 = Procnet.Expand.expand table1 prog1 in
+  let r1 =
+    Executive.run ~table:table1 ~arch
+      ~placement:(Syndex.Place.canonical g1 arch)
+      ~graph:g1 ~frames:1
+      ~input:(Tracking.Funcs.input_value config)
+      ()
+  in
+  {
+    steady_ms = ms steady;
+    reinit_ms = ms r1.Executive.first_latency;
+    messages = r.Executive.stats.Machine.Sim.messages;
+    utilisation = Machine.Sim.utilisation r.Executive.sim;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E1: the paper's headline numbers                                    *)
+
+let e1 () =
+  header "E1"
+    "vehicle tracking on a ring of 8 T9000s, 25 Hz 512x512 stream (paper s4)";
+  let r = run_tracking ~nproc:8 () in
+  let frame_period_ms = 40.0 in
+  Printf.printf "%-38s %12s %12s\n" "quantity" "paper" "measured";
+  Printf.printf "%-38s %12s %9.1f ms\n" "tracking-phase latency" "30 ms" r.steady_ms;
+  Printf.printf "%-38s %12s %9.1f ms\n" "reinitialisation latency" "110 ms" r.reinit_ms;
+  Printf.printf "%-38s %12s %12s\n" "tracking keeps up with 25 Hz" "yes (1/1)"
+    (if r.steady_ms <= frame_period_ms then "yes (1/1)" else "no");
+  let skip = int_of_float (ceil (r.reinit_ms /. frame_period_ms)) in
+  Printf.printf "%-38s %12s %12s\n" "reinit processes one image out of" "3"
+    (string_of_int skip);
+  Printf.printf "%-38s %12s %12d\n" "messages per 20-frame run" "-" r.messages;
+  Printf.printf "%-38s %12s %12.2f\n" "mean processor utilisation" "-" r.utilisation
+
+(* ------------------------------------------------------------------ *)
+(* E2: scaling with the number of processors                           *)
+
+let e2 () =
+  header "E2"
+    "latency vs processor count (paper: variant processor counts are \
+     'almost instantaneous' to produce)";
+  Printf.printf "%6s %16s %16s %14s\n" "procs" "tracking (ms)" "reinit (ms)"
+    "reinit speedup";
+  let base = ref 0.0 in
+  List.iter
+    (fun p ->
+      let r = run_tracking ~frames:12 ~nproc:p () in
+      if p = 1 then base := r.reinit_ms;
+      Printf.printf "%6d %16.1f %16.1f %14.2f\n" p r.steady_ms r.reinit_ms
+        (!base /. r.reinit_ms))
+    [ 1; 2; 4; 8; 12; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: skeleton-generated executive vs hand-crafted parallel version   *)
+
+let e3 () =
+  header "E3"
+    "SKiPPER executive vs hand-crafted master/worker (paper: performances \
+     'similar to an existing hand-crafted parallel version')";
+  let nproc = 8 in
+  let frames = 12 in
+  let skel = run_tracking ~frames ~nproc () in
+  let hand =
+    Handcoded.run ~input_period:0.04
+      ~config:Tracking.Funcs.(with_nproc nproc default_config)
+      ~frames (Archi.ring nproc)
+  in
+  let hand_steady = ms (List.nth hand.Handcoded.latencies (frames - 1)) in
+  Printf.printf "%-30s %14s %14s\n" "" "skeleton" "hand-crafted";
+  Printf.printf "%-30s %11.1f ms %11.1f ms\n" "tracking latency" skel.steady_ms
+    hand_steady;
+  Printf.printf "%-30s %14d %14d\n" "messages (12 frames)" skel.messages
+    hand.Handcoded.stats.Machine.Sim.messages;
+  Printf.printf "%-30s %13.1f%%\n" "overhead of generated code"
+    ((skel.steady_ms -. hand_steady) /. hand_steady *. 100.0);
+  Printf.printf
+    "development effort (paper): <1 day with SKiPPER vs >10 days by hand\n"
+
+(* ------------------------------------------------------------------ *)
+(* E4: df vs scm on uneven workloads                                   *)
+
+let uneven_table () =
+  let t = Skel.Funtable.create () in
+  (* item = Record {id; cost}; processing burns [cost] cycles. *)
+  Skel.Funtable.register t "work"
+    ~cost:(fun v -> V.to_float (V.field "cost" v))
+    (fun v -> V.Int (V.to_int (V.field "id" v)));
+  Skel.Funtable.register t "collect" ~arity:2 ~cost:(fun _ -> 200.0) (fun v ->
+      let acc, x = V.to_pair v in
+      V.Int (V.to_int acc + V.to_int x));
+  (* static split for scm: deal items round-robin into n chunks *)
+  Skel.Funtable.register t "deal" ~arity:2 ~cost:(fun _ -> 500.0) (fun v ->
+      match v with
+      | V.Tuple [ V.Int n; V.List xs ] ->
+          let buckets = Array.make n [] in
+          List.iteri (fun i x -> buckets.(i mod n) <- x :: buckets.(i mod n)) xs;
+          V.List (Array.to_list (Array.map (fun l -> V.List (List.rev l)) buckets))
+      | _ -> raise (V.Type_error "deal"));
+  Skel.Funtable.register t "work_chunk"
+    ~cost:(fun v ->
+      List.fold_left
+        (fun acc x -> acc +. V.to_float (V.field "cost" x))
+        0.0 (V.to_list v))
+    (fun v ->
+      V.Int
+        (List.fold_left (fun acc x -> acc + V.to_int (V.field "id" x)) 0 (V.to_list v)));
+  Skel.Funtable.register t "sum_chunks" ~cost:(fun _ -> 500.0) (fun v ->
+      V.Int (List.fold_left (fun acc x -> acc + V.to_int x) 0 (V.to_list v)));
+  t
+
+let uneven_items rng n =
+  (* Zipf-flavoured costs: a few heavy items among many light ones -- the
+     tracking workload's shape (window sizes vary widely, paper s4). *)
+  List.init n (fun i ->
+      let heavy = Support.Prng.int rng 10 = 0 in
+      let cost =
+        if heavy then 400_000 + Support.Prng.int rng 400_000
+        else 10_000 + Support.Prng.int rng 40_000
+      in
+      V.Record [ ("id", V.Int i); ("cost", V.Float (float_of_int cost)) ])
+
+let e4 () =
+  header "E4"
+    "df (dynamic load balancing) vs scm (static split) on uneven window \
+     workloads (the rationale for df, paper s2/s4)";
+  let nworkers = 8 in
+  let arch = Archi.ring (nworkers + 1) in
+  Printf.printf "%8s %14s %14s %10s\n" "items" "scm (ms)" "df (ms)" "df gain";
+  List.iter
+    (fun nitems ->
+      let rng = Support.Prng.create (1000 + nitems) in
+      let items = V.List (uneven_items rng nitems) in
+      let run prog =
+        let table = uneven_table () in
+        let g = Procnet.Expand.expand table prog in
+        let r =
+          Executive.run ~table ~arch
+            ~placement:(Syndex.Place.canonical g arch)
+            ~graph:g ~frames:1 ~input:items ()
+        in
+        (ms r.Executive.first_latency, r.Executive.value)
+      in
+      let scm_ms, scm_v =
+        run
+          (Skel.Ir.program "scm"
+             (Skel.Ir.Scm
+                { nparts = nworkers; split = "deal"; compute = "work_chunk";
+                  merge = "sum_chunks" }))
+      in
+      let df_ms, df_v =
+        run
+          (Skel.Ir.program "df"
+             (Skel.Ir.Df { nworkers; comp = "work"; acc = "collect"; init = V.Int 0 }))
+      in
+      assert (V.equal scm_v df_v);
+      Printf.printf "%8d %14.1f %14.1f %9.2fx\n" nitems scm_ms df_ms (scm_ms /. df_ms))
+    [ 16; 32; 64; 128 ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: the Fig. 1 process network template                             *)
+
+let e5 () =
+  header "E5" "df process network template on a ring (paper Fig. 1)";
+  Printf.printf "%8s %11s %10s %22s %20s\n" "workers" "processes" "channels"
+    "predicted latency(ms)" "simulated (ms)";
+  List.iter
+    (fun n ->
+      let fig1 =
+        Procnet.Templates.df_ring ~nworkers:n ~comp:"work" ~acc:"collect"
+          ~init:(V.Int 0)
+      in
+      (* The executable (router-free) equivalent of the same farm. *)
+      let table = uneven_table () in
+      let prog =
+        Skel.Ir.program "df"
+          (Skel.Ir.Df { nworkers = n; comp = "work"; acc = "collect"; init = V.Int 0 })
+      in
+      let g = Procnet.Expand.expand table prog in
+      let arch = Archi.ring (n + 1) in
+      let placement = Syndex.Place.canonical g arch in
+      (* the static model sees each worker once per iteration, so its cost
+         estimate is its expected share of the 32 fixed-cost items *)
+      let cost =
+        Syndex.Cost.make
+          ~fn_cycles:(fun f ->
+            if f = "work" then Some (float_of_int (32 / n) *. 100_000.0) else None)
+          ()
+      in
+      let sched = Syndex.Place.of_placement cost arch g placement in
+      (* fixed total work (32 x 100k cycles) so latency scales with n *)
+      let items =
+        List.init 32 (fun i ->
+            V.Record [ ("id", V.Int i); ("cost", V.Float 100_000.0) ])
+      in
+      let r =
+        Executive.run ~table ~arch ~placement ~graph:g ~frames:1
+          ~input:(V.List items) ()
+      in
+      Printf.printf "%8d %11d %10d %22.2f %20.2f\n" n
+        (Procnet.Graph.nnodes fig1)
+        (List.length (Procnet.Graph.edges fig1))
+        (ms sched.Syndex.Schedule.makespan)
+        (ms r.Executive.first_latency))
+    [ 2; 4; 8 ];
+  print_endline
+    "(process/channel counts are for the literal Fig. 1 template with explicit\n\
+    \ M->W / W->M routers; the executive routes at link level instead)"
+
+(* ------------------------------------------------------------------ *)
+(* E6: the itermem stream loop                                         *)
+
+let e6 () =
+  header "E6" "itermem stream behaviour (paper Fig. 4): latency vs camera rate";
+  let nproc = 8 in
+  let frames = 20 in
+  Printf.printf "%10s %18s %16s %16s\n" "fps" "mean latency(ms)" "period (ms)"
+    "keeps up?";
+  List.iter
+    (fun fps ->
+      let config = Tracking.Funcs.(with_nproc nproc default_config) in
+      let table = Tracking.Funcs.table config in
+      let prog = Tracking.Funcs.ir ~frames config in
+      let g = Procnet.Expand.expand table prog in
+      let arch = Archi.ring nproc in
+      let r =
+        Executive.run ~table ~arch
+          ~placement:(Syndex.Place.canonical g arch)
+          ~graph:g ~frames ~input_period:(1.0 /. fps)
+          ~input:(Tracking.Funcs.input_value config)
+          ()
+      in
+      (* mean of the last half of the stream (past the reinit transient) *)
+      let tail = List.filteri (fun i _ -> i >= frames / 2) r.Executive.latencies in
+      let mean = List.fold_left ( +. ) 0.0 tail /. float_of_int (List.length tail) in
+      let period = ms r.Executive.period in
+      Printf.printf "%10.0f %18.1f %16.1f %16s\n" fps (ms mean) period
+        (if ms mean <= (1000.0 /. fps) +. 1.0 then "yes" else "no (backlog)"))
+    [ 10.0; 25.0; 50.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: connected-component labelling with scm (companion app, ref [7]) *)
+
+let e7 () =
+  header "E7" "scm-parallel connected-component labelling, 512x512 (ref [7])";
+  let img = Apps.Ccl_scm.blobs_image ~seed:11 ~nblobs:60 512 512 in
+  let reference = (Vision.Ccl.label ~threshold:128 img).Vision.Ccl.ncomponents in
+  Printf.printf "sequential labelling: %d components\n" reference;
+  Printf.printf "%8s %14s %12s %12s\n" "bands" "latency (ms)" "speedup" "components";
+  let base = ref 0.0 in
+  List.iter
+    (fun nparts ->
+      let table = Skel.Funtable.create () in
+      Apps.Ccl_scm.register table;
+      let prog = Apps.Ccl_scm.ir ~nparts in
+      let g = Procnet.Expand.expand table prog in
+      let arch = Archi.ring (nparts + 1) in
+      let r =
+        Executive.run ~table ~arch
+          ~placement:(Syndex.Place.canonical g arch)
+          ~graph:g ~frames:1 ~input:(V.Image img) ()
+      in
+      let n, _ = Apps.Ccl_scm.result_summary r.Executive.value in
+      assert (n = reference);
+      let latency = ms r.Executive.first_latency in
+      if nparts = 1 then base := latency;
+      Printf.printf "%8d %14.1f %12.2f %12d\n" nparts latency (!base /. latency) n)
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: road following (companion app, ref [6])                         *)
+
+let e8 () =
+  header "E8" "road following by white-line detection (ref [6])";
+  let width = 512 and height = 512 in
+  let frames = 15 and nstrips = 6 in
+  let table = Skel.Funtable.create () in
+  Apps.Road.register ~width ~height table;
+  let prog = Apps.Road.ir ~frames ~nstrips () in
+  let g = Procnet.Expand.expand table prog in
+  let arch = Archi.ring (nstrips + 1) in
+  let r =
+    Executive.run ~table ~arch
+      ~placement:(Syndex.Place.canonical g arch)
+      ~graph:g ~frames ~input_period:0.04
+      ~input:(Apps.Road.input_value ~width ~height)
+      ()
+  in
+  let lanes = List.map Apps.Road.lane_of_value r.Executive.outputs in
+  let offsets = List.map (fun l -> l.Apps.Road.offset) lanes in
+  let mean = List.fold_left ( +. ) 0.0 offsets /. float_of_int (List.length offsets) in
+  let rms =
+    sqrt
+      (List.fold_left (fun acc o -> acc +. ((o -. mean) ** 2.0)) 0.0 offsets
+      /. float_of_int (List.length offsets))
+  in
+  let tail_latency = ms (List.nth r.Executive.latencies (frames - 1)) in
+  Printf.printf "strips: %d on ring-%d, %d frames at 25 Hz\n" nstrips (nstrips + 1)
+    frames;
+  Printf.printf "steady per-frame latency: %.1f ms (40 ms budget: %s)\n" tail_latency
+    (if tail_latency <= 40.0 then "met" else "exceeded");
+  Printf.printf "lane offset: mean %.1f px, jitter (rms) %.2f px\n" mean rms;
+  Printf.printf "mean confidence: %.2f\n"
+    (List.fold_left (fun acc l -> acc +. l.Apps.Road.confidence) 0.0 lanes
+    /. float_of_int (List.length lanes))
+
+(* ------------------------------------------------------------------ *)
+(* E9: the Fig. 2 toolchain path                                       *)
+
+let e9 () =
+  header "E9" "toolchain traversal and emulation/executive equivalence (paper Fig. 2)";
+  let config = Tracking.Funcs.default_config in
+  let table = Tracking.Funcs.table config in
+  let src = Tracking.Funcs.source config in
+  let time label f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    Printf.printf "%-34s %8.1f ms (host)\n" label (ms (Unix.gettimeofday () -. t0));
+    v
+  in
+  let ast = time "parse" (fun () -> Minicaml.Parser.program src) in
+  let _ =
+    time "polymorphic type-check" (fun () ->
+        Minicaml.Infer.infer_program Minicaml.Infer.initial_env ast)
+  in
+  let ex =
+    time "skeleton extraction" (fun () -> Minicaml.Extract.extract ~frames:5 table ast)
+  in
+  let g =
+    time "skeleton expansion" (fun () ->
+        Procnet.Expand.expand table ex.Minicaml.Extract.program)
+  in
+  let arch = Archi.ring 8 in
+  let sched =
+    time "mapping (adequation)" (fun () -> Syndex.Heft.map (Syndex.Cost.make ()) arch g)
+  in
+  let macro =
+    time "macro-code emission" (fun () ->
+        Executive.Macro.emit g ~placement:sched.Syndex.Schedule.placement ~arch)
+  in
+  let input = Option.get ex.Minicaml.Extract.input in
+  let seq =
+    time "sequential emulation (5 frames)" (fun () ->
+        Skel.Sem.run table ex.Minicaml.Extract.program input)
+  in
+  let r =
+    time "simulated parallel run (5 frames)" (fun () ->
+        let table2 = Tracking.Funcs.table config in
+        let ex2 =
+          Minicaml.Extract.extract ~frames:5 table2 (Minicaml.Parser.program src)
+        in
+        let g2 = Procnet.Expand.expand table2 ex2.Minicaml.Extract.program in
+        Executive.run ~table:table2 ~arch
+          ~placement:(Syndex.Place.canonical g2 arch)
+          ~graph:g2 ~frames:5 ~input ())
+  in
+  Printf.printf "macro-code size: %d lines\n"
+    (List.length (String.split_on_char '\n' macro));
+  Printf.printf "process graph: %d processes, %d channels\n" (Procnet.Graph.nnodes g)
+    (List.length (Procnet.Graph.edges g));
+  Printf.printf "schedule deadlock-free: %b\n" (Syndex.Schedule.deadlock_free sched);
+  Printf.printf "emulation == distributed executive: %b\n"
+    (V.equal seq r.Executive.value)
+
+
+(* ------------------------------------------------------------------ *)
+(* E10: mapping-strategy ablation                                      *)
+
+let e10 () =
+  header "E10"
+    "ablation: mapping strategy (canonical Fig-1 layout vs HEFT adequation \
+     vs naive round-robin)";
+  let config = Tracking.Funcs.default_config in
+  let frames = 10 in
+  let arch = Archi.ring config.Tracking.Funcs.nproc in
+  Printf.printf "%-14s %20s %22s\n" "strategy" "tracking (ms)" "predicted (ms)";
+  List.iter
+    (fun (name, strategy) ->
+      let table = Tracking.Funcs.table config in
+      let compiled =
+        Skipper_lib.Pipeline.compile_ir ~table (Tracking.Funcs.ir ~frames config)
+      in
+      let sched = Skipper_lib.Pipeline.map ~strategy compiled arch in
+      let r =
+        Skipper_lib.Pipeline.execute ~strategy ~input_period:0.04
+          ~input:(Tracking.Funcs.input_value config)
+          compiled arch
+      in
+      Printf.printf "%-14s %20.1f %22.2f\n" name
+        (ms (List.nth r.Executive.latencies (frames - 1)))
+        (ms sched.Syndex.Schedule.makespan))
+    [
+      ("canonical", Skipper_lib.Pipeline.Canonical);
+      ("heft", Skipper_lib.Pipeline.Heft);
+      ("round-robin", Skipper_lib.Pipeline.Round_robin);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E11: topology ablation                                              *)
+
+let e11 () =
+  header "E11" "ablation: target topology at 8 processors (paper: the Transvision \
+                ring is one configuration among several)";
+  let config = Tracking.Funcs.default_config in
+  let frames = 10 in
+  Printf.printf "%-10s %18s %18s\n" "topology" "tracking (ms)" "reinit (ms)";
+  List.iter
+    (fun (name, arch) ->
+      let run frames' prog_frames =
+        let table = Tracking.Funcs.table config in
+        let prog = Tracking.Funcs.ir ~frames:prog_frames config in
+        let g = Procnet.Expand.expand table prog in
+        let r =
+          Executive.run ~table ~arch
+            ~placement:(Syndex.Place.canonical g arch)
+            ~graph:g ~frames:prog_frames
+            ?input_period:(if prog_frames > 1 then Some 0.04 else None)
+            ~input:(Tracking.Funcs.input_value config)
+            ()
+        in
+        List.nth r.Executive.latencies (frames' - 1)
+      in
+      let tracking = ms (run frames frames) in
+      let reinit = ms (run 1 1) in
+      Printf.printf "%-10s %18.1f %18.1f\n" name tracking reinit)
+    [
+      ("ring", Archi.ring 8);
+      ("chain", Archi.chain 8);
+      ("star", Archi.star 8);
+      ("grid-2x4", Archi.grid 2 4);
+      ("full", Archi.fully_connected 8);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E12: transformational-rule ablation (paper 6, future work)          *)
+
+let e12 () =
+  header "E12"
+    "ablation: inter-skeleton transformational rules (paper s6): a pipeline \
+     with fusable stages and a degenerate 1-worker farm";
+  (* A deliberately naive specification: two sequential stages and a
+     single-worker farm (e.g. written for a 1-processor test target). *)
+  let build () =
+    let t = Skel.Funtable.create () in
+    Skel.Funtable.register t "prep" ~cost:(fun _ -> 20_000.0) (fun v -> v);
+    Skel.Funtable.register t "mask" ~cost:(fun _ -> 30_000.0) (fun v -> v);
+    Skel.Funtable.register t "heavy" ~cost:(fun _ -> 200_000.0) (fun v -> v);
+    Skel.Funtable.register t "keep" ~arity:2 ~cost:(fun _ -> 200.0) (fun v ->
+        let acc, _ = V.to_pair v in
+        V.Int (V.to_int acc + 1));
+    Skel.Funtable.register t "enlist" ~cost:(fun _ -> 1000.0) (fun v ->
+        V.List (List.init 4 (fun i -> V.Tuple [ v; V.Int i ])));
+    let prog =
+      Skel.Ir.program "naive"
+        (Skel.Ir.Pipe
+           [
+             Skel.Ir.Seq "prep";
+             Skel.Ir.Seq "mask";
+             Skel.Ir.Seq "enlist";
+             Skel.Ir.Df { nworkers = 1; comp = "heavy"; acc = "keep"; init = V.Int 0 };
+           ])
+    in
+    (t, prog)
+  in
+  let arch = Archi.ring 4 in
+  let measure optimize =
+    let t, prog = build () in
+    let compiled = Skipper_lib.Pipeline.compile_ir ~optimize ~table:t prog in
+    let r =
+      Skipper_lib.Pipeline.execute ~input:(V.Int 1) compiled arch
+    in
+    ( Procnet.Graph.nnodes compiled.Skipper_lib.Pipeline.graph,
+      r.Executive.stats.Machine.Sim.messages,
+      ms r.Executive.first_latency,
+      r.Executive.value )
+  in
+  let n0, m0, l0, v0 = measure false in
+  let n1, m1, l1, v1 = measure true in
+  assert (V.equal v0 v1);
+  Printf.printf "%-26s %12s %12s\n" "" "naive" "normalised";
+  Printf.printf "%-26s %12d %12d\n" "processes" n0 n1;
+  Printf.printf "%-26s %12d %12d\n" "messages" m0 m1;
+  Printf.printf "%-26s %9.2f ms %9.2f ms\n" "latency" l0 l1;
+  Printf.printf "results identical: true\n"
+
+
+(* ------------------------------------------------------------------ *)
+(* E13: skeleton nesting (extension; paper s5 compares with OCamlP3L)  *)
+
+let e13 () =
+  header "E13"
+    "extension: nested skeletons (paper s5: OCamlP3L nests freely, SKiPPER-0 \
+     does not) -- outer df over items whose computation is an inner pipeline";
+  let build nworkers =
+    let t = Skel.Funtable.create () in
+    Skel.Funtable.register t "stretch" ~cost:(fun _ -> 2000.0) (fun v ->
+        V.List (List.init 8 (fun i -> V.Tuple [ v; V.Int i ])));
+    Skel.Funtable.register t "heavy" ~cost:(fun _ -> 60_000.0) (fun v ->
+        match v with V.Tuple [ V.Int x; V.Int i ] -> V.Int (x + i) | _ -> v);
+    Skel.Funtable.register t "plus" ~arity:2 ~cost:(fun _ -> 200.0) (fun v ->
+        let a, b = V.to_pair v in
+        V.Int (V.to_int a + V.to_int b));
+    let inner =
+      Skel.Ir.Pipe
+        [
+          Skel.Ir.Seq "stretch";
+          Skel.Ir.Df { nworkers = 2; comp = "heavy"; acc = "plus"; init = V.Int 0 };
+        ]
+    in
+    let program =
+      Skel.Ir.program "nested"
+        (Skel.Nest.df ~table:t ~nworkers ~comp:inner ~acc:"plus" ~init:(V.Int 0))
+    in
+    (t, program)
+  in
+  Printf.printf "%8s %16s %12s\n" "workers" "latency (ms)" "speedup";
+  let base = ref 0.0 in
+  List.iter
+    (fun nworkers ->
+      let t, program = build nworkers in
+      let g = Procnet.Expand.expand t program in
+      let arch = Archi.ring (nworkers + 1) in
+      let r =
+        Executive.run ~table:t ~arch
+          ~placement:(Syndex.Place.canonical g arch)
+          ~graph:g ~frames:1
+          ~input:(V.List (List.init 24 (fun i -> V.Int i)))
+          ()
+      in
+      let latency = ms r.Executive.first_latency in
+      if nworkers = 1 then base := latency;
+      Printf.printf "%8d %16.1f %11.2fx\n" nworkers latency (!base /. latency))
+    [ 1; 2; 4; 8 ];
+  print_endline
+    "(inner skeletons run serialised on their worker -- SKiPPER-II's initial\n\
+    \ nesting model; the outer farm still scales)"
+
+(* ------------------------------------------------------------------ *)
+(* bechamel micro-benchmarks                                           *)
+
+let micro () =
+  header "micro" "bechamel micro-benchmarks of the computational kernels";
+  let open Bechamel in
+  let open Toolkit in
+  let img256 = Apps.Ccl_scm.blobs_image ~seed:3 ~nblobs:30 256 256 in
+  let tracking_src = Tracking.Funcs.source Tracking.Funcs.default_config in
+  let tracking_graph =
+    let table = Tracking.Funcs.table Tracking.Funcs.default_config in
+    Procnet.Expand.expand table (Tracking.Funcs.ir Tracking.Funcs.default_config)
+  in
+  let df_run () =
+    let table = Skel.Funtable.create () in
+    Skel.Funtable.register table "w" ~cost:(fun _ -> 10_000.0) (fun v -> v);
+    Skel.Funtable.register table "k" ~arity:2 ~cost:(fun _ -> 100.0) (fun v ->
+        fst (V.to_pair v));
+    let prog =
+      Skel.Ir.program "p"
+        (Skel.Ir.Df { nworkers = 4; comp = "w"; acc = "k"; init = V.Int 0 })
+    in
+    let g = Procnet.Expand.expand table prog in
+    let arch = Archi.ring 5 in
+    ignore
+      (Executive.run ~table ~arch
+         ~placement:(Syndex.Place.canonical g arch)
+         ~graph:g ~frames:1
+         ~input:(V.List (List.init 16 (fun i -> V.Int i)))
+         ())
+  in
+  (* One Test.make per kernel; E1..E9 above are the table/figure harnesses. *)
+  let tests =
+    [
+      Test.make ~name:"ccl-label-256x256"
+        (Staged.stage (fun () -> ignore (Vision.Ccl.label ~threshold:128 img256)));
+      Test.make ~name:"threshold-256x256"
+        (Staged.stage (fun () -> ignore (Vision.Ops.threshold 128 img256)));
+      Test.make ~name:"sobel-256x256"
+        (Staged.stage (fun () -> ignore (Vision.Ops.sobel_magnitude img256)));
+      Test.make ~name:"scene-frame-256x256"
+        (Staged.stage (fun () ->
+             ignore
+               (Vision.Scene.frame
+                  { Vision.Scene.default_params with Vision.Scene.width = 256; height = 256 }
+                  7)));
+      Test.make ~name:"parse+typecheck-tracking"
+        (Staged.stage (fun () ->
+             let ast = Minicaml.Parser.program tracking_src in
+             ignore (Minicaml.Infer.infer_program Minicaml.Infer.initial_env ast)));
+      Test.make ~name:"heft-map-tracking-ring8"
+        (Staged.stage (fun () ->
+             ignore
+               (Syndex.Heft.map (Syndex.Cost.make ()) (Archi.ring 8) tracking_graph)));
+      Test.make ~name:"simulate-df-farm" (Staged.stage df_run);
+    ]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        let quota = Time.second 0.5 in
+        let raw =
+          Benchmark.all
+            (Benchmark.cfg ~limit:2000 ~quota ())
+            Instance.[ monotonic_clock ]
+            (Test.make_grouped ~name:"kernels" [ test ])
+        in
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-36s %12.3f us/run\n" name (est /. 1e3)
+          | _ -> Printf.printf "%-36s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
+    ("e13", e13);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [ "micro" ] -> micro ()
+  | _ :: [ name ] -> (
+      match List.assoc_opt (String.lowercase_ascii name) experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (e1..e13 or micro)\n" name;
+          exit 1)
+  | _ ->
+      print_endline "SKiPPER experiment harness (see DESIGN.md, experiment index)";
+      List.iter (fun (_, f) -> f ()) experiments;
+      print_newline ();
+      print_endline "All experiments completed. Run with 'micro' for bechamel kernels."

@@ -1,0 +1,286 @@
+(* skipperc: command-line driver for the SKiPPER environment.
+
+   The paper's toolchain is a compiler: it takes the ML specification plus
+   the application's sequential C functions and produces either a sequential
+   emulation or a distributed executive. Sequential functions here come from
+   built-in application function tables selected with --app (the container
+   has no C compiler, and the functions are OCaml against the vision
+   substrate). *)
+
+let app_table = function
+  | "tracking" -> Tracking.Funcs.table Tracking.Funcs.default_config
+  | "ccl" ->
+      let t = Skel.Funtable.create () in
+      Apps.Ccl_scm.register t;
+      t
+  | "road" ->
+      let t = Skel.Funtable.create () in
+      Apps.Road.register ~width:512 ~height:512 t;
+      Skel.Funtable.register t "zero_lane" ~arity:0 ~cost:(fun _ -> 1.0) (fun _ ->
+          Apps.Road.lane_to_value
+            { Apps.Road.offset = 0.0; slope = 0.0; confidence = 0.0 });
+      t
+  | "quadtree" ->
+      let t = Skel.Funtable.create () in
+      Apps.Quadtree.register t;
+      t
+  | "none" -> Skel.Funtable.create ()
+  | other -> failwith (Printf.sprintf "unknown application %S" other)
+
+let default_input app =
+  match app with
+  | "ccl" -> Some (Skel.Value.Image (Apps.Ccl_scm.blobs_image 512 512))
+  | "quadtree" -> Some (Skel.Value.Image (Apps.Ccl_scm.blobs_image ~nblobs:12 256 256))
+  | _ -> None
+
+let topology name n =
+  match name with
+  | "ring" -> Archi.ring n
+  | "chain" -> Archi.chain n
+  | "star" -> Archi.star n
+  | "full" -> Archi.fully_connected n
+  | other -> failwith (Printf.sprintf "unknown topology %S" other)
+
+let strategy_of = function
+  | "heft" -> Skipper_lib.Pipeline.Heft
+  | "canonical" -> Skipper_lib.Pipeline.Canonical
+  | "roundrobin" -> Skipper_lib.Pipeline.Round_robin
+  | other -> failwith (Printf.sprintf "unknown strategy %S" other)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let compile ~app ~frames ?(optimize = false) path =
+  let table = app_table app in
+  Skipper_lib.Pipeline.compile_source ~frames ~optimize ~table (read_file path)
+
+let wrap f =
+  try f (); 0 with
+  | Skipper_lib.Pipeline.Compile_error msg | Failure msg ->
+      Printf.eprintf "skipperc: %s\n" msg;
+      1
+  | Executive.Executive_error msg ->
+      Printf.eprintf "skipperc: executive: %s\n" msg;
+      1
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let app_arg =
+  Arg.(
+    value
+    & opt string "none"
+    & info [ "app" ] ~docv:"APP"
+        ~doc:"Application function table: tracking, ccl, road, quadtree or none.")
+
+let frames_arg =
+  Arg.(value & opt int 1 & info [ "frames" ] ~docv:"N" ~doc:"Stream iterations.")
+
+let procs_arg =
+  Arg.(value & opt int 8 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Processor count.")
+
+let topo_arg =
+  Arg.(
+    value
+    & opt string "ring"
+    & info [ "topology"; "t" ] ~docv:"TOPO" ~doc:"ring, chain, star or full.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt string "canonical"
+    & info [ "strategy"; "s" ] ~docv:"S" ~doc:"Mapping: canonical, heft or roundrobin.")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "optimize"; "O" ]
+        ~doc:"Apply the inter-skeleton transformational rules before expansion.")
+
+let fps_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "fps" ] ~docv:"HZ" ~doc:"Pace the input source at HZ frames per second.")
+
+let check_cmd =
+  let run file =
+    wrap (fun () ->
+        let src = read_file file in
+        let ast = Minicaml.Parser.program src in
+        Minicaml.Types.reset_counter ();
+        let _, schemes = Minicaml.Infer.infer_program Minicaml.Infer.initial_env ast in
+        List.iter
+          (fun (n, s) -> Printf.printf "val %s : %s\n" n (Minicaml.Types.scheme_to_string s))
+          schemes)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and type-check a specification.")
+    Term.(const run $ file_arg)
+
+let graph_cmd =
+  let run app frames file =
+    wrap (fun () ->
+        let c = compile ~app ~frames file in
+        print_string (Skipper_lib.Pipeline.graph_dot c))
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print the expanded process network in DOT format.")
+    Term.(const run $ app_arg $ frames_arg $ file_arg)
+
+let map_cmd =
+  let run app frames procs topo strat file =
+    wrap (fun () ->
+        let c = compile ~app ~frames file in
+        let arch = topology topo procs in
+        let sched =
+          Skipper_lib.Pipeline.map ~strategy:(strategy_of strat) c arch
+        in
+        Format.printf "%a@." Syndex.Schedule.pp_summary sched;
+        (match Syndex.Schedule.validate sched with
+        | Ok () -> print_endline "schedule: valid"
+        | Error m -> Printf.printf "schedule: INVALID (%s)\n" m);
+        Printf.printf "deadlock-free: %b\n" (Syndex.Schedule.deadlock_free sched);
+        print_string (Syndex.Schedule.gantt sched))
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Map the process network onto an architecture (SynDEx step).")
+    Term.(const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ strategy_arg $ file_arg)
+
+let macro_cmd =
+  let run app frames procs topo strat file =
+    wrap (fun () ->
+        let c = compile ~app ~frames file in
+        let arch = topology topo procs in
+        let sched = Skipper_lib.Pipeline.map ~strategy:(strategy_of strat) c arch in
+        print_string (Skipper_lib.Pipeline.macro_code c sched))
+  in
+  Cmd.v
+    (Cmd.info "macro" ~doc:"Emit the m4 macro-code of the distributed executive.")
+    Term.(const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ strategy_arg $ file_arg)
+
+let emulate_cmd =
+  let run app frames file =
+    wrap (fun () ->
+        let c = compile ~app ~frames file in
+        let input =
+          match (c.Skipper_lib.Pipeline.input, default_input app) with
+          | Some v, _ | None, Some v -> v
+          | None, None -> failwith "no input available; the source must fix one"
+        in
+        let v, cycles =
+          Skel.Sem.run_cost c.Skipper_lib.Pipeline.table
+            c.Skipper_lib.Pipeline.program input
+        in
+        Printf.printf "%s\n" (Skel.Value.to_string v);
+        Printf.printf
+          "estimated single-processor time: %.1f ms (%.0f cycles at 20 MHz)\n"
+          (cycles *. 5e-8 *. 1e3) cycles)
+  in
+  Cmd.v
+    (Cmd.info "emulate" ~doc:"Run the sequential emulation (workstation path).")
+    Term.(const run $ app_arg $ frames_arg $ file_arg)
+
+let run_cmd =
+  let run app frames procs topo strat fps optimize file =
+    wrap (fun () ->
+        let c = compile ~app ~frames ~optimize file in
+        let arch = topology topo procs in
+        let input_period = Option.map (fun f -> 1.0 /. f) fps in
+        let r =
+          Skipper_lib.Pipeline.execute ?input_period
+            ~strategy:(strategy_of strat)
+            ?input:(default_input app) c arch
+        in
+        Printf.printf "result: %s\n" (Skel.Value.to_string r.Executive.value);
+        List.iteri
+          (fun i l -> Printf.printf "frame %3d latency %8.2f ms\n" i (l *. 1e3))
+          r.Executive.latencies;
+        Printf.printf "messages: %d, bytes: %d\n" r.Executive.stats.Machine.Sim.messages
+          r.Executive.stats.Machine.Sim.bytes)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile, map and execute on the simulated MIMD-DM machine.")
+    Term.(
+      const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ strategy_arg $ fps_arg
+      $ optimize_arg $ file_arg)
+
+let equiv_cmd =
+  let run app frames procs topo file =
+    wrap (fun () ->
+        let c = compile ~app ~frames file in
+        let arch = topology topo procs in
+        match
+          Skipper_lib.Pipeline.check_equivalence ?input:(default_input app) c arch
+        with
+        | Ok v ->
+            Printf.printf "sequential emulation and distributed executive agree\n";
+            Printf.printf "result: %s\n" (Skel.Value.to_string v)
+        | Error msg -> failwith msg)
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:"Check that emulation and the parallel executive produce equal results.")
+    Term.(const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ file_arg)
+
+let repl_cmd =
+  let run app =
+    wrap (fun () -> Minicaml.Repl.run_channel (app_table app) stdin stdout)
+  in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:"Interactive toplevel over the specification language (with the \
+             chosen application's externals in scope).")
+    Term.(const run $ app_arg)
+
+let demo_cmd =
+  let run app procs =
+    wrap (fun () ->
+        let arch = topology "ring" procs in
+        let frames = 10 in
+        let table, program, input =
+          match app with
+          | "tracking" ->
+              let config = Tracking.Funcs.default_config in
+              ( Tracking.Funcs.table config,
+                Tracking.Funcs.ir ~frames config,
+                Tracking.Funcs.input_value config )
+          | "ccl" ->
+              let t = app_table "ccl" in
+              (t, Apps.Ccl_scm.ir ~nparts:(max 1 (procs - 1)),
+               Option.get (default_input "ccl"))
+          | "road" ->
+              let t = app_table "road" in
+              (t, Apps.Road.ir ~frames ~nstrips:(max 1 (procs - 1)) (),
+               Apps.Road.input_value ~width:512 ~height:512)
+          | "quadtree" ->
+              let t = app_table "quadtree" in
+              (t, Apps.Quadtree.ir ~nworkers:(max 1 (procs - 1)),
+               Option.get (default_input "quadtree"))
+          | other -> failwith (Printf.sprintf "no demo for %S" other)
+        in
+        let compiled = Skipper_lib.Pipeline.compile_ir ~table program in
+        let r =
+          Skipper_lib.Pipeline.execute ~input ~input_period:0.04 compiled arch
+        in
+        Printf.printf "application: %s on %s, %d stream iteration(s)\n" app
+          (Archi.name arch) program.Skel.Ir.frames;
+        List.iteri
+          (fun i l -> Printf.printf "frame %3d latency %8.2f ms\n" i (l *. 1e3))
+          r.Executive.latencies;
+        print_string
+          (Machine.Metrics.to_string (Machine.Metrics.analyse r.Executive.sim)))
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Run a built-in application end to end (no specification file).")
+    Term.(const run $ app_arg $ procs_arg)
+
+let main =
+  let doc = "SKiPPER: skeleton-based parallel programming environment" in
+  Cmd.group (Cmd.info "skipperc" ~doc ~version:"1.0.0")
+    [ check_cmd; graph_cmd; map_cmd; macro_cmd; emulate_cmd; run_cmd; equiv_cmd;
+      repl_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/ccl_bands.ml: Apps Archi Executive List Printf Skel Skipper_lib Vision

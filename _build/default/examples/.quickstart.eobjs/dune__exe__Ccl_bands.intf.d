@@ -1,0 +1,1 @@
+examples/ccl_bands.mli:

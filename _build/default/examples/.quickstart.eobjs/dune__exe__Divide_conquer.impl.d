@@ -1,0 +1,1 @@
+examples/divide_conquer.ml: Apps Archi Executive List Printf Skel Skipper_lib Vision

@@ -1,0 +1,1 @@
+examples/divide_conquer.mli:

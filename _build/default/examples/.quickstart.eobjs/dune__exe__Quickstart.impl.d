@@ -1,0 +1,1 @@
+examples/quickstart.ml: Archi Executive List Machine Printf Skel Skipper_lib

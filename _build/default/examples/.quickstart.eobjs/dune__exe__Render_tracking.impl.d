@@ -1,0 +1,1 @@
+examples/render_tracking.ml: Filename List Printf Skel Sys Tracking Vision

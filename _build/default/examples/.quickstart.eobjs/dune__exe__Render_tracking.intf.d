@@ -1,0 +1,1 @@
+examples/render_tracking.mli:

@@ -1,0 +1,1 @@
+examples/road_following.ml: Apps Archi Executive List Printf Skel Skipper_lib

@@ -1,0 +1,1 @@
+examples/road_following.mli:

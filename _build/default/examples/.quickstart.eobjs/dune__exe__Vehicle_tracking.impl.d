@@ -1,0 +1,1 @@
+examples/vehicle_tracking.ml: Archi Executive Format List Machine Option Printf Skel Skipper_lib Syndex Tracking

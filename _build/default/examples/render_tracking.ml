@@ -1,0 +1,65 @@
+(* Visualising the tracker: runs the vehicle-tracking pipeline sequentially
+   for a few frames and writes annotated PGM images -- detected marks as
+   crosses, their englobing frames and the windows of interest predicted for
+   the next frame -- the display a SKiPPER demo would show on the monitor.
+
+   Run with: dune exec examples/render_tracking.exe [output-dir]
+   (default output directory: ./tracking-frames) *)
+
+module V = Skel.Value
+
+let frames = 6
+
+let () =
+  let out_dir =
+    match Sys.argv with [| _; dir |] -> dir | _ -> "tracking-frames"
+  in
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let config =
+    {
+      Tracking.Funcs.default_config with
+      Tracking.Funcs.scene =
+        { Vision.Scene.default_params with Vision.Scene.width = 512; height = 512 };
+    }
+  in
+  let scene = config.Tracking.Funcs.scene in
+  let state = ref Tracking.Track_state.initial in
+  for i = 0 to frames - 1 do
+    let img = Vision.Scene.frame scene i in
+    (* the same per-frame computation the pipeline performs *)
+    let windows =
+      Tracking.Predictor.windows_for ~nproc:config.Tracking.Funcs.nproc
+        ~width:(Vision.Image.width img) ~height:(Vision.Image.height img)
+        !state
+    in
+    let marks =
+      List.concat_map
+        (fun w ->
+          Tracking.Detector.detect
+            ~origin:(w.Vision.Window.x, w.Vision.Window.y)
+            (Vision.Window.extract img w))
+        windows
+    in
+    state := Tracking.Predictor.update !state marks;
+    (* annotate a copy of the frame *)
+    let view = Vision.Image.copy img in
+    List.iter (fun w -> Vision.Draw.window view w 140) windows;
+    List.iter
+      (fun (m : Tracking.Mark.t) ->
+        Vision.Draw.cross view
+          ~x:(int_of_float m.Tracking.Mark.x)
+          ~y:(int_of_float m.Tracking.Mark.y)
+          ~size:6 0;
+        Vision.Draw.rect view ~x:m.Tracking.Mark.min_x ~y:m.Tracking.Mark.min_y
+          ~w:(Tracking.Mark.width m) ~h:(Tracking.Mark.height m) 255)
+      marks;
+    let path = Filename.concat out_dir (Printf.sprintf "frame_%02d.pgm" i) in
+    Vision.Image.save_pgm view path;
+    Printf.printf "frame %d: %d windows, %d marks, mode %s -> %s\n" i
+      (List.length windows) (List.length marks)
+      (match !state.Tracking.Track_state.mode with
+      | Tracking.Track_state.Tracking -> "tracking"
+      | Tracking.Track_state.Reinit -> "reinit")
+      path
+  done;
+  Printf.printf "wrote %d annotated frames to %s/\n" frames out_dir

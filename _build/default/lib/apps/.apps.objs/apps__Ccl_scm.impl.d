@@ -1,0 +1,1 @@
+lib/apps/ccl_scm.ml: Array Bytes Int32 List Printf Skel String Support Vision

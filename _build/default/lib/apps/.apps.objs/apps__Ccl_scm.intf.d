@@ -1,0 +1,1 @@
+lib/apps/ccl_scm.mli: Skel Vision

@@ -1,0 +1,1 @@
+lib/apps/quadtree.ml: List Skel Vision

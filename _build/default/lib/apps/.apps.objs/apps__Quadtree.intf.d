@@ -1,0 +1,1 @@
+lib/apps/quadtree.mli: Skel Vision

@@ -1,0 +1,1 @@
+lib/apps/road.ml: List Skel Vision

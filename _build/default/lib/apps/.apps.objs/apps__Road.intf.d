@@ -1,0 +1,1 @@
+lib/apps/road.mli: Skel Vision

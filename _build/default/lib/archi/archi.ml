@@ -1,0 +1,194 @@
+type processor = { id : int; pname : string; cycle_time : float }
+type link = { src : int; dst : int; bandwidth : float; startup : float }
+
+type t = {
+  arch_name : string;
+  procs : processor array;
+  link_list : link list;
+  link_map : (int * int, link) Hashtbl.t;
+  adj : int list array;
+  (* routes.(a).(b) is the next hop from a towards b, or -1 when unreachable
+     or a = b. Precomputed by BFS from every source. *)
+  next_hop : int array array;
+}
+
+let name t = t.arch_name
+let processors t = t.procs
+let nprocs t = Array.length t.procs
+let links t = t.link_list
+let link_between t a b = Hashtbl.find_opt t.link_map (a, b)
+let neighbours t p = t.adj.(p)
+
+(* T9000-era defaults (see DESIGN.md calibration table). *)
+let default_cycle_time = 5e-8
+let default_bandwidth = 1e7
+let default_startup = 1e-6
+
+let compute_next_hops n adj =
+  let table = Array.make_matrix n n (-1) in
+  for src = 0 to n - 1 do
+    (* BFS from src; because neighbour lists are sorted, parent choices are
+       deterministic and favour low processor ids. *)
+    let parent = Array.make n (-1) in
+    let visited = Array.make n false in
+    visited.(src) <- true;
+    let q = Queue.create () in
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            parent.(v) <- u;
+            Queue.add v q
+          end)
+        adj.(u)
+    done;
+    for dst = 0 to n - 1 do
+      if dst <> src && visited.(dst) then begin
+        (* Walk back from dst to find src's first step. *)
+        let rec first_step v = if parent.(v) = src then v else first_step parent.(v) in
+        table.(src).(dst) <- first_step dst
+      end
+    done
+  done;
+  table
+
+let build ~name:arch_name procs edges =
+  let n = Array.length procs in
+  if n = 0 then invalid_arg "Archi: empty processor set";
+  Array.iteri
+    (fun i p -> if p.id <> i then invalid_arg "Archi: processor ids must be 0..n-1")
+    procs;
+  let link_map = Hashtbl.create 16 in
+  let adj = Array.make n [] in
+  List.iter
+    (fun l ->
+      if l.src < 0 || l.src >= n || l.dst < 0 || l.dst >= n then
+        invalid_arg "Archi: link endpoint out of range";
+      if l.src = l.dst then invalid_arg "Archi: self-link";
+      if Hashtbl.mem link_map (l.src, l.dst) then
+        invalid_arg "Archi: duplicate link";
+      Hashtbl.replace link_map (l.src, l.dst) l;
+      adj.(l.src) <- l.dst :: adj.(l.src))
+    edges;
+  Array.iteri (fun i ns -> adj.(i) <- List.sort compare ns) adj;
+  { arch_name; procs; link_list = edges; link_map; adj; next_hop = compute_next_hops n adj }
+
+let mk_procs ?(cycle_time = default_cycle_time) n =
+  Array.init n (fun i -> { id = i; pname = Printf.sprintf "P%d" i; cycle_time })
+
+let bidir ?(bandwidth = default_bandwidth) ?(startup = default_startup) pairs =
+  List.concat_map
+    (fun (a, b) ->
+      [ { src = a; dst = b; bandwidth; startup }; { src = b; dst = a; bandwidth; startup } ])
+    pairs
+
+let ring ?cycle_time ?bandwidth ?startup n =
+  if n <= 0 then invalid_arg "Archi.ring: n <= 0";
+  let pairs =
+    if n = 1 then []
+    else if n = 2 then [ (0, 1) ]
+    else List.init n (fun i -> (i, (i + 1) mod n))
+  in
+  build
+    ~name:(Printf.sprintf "ring-%d" n)
+    (mk_procs ?cycle_time n)
+    (bidir ?bandwidth ?startup pairs)
+
+let chain ?cycle_time ?bandwidth ?startup n =
+  if n <= 0 then invalid_arg "Archi.chain: n <= 0";
+  build
+    ~name:(Printf.sprintf "chain-%d" n)
+    (mk_procs ?cycle_time n)
+    (bidir ?bandwidth ?startup (List.init (n - 1) (fun i -> (i, i + 1))))
+
+let star ?cycle_time ?bandwidth ?startup n =
+  if n <= 0 then invalid_arg "Archi.star: n <= 0";
+  build
+    ~name:(Printf.sprintf "star-%d" n)
+    (mk_procs ?cycle_time n)
+    (bidir ?bandwidth ?startup (List.init (n - 1) (fun i -> (0, i + 1))))
+
+let grid ?cycle_time ?bandwidth ?startup rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Archi.grid: non-positive dimensions";
+  let idx r c = (r * cols) + c in
+  let pairs = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then pairs := (idx r c, idx r (c + 1)) :: !pairs;
+      if r + 1 < rows then pairs := (idx r c, idx (r + 1) c) :: !pairs
+    done
+  done;
+  build
+    ~name:(Printf.sprintf "grid-%dx%d" rows cols)
+    (mk_procs ?cycle_time (rows * cols))
+    (bidir ?bandwidth ?startup !pairs)
+
+let fully_connected ?cycle_time ?bandwidth ?startup n =
+  if n <= 0 then invalid_arg "Archi.fully_connected: n <= 0";
+  let pairs = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      pairs := (a, b) :: !pairs
+    done
+  done;
+  build
+    ~name:(Printf.sprintf "full-%d" n)
+    (mk_procs ?cycle_time n)
+    (bidir ?bandwidth ?startup !pairs)
+
+let custom ~name:arch_name procs edges =
+  build ~name:arch_name procs
+    (List.map (fun (src, dst, bandwidth, startup) -> { src; dst; bandwidth; startup }) edges)
+
+let route t a b =
+  let n = nprocs t in
+  if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Archi.route: bad processor id";
+  if a = b then [ a ]
+  else begin
+    let rec walk u acc =
+      if u = b then List.rev (b :: acc)
+      else
+        let next = t.next_hop.(u).(b) in
+        if next < 0 then failwith (Printf.sprintf "Archi.route: no path %d -> %d" a b)
+        else walk next (u :: acc)
+    in
+    walk a []
+  end
+
+let hops t a b = List.length (route t a b) - 1
+
+let transfer_time t a b bytes =
+  if a = b then 0.0
+  else
+    let path = route t a b in
+    let rec pairs = function
+      | x :: (y :: _ as rest) -> (x, y) :: pairs rest
+      | _ -> []
+    in
+    List.fold_left
+      (fun acc (x, y) ->
+        match link_between t x y with
+        | Some l -> acc +. l.startup +. (float_of_int bytes /. l.bandwidth)
+        | None -> failwith "Archi.transfer_time: route uses missing link")
+      0.0 (pairs path)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>architecture %s: %d processors, %d links@]" t.arch_name
+    (nprocs t) (List.length t.link_list)
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" t.arch_name);
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "  p%d [label=%S shape=box];\n" p.id p.pname))
+    t.procs;
+  List.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "  p%d -> p%d;\n" l.src l.dst))
+    t.link_list;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,78 @@
+(** Target-architecture description.
+
+    Like SynDEx, the target machine is described as a graph: nodes are
+    processors, edges are point-to-point communication channels (Transputer
+    links). The default constants model the paper's Transvision platform:
+    T9000 Transputers at 20 MHz (50 ns cycles) with ~10 MB/s effective link
+    bandwidth and ~1 µs message startup. Messages between non-adjacent
+    processors are routed store-and-forward along shortest paths, which is
+    the role of the paper's [M->W]/[W->M] router processes in Fig. 1. *)
+
+type processor = {
+  id : int;
+  pname : string;
+  cycle_time : float;  (** seconds per cycle; 5e-8 for a 20 MHz T9000 *)
+}
+
+type link = {
+  src : int;
+  dst : int;
+  bandwidth : float;  (** bytes per second *)
+  startup : float;  (** per-message latency, seconds *)
+}
+
+type t
+
+val name : t -> string
+val processors : t -> processor array
+val nprocs : t -> int
+val links : t -> link list
+val link_between : t -> int -> int -> link option
+val neighbours : t -> int -> int list
+
+(** {1 Topology constructors}
+
+    All constructors accept the same optional cost parameters and build
+    bidirectional channels (one link per direction). *)
+
+val ring :
+  ?cycle_time:float -> ?bandwidth:float -> ?startup:float -> int -> t
+(** [ring n]: processors 0..n-1 connected in a cycle (the Transvision
+    configuration used in §4). [ring 1] is a single processor with no links;
+    [ring 2] a single bidirectional channel. Raises [Invalid_argument] when
+    [n <= 0]. *)
+
+val chain : ?cycle_time:float -> ?bandwidth:float -> ?startup:float -> int -> t
+val star : ?cycle_time:float -> ?bandwidth:float -> ?startup:float -> int -> t
+(** Processor 0 at the centre. *)
+
+val grid :
+  ?cycle_time:float -> ?bandwidth:float -> ?startup:float -> int -> int -> t
+(** [grid rows cols]. *)
+
+val fully_connected :
+  ?cycle_time:float -> ?bandwidth:float -> ?startup:float -> int -> t
+
+val custom :
+  name:string -> processor array -> (int * int * float * float) list -> t
+(** [custom ~name procs edges] with [(src, dst, bandwidth, startup)] directed
+    edges. Raises [Invalid_argument] on dangling endpoints or duplicates. *)
+
+(** {1 Routing} *)
+
+val route : t -> int -> int -> int list
+(** [route t a b] is the shortest processor path from [a] to [b], inclusive
+    of both (so [route t a a = [a]]). Ties are broken towards
+    lower-numbered intermediate processors, deterministically. Raises
+    [Failure] when no path exists. *)
+
+val hops : t -> int -> int -> int
+(** Number of links along [route t a b]. *)
+
+val transfer_time : t -> int -> int -> int -> float
+(** [transfer_time t a b bytes] is the store-and-forward latency of moving
+    [bytes] from [a] to [b] along the route, summing per-hop
+    [startup + bytes / bandwidth]. Zero when [a = b]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_dot : t -> string

@@ -1,0 +1,1 @@
+lib/executive/executive.ml: Array Hashtbl List Machine Macro Option Printf Procnet Queue Skel Syndex

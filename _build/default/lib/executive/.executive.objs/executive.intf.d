@@ -1,0 +1,1 @@
+lib/executive/executive.mli: Archi Machine Macro Procnet Skel Syndex

@@ -1,0 +1,1 @@
+lib/executive/macro.ml: Archi Array Buffer Fun List Printf Procnet

@@ -1,0 +1,1 @@
+lib/executive/macro.mli: Archi Procnet

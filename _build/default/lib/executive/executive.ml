@@ -1,0 +1,293 @@
+module G = Procnet.Graph
+module V = Skel.Value
+module Macro = Macro
+
+exception Executive_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Executive_error m)) fmt
+
+type result = {
+  value : V.t;
+  outputs : V.t list;
+  stats : Machine.Sim.stats;
+  output_times : float list;
+  latencies : float list;
+  first_latency : float;
+  period : float;
+  sim : Machine.Sim.t;
+}
+
+(* Mutable run-wide state shared by the spawned processes. *)
+type collector = {
+  mutable outs_rev : (V.t * float) list;
+  mutable final_state : V.t option;
+}
+
+(* A user-function call: charge its cost model, then produce its value. *)
+let call table fn v =
+  if fn = "__id" then v
+  else begin
+    Machine.Sim.compute (Skel.Funtable.cost table fn v);
+    Skel.Funtable.apply table fn v
+  end
+
+(* Map worker node id -> index within its master's worker pool. The order of
+   the master's "task" edges defines the indices, matching primes below. *)
+let worker_indices g =
+  let table = Hashtbl.create 16 in
+  Array.iter
+    (fun (node : G.node) ->
+      match node.kind with
+      | G.DfMaster _ | G.TfMaster _ ->
+          List.iteri
+            (fun i (e : G.edge) -> Hashtbl.replace table e.dst i)
+            (G.out_edges_from_port g node.id "task")
+      | _ -> ())
+    (G.nodes g);
+  table
+
+let behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
+    ~widx_table (node : G.node) () =
+  let outs port =
+    List.map (fun (e : G.edge) -> (e.dst, e.dst_port)) (G.out_edges_from_port g node.id port)
+  in
+  let send_all port v = List.iter (fun (dst, dport) -> Machine.Sim.send dst dport v) (outs port) in
+  (* Emit downstream, or record as the program output when this node is the
+     sink of the graph. *)
+  let emit port v =
+    match outs port with
+    | [] ->
+        if node.id = G.exit_node g then
+          collector.outs_rev <- (v, Machine.Sim.now ()) :: collector.outs_rev
+        else ()
+    | _ -> send_all port v
+  in
+  let each_frame f =
+    for i = 0 to frames - 1 do
+      f i
+    done
+  in
+  match node.kind with
+  | G.Input fn ->
+      each_frame (fun i ->
+          (match input_period with
+          | Some p -> Machine.Sim.sleep_until (float_of_int i *. p)
+          | None -> ());
+          let x = call table fn (V.Tuple [ input; V.Int i ]) in
+          emit "out" x)
+  | G.Output fn ->
+      each_frame (fun _ ->
+          let v = Machine.Sim.recv "in" in
+          let y = call table fn v in
+          collector.outs_rev <- (y, Machine.Sim.now ()) :: collector.outs_rev)
+  | G.Compute fn | G.ScmCompute { fn; _ } ->
+      each_frame (fun _ ->
+          let v = Machine.Sim.recv "in" in
+          emit "out" (call table fn v))
+  | G.ScmSplit { fn; nparts } ->
+      each_frame (fun _ ->
+          let v = Machine.Sim.recv "in" in
+          let parts =
+            match call table fn (V.Tuple [ V.Int nparts; v ]) with
+            | V.List parts -> parts
+            | other -> error "scm split %s returned %s, not a list" fn (V.to_string other)
+          in
+          if List.length parts <> nparts then
+            error "scm split %s returned %d parts, expected %d" fn
+              (List.length parts) nparts;
+          List.iteri (fun i part -> send_all (Printf.sprintf "p%d" i) part) parts)
+  | G.ScmMerge { fn; nparts } ->
+      each_frame (fun _ ->
+          let results =
+            List.init nparts (fun i -> Machine.Sim.recv (Printf.sprintf "p%d" i))
+          in
+          emit "out" (call table fn (V.List results)))
+  | G.DfMaster { acc; init; nworkers } ->
+      let task_targets = Array.of_list (outs "task") in
+      if Array.length task_targets <> nworkers then
+        error "df master has %d task channels for %d workers"
+          (Array.length task_targets) nworkers;
+      each_frame (fun _ ->
+          let xs =
+            match Machine.Sim.recv "in" with
+            | V.List xs -> xs
+            | other -> error "df input is %s, not a list" (V.to_string other)
+          in
+          let queue = Queue.create () in
+          List.iter (fun x -> Queue.add x queue) xs;
+          let accv = ref init in
+          let outstanding = ref 0 in
+          let feed widx =
+            let dst, dport = task_targets.(widx) in
+            Machine.Sim.send dst dport (Queue.pop queue);
+            incr outstanding
+          in
+          for w = 0 to nworkers - 1 do
+            if not (Queue.is_empty queue) then feed w
+          done;
+          while !outstanding > 0 do
+            match Machine.Sim.recv "result" with
+            | V.Tuple [ V.Int widx; y ] ->
+                decr outstanding;
+                accv := call table acc (V.Tuple [ !accv; y ]);
+                if not (Queue.is_empty queue) then feed widx
+            | other -> error "df master: bad result message %s" (V.to_string other)
+          done;
+          emit "out" !accv)
+  | G.DfWorker { comp } ->
+      let my_index =
+        match Hashtbl.find_opt widx_table node.id with
+        | Some i -> i
+        | None -> error "df worker %s is not wired to a master" node.label
+      in
+      let rec serve () =
+        let v = Machine.Sim.recv "task" in
+        let y = call table comp v in
+        send_all "out" (V.Tuple [ V.Int my_index; y ]);
+        serve ()
+      in
+      serve ()
+  | G.TfMaster { acc; init; nworkers } ->
+      let task_targets = Array.of_list (outs "task") in
+      if Array.length task_targets <> nworkers then
+        error "tf master has %d task channels for %d workers"
+          (Array.length task_targets) nworkers;
+      each_frame (fun _ ->
+          let xs =
+            match Machine.Sim.recv "in" with
+            | V.List xs -> xs
+            | other -> error "tf input is %s, not a list" (V.to_string other)
+          in
+          let queue = Queue.create () in
+          List.iter (fun x -> Queue.add x queue) xs;
+          let accv = ref init in
+          let idle = Queue.create () in
+          for w = 0 to nworkers - 1 do
+            Queue.add w idle
+          done;
+          let outstanding = ref 0 in
+          let feed_idle () =
+            while (not (Queue.is_empty queue)) && not (Queue.is_empty idle) do
+              let widx = Queue.pop idle in
+              let dst, dport = task_targets.(widx) in
+              Machine.Sim.send dst dport (Queue.pop queue);
+              incr outstanding
+            done
+          in
+          feed_idle ();
+          while !outstanding > 0 do
+            (match Machine.Sim.recv "result" with
+            | V.Tuple [ V.Int widx; V.Tuple [ V.List subs; y ] ] ->
+                decr outstanding;
+                Queue.add widx idle;
+                List.iter (fun s -> Queue.add s queue) subs;
+                accv := call table acc (V.Tuple [ !accv; y ])
+            | other -> error "tf master: bad result message %s" (V.to_string other));
+            feed_idle ()
+          done;
+          emit "out" !accv)
+  | G.TfWorker { work } ->
+      let my_index =
+        match Hashtbl.find_opt widx_table node.id with
+        | Some i -> i
+        | None -> error "tf worker %s is not wired to a master" node.label
+      in
+      let rec serve () =
+        let v = Machine.Sim.recv "task" in
+        (match call table work v with
+        | V.Tuple [ V.List _; _ ] as reply ->
+            send_all "out" (V.Tuple [ V.Int my_index; reply ])
+        | other -> error "tf work %s returned %s" work (V.to_string other));
+        serve ()
+      in
+      serve ()
+  | G.Mem { init } ->
+      let state = ref init in
+      each_frame (fun _ ->
+          send_all "out" !state;
+          state := Machine.Sim.recv "update");
+      collector.final_state <- Some !state
+  | G.Join ->
+      each_frame (fun _ ->
+          let s = Machine.Sim.recv "state" in
+          let d = Machine.Sim.recv "data" in
+          send_all "out" (V.Tuple [ s; d ]))
+  | G.Fork ->
+      each_frame (fun _ ->
+          match Machine.Sim.recv "in" with
+          | V.Tuple [ a; b ] ->
+              send_all "fst" a;
+              send_all "snd" b
+          | other -> error "fork received %s, not a pair" (V.to_string other))
+  | G.Router _ ->
+      error "explicit router processes are not executable (Fig. 1 template is structural)"
+
+let is_itermem g =
+  Array.exists
+    (fun (node : G.node) -> match node.kind with G.Mem _ -> true | _ -> false)
+    (G.nodes g)
+
+let run ?(trace = false) ?input_period ?(faults = []) ~table ~arch ~placement
+    ~graph:g ~frames ~input () =
+  if frames <= 0 then error "frames must be positive";
+  if Array.length placement <> G.nnodes g then
+    error "placement has %d entries for %d processes" (Array.length placement)
+      (G.nnodes g);
+  let sim = Machine.Sim.create ~trace arch in
+  List.iter (fun (p, at) -> Machine.Sim.halt_processor sim ~at p) faults;
+  let collector = { outs_rev = []; final_state = None } in
+  let widx_table = worker_indices g in
+  Array.iter
+    (fun (node : G.node) ->
+      let pid =
+        Machine.Sim.spawn sim ~name:node.label ~on:placement.(node.id)
+          (behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
+             ~widx_table node)
+      in
+      if pid <> node.id then error "process ids out of sync with node ids")
+    (G.nodes g);
+  (* Non-stream graphs receive their input from the environment. *)
+  if not (is_itermem g) then
+    for i = 0 to frames - 1 do
+      let at = match input_period with Some p -> float_of_int i *. p | None -> 0.0 in
+      Machine.Sim.inject sim ~at (G.entry g) "in" input
+    done;
+  let _finish = Machine.Sim.run sim in
+  let outs = List.rev collector.outs_rev in
+  if List.length outs <> frames then
+    error "collected %d outputs for %d frames (pipeline stalled?)"
+      (List.length outs) frames;
+  let outputs = List.map fst outs in
+  let output_times = List.map snd outs in
+  let first_latency = match output_times with t :: _ -> t | [] -> 0.0 in
+  let period =
+    match output_times with
+    | [] | [ _ ] -> first_latency
+    | t0 :: _ ->
+        let last = List.nth output_times (List.length output_times - 1) in
+        (last -. t0) /. float_of_int (List.length output_times - 1)
+  in
+  let value =
+    match collector.final_state with
+    | Some st -> V.Tuple [ st; V.List outputs ]
+    | None -> ( match List.rev outputs with last :: _ -> last | [] -> V.Unit)
+  in
+  let latencies =
+    let p = Option.value ~default:0.0 input_period in
+    List.mapi (fun i t -> t -. (float_of_int i *. p)) output_times
+  in
+  {
+    value;
+    outputs;
+    stats = Machine.Sim.stats sim;
+    output_times;
+    latencies;
+    first_latency;
+    period;
+    sim;
+  }
+
+let run_schedule ?trace ?input_period ~table ~schedule ~frames ~input () =
+  run ?trace ?input_period ~table ~arch:schedule.Syndex.Schedule.arch
+    ~placement:schedule.Syndex.Schedule.placement
+    ~graph:schedule.Syndex.Schedule.graph ~frames ~input ()

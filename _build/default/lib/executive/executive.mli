@@ -1,0 +1,82 @@
+(** The distributed executive.
+
+    Final stage of the paper's Fig. 2: the mapped process graph is turned
+    into per-processor executable code by inlining kernel primitives
+    (communication, synchronisation, sequentialisation of user functions).
+    Our target "platform" is the machine simulator, so kernel-primitive
+    inlining produces one simulator process per graph node, each running the
+    skeleton's control protocol in direct style:
+
+    - [DfMaster] implements the data-farm protocol: it primes every worker
+      with one item, then reacts to each result by folding it and feeding
+      the idle worker the next item — the dynamic load balancing that
+      distinguishes [df] from [scm];
+    - [TfMaster] additionally pushes worker-generated packets onto its work
+      queue and terminates on queue-empty + no outstanding work;
+    - [Mem] emits the initial state on the first frame and thereafter
+      replays each update, closing the itermem feedback loop;
+    - user computations charge their {!Skel.Funtable} cost model to the
+      hosting processor before their value is produced.
+
+    Running an executive yields the program's actual output value (compared
+    against {!Skel.Sem} in the test suite) together with timing metrics. *)
+
+module Macro : module type of Macro
+(** Re-exported macro-code emitter (this module is the library root). *)
+
+type result = {
+  value : Skel.Value.t;
+      (** same shape as {!Skel.Sem.run}: for itermem programs,
+          [Tuple [final_state; List outputs]]; for plain programs the output
+          of the last frame *)
+  outputs : Skel.Value.t list;  (** per-frame outputs, in frame order *)
+  stats : Machine.Sim.stats;
+  output_times : float list;  (** completion time of each frame's output *)
+  latencies : float list;
+      (** per-frame latency: output completion minus the frame's availability
+          time ([i * input_period]; equals [output_times] when unpaced) *)
+  first_latency : float;  (** completion time of frame 0 *)
+  period : float;
+      (** steady-state inter-frame period (mean of successive output-time
+          differences); equals [first_latency] when only one frame ran *)
+  sim : Machine.Sim.t;  (** the finished machine, for traces and Gantt *)
+}
+
+exception Executive_error of string
+
+val run :
+  ?trace:bool ->
+  ?input_period:float ->
+  ?faults:(int * float) list ->
+  table:Skel.Funtable.t ->
+  arch:Archi.t ->
+  placement:int array ->
+  graph:Procnet.Graph.t ->
+  frames:int ->
+  input:Skel.Value.t ->
+  unit ->
+  result
+(** Builds and executes the executive. [placement] maps node ids to
+    processors (length must equal the node count). [frames] is the number of
+    stream iterations; non-itermem graphs re-process [input] that many
+    times. [input_period], when given, paces the source: frame [i] is not
+    produced before [i * input_period] (a 25 Hz camera is 0.04). [faults]
+    halts processors at given times ([(processor, at)]); since SKiPPER has
+    no fault tolerance, a fault that kills a needed worker stalls the
+    pipeline, which surfaces as the "collected N outputs" error.
+
+    Raises [Executive_error] on malformed graphs (e.g. explicit [Router]
+    nodes, which only appear in the structural Fig. 1 template) and
+    re-raises user-function exceptions wrapped in
+    {!Machine.Sim.Process_failure}. *)
+
+val run_schedule :
+  ?trace:bool ->
+  ?input_period:float ->
+  table:Skel.Funtable.t ->
+  schedule:Syndex.Schedule.t ->
+  frames:int ->
+  input:Skel.Value.t ->
+  unit ->
+  result
+(** Convenience wrapper taking the placement from a static schedule. *)

@@ -1,0 +1,94 @@
+module G = Procnet.Graph
+
+let chan_name (e : G.edge) = Printf.sprintf "chan_%d_%d_%s" e.src e.dst e.dst_port
+
+let channel_table g ~placement =
+  List.filter_map
+    (fun (e : G.edge) ->
+      let pa = placement.(e.src) and pb = placement.(e.dst) in
+      if pa <> pb then Some (chan_name e, pa, pb) else None)
+    (G.edges g)
+
+(* One kernel-primitive line per communication or computation, mirroring the
+   executive behaviours. *)
+let ops_of_node g (node : G.node) =
+  let recv (e : G.edge) = Printf.sprintf "recv_(%s, %s)" (chan_name e) e.dst_port in
+  let send (e : G.edge) = Printf.sprintf "send_(%s, %s)" (chan_name e) e.src_port in
+  let recvs port =
+    List.filter (fun (e : G.edge) -> e.dst_port = port) (G.in_edges g node.id)
+    |> List.map recv
+  in
+  let sends port = List.map send (G.out_edges_from_port g node.id port) in
+  match node.kind with
+  | G.Input fn -> [ Printf.sprintf "comp_(%s, frame)" fn ] @ sends "out"
+  | G.Output fn -> recvs "in" @ [ Printf.sprintf "comp_(%s, display)" fn ]
+  | G.Compute fn | G.ScmCompute { fn; _ } ->
+      recvs "in" @ [ Printf.sprintf "comp_(%s)" fn ] @ sends "out"
+  | G.ScmSplit { fn; nparts } ->
+      recvs "in"
+      @ [ Printf.sprintf "comp_(%s, nparts=%d)" fn nparts ]
+      @ List.concat_map (fun i -> sends (Printf.sprintf "p%d" i)) (List.init nparts Fun.id)
+  | G.ScmMerge { fn; nparts } ->
+      List.concat_map (fun i -> recvs (Printf.sprintf "p%d" i)) (List.init nparts Fun.id)
+      @ [ Printf.sprintf "comp_(%s)" fn ]
+      @ sends "out"
+  | G.DfMaster { acc; nworkers; _ } | G.TfMaster { acc; nworkers; _ } ->
+      recvs "in"
+      @ [
+          Printf.sprintf "farm_(workers=%d) {" nworkers;
+          Printf.sprintf "  dispatch_(task)";
+          Printf.sprintf "  on_result_ { comp_(%s) ; dispatch_(task) }" acc;
+          "}";
+        ]
+      @ sends "out"
+  | G.DfWorker { comp } ->
+      [ "serve_ {"; Printf.sprintf "  recv_task_ ; comp_(%s) ; send_result_" comp; "}" ]
+  | G.TfWorker { work } ->
+      [
+        "serve_ {";
+        Printf.sprintf "  recv_task_ ; comp_(%s) ; send_packets_ ; send_result_" work;
+        "}";
+      ]
+  | G.Mem _ -> sends "out" @ recvs "update"
+  | G.Join -> recvs "state" @ recvs "data" @ [ "pair_" ] @ sends "out"
+  | G.Fork -> recvs "in" @ [ "unpair_" ] @ sends "fst" @ sends "snd"
+  | G.Router { dir = `Mw } -> [ "route_mw_" ]
+  | G.Router { dir = `Wm } -> [ "route_wm_" ]
+
+let emit_processor g ~placement p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "define(`P%d_PROGRAM', `\n" p);
+  Array.iter
+    (fun (node : G.node) ->
+      if placement.(node.id) = p then begin
+        Buffer.add_string buf
+          (Printf.sprintf "  thread_(`%s',  dnl %s\n" node.label (G.kind_name node.kind));
+        Buffer.add_string buf "    loop_(\n";
+        List.iter
+          (fun op -> Buffer.add_string buf (Printf.sprintf "      %s\n" op))
+          (ops_of_node g node);
+        Buffer.add_string buf "    ))\n"
+      end)
+    (G.nodes g);
+  Buffer.add_string buf "')\n";
+  Buffer.contents buf
+
+let emit g ~placement ~arch =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "divert(-1)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "dnl SKiPPER distributed executive for %s on %s\n" (G.name g)
+       (Archi.name arch));
+  Buffer.add_string buf
+    "dnl generated macro-code; inline kernel primitives to obtain target code\n";
+  Buffer.add_string buf "divert(0)\n";
+  List.iter
+    (fun (name, a, b) ->
+      Buffer.add_string buf (Printf.sprintf "alloc_channel_(%s, P%d, P%d)\n" name a b))
+    (channel_table g ~placement);
+  let used = Array.make (Archi.nprocs arch) false in
+  Array.iter (fun p -> used.(p) <- true) placement;
+  Array.iteri
+    (fun p in_use -> if in_use then Buffer.add_string buf (emit_processor g ~placement p))
+    used;
+  Buffer.contents buf

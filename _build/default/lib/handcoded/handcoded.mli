@@ -1,0 +1,30 @@
+(** Hand-crafted parallel tracker: the baseline of the paper's §4
+    comparison.
+
+    Before SKiPPER, the tracking application existed as a hand-coded
+    parallel version ("at least ten times longer to implement", not
+    scalable without C changes). This module recreates that style of
+    implementation directly on the machine simulator, bypassing the whole
+    SKiPPER pipeline: one monolithic master process performs frame input,
+    window extraction, dynamic dispatch, accumulation, prediction and
+    display in-line, with bare worker loops on the other processors. It
+    calls the same sequential functions with the same cost models as the
+    skeleton version, so the comparison isolates the overhead of the
+    generated executive (extra control processes and messages). *)
+
+type result = {
+  marks_per_frame : int list;
+  latencies : float list;  (** same definition as {!Executive.result} *)
+  output_values : Skel.Value.t list;
+  stats : Machine.Sim.stats;
+}
+
+val run :
+  ?input_period:float ->
+  config:Tracking.Funcs.config ->
+  frames:int ->
+  Archi.t ->
+  result
+(** Master on processor 0; one worker on every other processor (plus one
+    sharing processor 0 when the configured [nproc] exceeds the machine —
+    mirroring the canonical placement of the skeleton version). *)

@@ -1,0 +1,1 @@
+lib/machine/metrics.ml: Array Buffer Float List Printf Sim String

@@ -1,0 +1,1 @@
+lib/machine/sim.ml: Archi Array Buffer Bytes Effect Float Fun Hashtbl List Option Printf Queue Skel Support

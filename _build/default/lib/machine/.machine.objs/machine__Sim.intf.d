@@ -1,0 +1,1 @@
+lib/machine/sim.mli: Archi Skel

@@ -1,0 +1,82 @@
+type processor_load = {
+  proc : int;
+  busy : float;
+  fraction : float;
+  processes : int;
+}
+
+type report = {
+  finish_time : float;
+  mean_utilisation : float;
+  loads : processor_load list;
+  hottest_process : (string * float) option;
+  messages : int;
+  bytes : int;
+}
+
+let analyse sim =
+  let stats = Sim.stats sim in
+  let accounts = Sim.process_accounts sim in
+  let finish = stats.Sim.finish_time in
+  let nprocs = Array.length stats.Sim.busy in
+  let hosted = Array.make nprocs 0 in
+  List.iter (fun (_, on, _, _) -> hosted.(on) <- hosted.(on) + 1) accounts;
+  let loads =
+    List.init nprocs (fun p ->
+        {
+          proc = p;
+          busy = stats.Sim.busy.(p);
+          fraction = (if finish > 0.0 then stats.Sim.busy.(p) /. finish else 0.0);
+          processes = hosted.(p);
+        })
+  in
+  let hottest_process =
+    List.fold_left
+      (fun best (name, _, busy, _) ->
+        match best with
+        | Some (_, b) when b >= busy -> best
+        | _ -> Some (name, busy))
+      None accounts
+  in
+  {
+    finish_time = finish;
+    mean_utilisation = Sim.utilisation sim;
+    loads;
+    hottest_process;
+    messages = stats.Sim.messages;
+    bytes = stats.Sim.bytes;
+  }
+
+let imbalance report =
+  match report.loads with
+  | [] -> 0.0
+  | loads ->
+      let total = List.fold_left (fun acc l -> acc +. l.busy) 0.0 loads in
+      let mean = total /. float_of_int (List.length loads) in
+      if mean <= 0.0 then 0.0
+      else List.fold_left (fun acc l -> Float.max acc l.busy) 0.0 loads /. mean
+
+let bar fraction width =
+  let filled = int_of_float (fraction *. float_of_int width) in
+  String.make (min width filled) '#' ^ String.make (max 0 (width - filled)) '.'
+
+let to_string report =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "run: %.3f ms, mean utilisation %.0f%%, %d messages (%d bytes)\n"
+       (report.finish_time *. 1e3)
+       (report.mean_utilisation *. 100.0)
+       report.messages report.bytes);
+  List.iter
+    (fun l ->
+      Buffer.add_string buf
+        (Printf.sprintf "P%-3d |%s| %5.1f%%  (%d processes)\n" l.proc
+           (bar l.fraction 40) (l.fraction *. 100.0) l.processes))
+    report.loads;
+  (match report.hottest_process with
+  | Some (name, busy) ->
+      Buffer.add_string buf
+        (Printf.sprintf "busiest process: %s (%.3f ms busy)\n" name (busy *. 1e3))
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf "imbalance (max/mean busy): %.2f\n" (imbalance report));
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Post-run analysis of a simulated machine.
+
+    SynDEx offered "optional real-time performance measurement" of the
+    generated executive (paper §3); this module is that facility for the
+    simulator: per-processor utilisation, per-process accounting and a
+    plain-text report suitable for terminal display. *)
+
+type processor_load = {
+  proc : int;
+  busy : float;  (** seconds *)
+  fraction : float;  (** busy / finish_time *)
+  processes : int;  (** processes hosted *)
+}
+
+type report = {
+  finish_time : float;
+  mean_utilisation : float;
+  loads : processor_load list;  (** by processor id *)
+  hottest_process : (string * float) option;
+      (** name and busy seconds of the busiest process *)
+  messages : int;
+  bytes : int;
+}
+
+val analyse : Sim.t -> report
+(** Raises nothing; works on any finished (or even empty) machine. *)
+
+val imbalance : report -> float
+(** Max processor busy time divided by the mean (1.0 = perfectly level;
+    0 when nothing ran). *)
+
+val to_string : report -> string
+(** Multi-line report with a utilisation bar per processor and the top
+    processes by busy time. *)

@@ -1,0 +1,425 @@
+open Effect
+open Effect.Deep
+
+type pid = int
+
+exception Not_in_process
+exception Process_failure of string * exn
+
+(* Software costs of the kernel primitives (cycles) and the local memory-copy
+   bandwidth (bytes/s). See DESIGN.md, calibration constants. *)
+let send_overhead_cycles = 200.0
+let recv_overhead_cycles = 150.0
+let local_copy_bandwidth = 4e8
+
+type _ Effect.t +=
+  | E_recv : string list -> (string * Skel.Value.t) Effect.t
+  | E_send : (pid * string * Skel.Value.t) -> unit Effect.t
+  | E_compute : float -> unit Effect.t
+  | E_sleep : float -> unit Effect.t
+
+type resume =
+  | Start of (unit -> unit)
+  | RUnit of (unit, unit) continuation
+  | RMsg of ((string * Skel.Value.t), unit) continuation * string * Skel.Value.t
+
+type pstate =
+  | Runnable
+  | Blocked of string list * ((string * Skel.Value.t), unit) continuation
+  | Finished
+
+type process = {
+  pid : pid;
+  name : string;
+  on : int;
+  mutable state : pstate;
+  mailboxes : (string, (float * Skel.Value.t) Queue.t) Hashtbl.t;
+}
+
+type trace_event = {
+  time : float;
+  proc : int;
+  process : string;
+  what :
+    [ `Start_compute of float | `End_compute | `Send of string * int | `Recv of string | `Done ];
+}
+
+type event =
+  | Dispatch of int  (** processor id: pull next ready process if CPU free *)
+  | Step of pid * resume  (** continue this process now (CPU already held) *)
+  | Enqueue of pid * resume  (** re-admit a sleeping process via the ready queue *)
+  | Deliver of pid * string * Skel.Value.t
+  | Halt of int  (** processor fault: stop dispatching on this processor *)
+
+type t = {
+  arch : Archi.t;
+  mutable processes : process array;
+  mutable nprocesses : int;
+  events : event Support.Pqueue.t;
+  cpu_free : float array;
+  halted : bool array;
+  ready : (pid * resume) Queue.t array;
+  link_busy : (int * int, Support.Intervals.t ref) Hashtbl.t;
+  mutable time : float;
+  mutable ran : bool;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable hops_total : int;
+  busy : float array;
+  busy_intervals : (float * float) list array;  (* reversed, for gantt *)
+  proc_busy : (pid, float) Hashtbl.t;  (* per-process busy seconds *)
+  proc_sends : (pid, int) Hashtbl.t;
+  tracing : bool;
+  trace_limit : int;
+  mutable trace_rev : trace_event list;
+  mutable trace_len : int;
+}
+
+let create ?(trace = false) ?(trace_limit = 20000) arch =
+  let n = Archi.nprocs arch in
+  {
+    arch;
+    processes = [||];
+    nprocesses = 0;
+    events = Support.Pqueue.create ();
+    cpu_free = Array.make n 0.0;
+    halted = Array.make n false;
+    ready = Array.init n (fun _ -> Queue.create ());
+    link_busy = Hashtbl.create 16;
+    time = 0.0;
+    ran = false;
+    messages = 0;
+    bytes = 0;
+    hops_total = 0;
+    busy = Array.make n 0.0;
+    busy_intervals = Array.make n [];
+    proc_busy = Hashtbl.create 32;
+    proc_sends = Hashtbl.create 32;
+    tracing = trace;
+    trace_limit;
+    trace_rev = [];
+    trace_len = 0;
+  }
+
+let arch t = t.arch
+
+let record t ev =
+  if t.tracing && t.trace_len < t.trace_limit then begin
+    t.trace_rev <- ev :: t.trace_rev;
+    t.trace_len <- t.trace_len + 1
+  end
+
+(* The process currently executing a zero-duration segment. *)
+let current : (t * process) option ref = ref None
+
+let the_current () = match !current with Some c -> c | None -> raise Not_in_process
+let self () = (snd (the_current ())).pid
+let now () = (fst (the_current ())).time
+
+(* Primitives only perform effects; all semantics live in the handler. *)
+let compute cycles = perform (E_compute cycles)
+let sleep_until at = perform (E_sleep at)
+let send dst port v = perform (E_send (dst, port, v))
+let recv_any ports = perform (E_recv ports)
+
+let recv port =
+  let _, v = recv_any [ port ] in
+  v
+
+let cycle_time t p = (Archi.processors t.arch).(p).Archi.cycle_time
+
+let charge_busy ?pid t p dt =
+  t.busy.(p) <- t.busy.(p) +. dt;
+  (match pid with
+  | Some pid ->
+      Hashtbl.replace t.proc_busy pid
+        (dt +. Option.value ~default:0.0 (Hashtbl.find_opt t.proc_busy pid))
+  | None -> ());
+  if t.tracing then t.busy_intervals.(p) <- (t.time, t.time +. dt) :: t.busy_intervals.(p)
+
+(* Find, among [ports], the mailbox whose head message was delivered
+   earliest. Returns (port, delivery_time). *)
+let earliest_message proc ports =
+  List.fold_left
+    (fun best port ->
+      match Hashtbl.find_opt proc.mailboxes port with
+      | None -> best
+      | Some q when Queue.is_empty q -> best
+      | Some q ->
+          let at, _ = Queue.peek q in
+          (match best with
+          | Some (_, best_at) when best_at <= at -> best
+          | _ -> Some (port, at)))
+    None ports
+
+let pop_message proc port =
+  let q = Hashtbl.find proc.mailboxes port in
+  snd (Queue.pop q)
+
+let push_event t at ev = Support.Pqueue.push t.events at ev
+
+let make_ready t proc resume =
+  Queue.add (proc.pid, resume) t.ready.(proc.on);
+  push_event t t.time (Dispatch proc.on)
+
+(* Reserve [duration] on link [key] no earlier than [earliest] (first-fit
+   into the link's gap structure). Returns the start of the reservation. *)
+let reserve_link t key earliest duration =
+  let intervals =
+    match Hashtbl.find_opt t.link_busy key with
+    | Some r -> r
+    | None ->
+        let r = ref Support.Intervals.empty in
+        Hashtbl.replace t.link_busy key r;
+        r
+  in
+  let start, updated = Support.Intervals.reserve !intervals ~earliest ~duration in
+  intervals := updated;
+  start
+
+(* Physical transfer of [bytes_n] bytes from processor [src] to [dst],
+   starting at [depart]. Returns the arrival time; reserves link occupancy
+   (store-and-forward, one transfer at a time per directed link). *)
+let transfer t src dst bytes_n depart =
+  if src = dst then depart +. (float_of_int bytes_n /. local_copy_bandwidth)
+  else begin
+    let path = Archi.route t.arch src dst in
+    let rec hop depart = function
+      | a :: (b :: _ as rest) ->
+          let link =
+            match Archi.link_between t.arch a b with
+            | Some l -> l
+            | None -> failwith "Sim.transfer: route uses missing link"
+          in
+          let duration =
+            link.Archi.startup +. (float_of_int bytes_n /. link.Archi.bandwidth)
+          in
+          let start = reserve_link t (a, b) depart duration in
+          t.hops_total <- t.hops_total + 1;
+          hop (start +. duration) rest
+      | _ -> depart
+    in
+    hop depart path
+  end
+
+(* Run one zero-duration execution segment of [proc]. Effects performed by
+   the body terminate the segment after scheduling follow-up events. *)
+let run_segment t proc resume =
+  let p = proc.on in
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc =
+        (fun () ->
+          proc.state <- Finished;
+          record t { time = t.time; proc = p; process = proc.name; what = `Done };
+          t.cpu_free.(p) <- t.time;
+          push_event t t.time (Dispatch p));
+      exnc = (fun exn -> raise (Process_failure (proc.name, exn)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_compute cycles ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let dt = cycles *. cycle_time t p in
+                  record t
+                    {
+                      time = t.time;
+                      proc = p;
+                      process = proc.name;
+                      what = `Start_compute cycles;
+                    };
+                  charge_busy ~pid:proc.pid t p dt;
+                  t.cpu_free.(p) <- t.time +. dt;
+                  push_event t (t.time +. dt) (Step (proc.pid, RUnit k)))
+          | E_send (dst, port, v) ->
+              Some
+                (fun k ->
+                  let dt = send_overhead_cycles *. cycle_time t p in
+                  charge_busy ~pid:proc.pid t p dt;
+                  Hashtbl.replace t.proc_sends proc.pid
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt t.proc_sends proc.pid));
+                  t.cpu_free.(p) <- t.time +. dt;
+                  let dst_proc = t.processes.(dst) in
+                  let nbytes = Skel.Value.byte_size v in
+                  t.messages <- t.messages + 1;
+                  t.bytes <- t.bytes + nbytes;
+                  record t
+                    {
+                      time = t.time;
+                      proc = p;
+                      process = proc.name;
+                      what = `Send (port, nbytes);
+                    };
+                  let arrive = transfer t p dst_proc.on nbytes (t.time +. dt) in
+                  push_event t arrive (Deliver (dst, port, v));
+                  push_event t (t.time +. dt) (Step (proc.pid, RUnit k)))
+          | E_sleep at ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  t.cpu_free.(p) <- t.time;
+                  push_event t (Float.max t.time at) (Enqueue (proc.pid, RUnit k));
+                  push_event t t.time (Dispatch p))
+          | E_recv ports ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  match earliest_message proc ports with
+                  | Some (port, _) ->
+                      let v = pop_message proc port in
+                      let dt = recv_overhead_cycles *. cycle_time t p in
+                      charge_busy ~pid:proc.pid t p dt;
+                      t.cpu_free.(p) <- t.time +. dt;
+                      record t
+                        { time = t.time; proc = p; process = proc.name; what = `Recv port };
+                      push_event t (t.time +. dt) (Step (proc.pid, RMsg (k, port, v)))
+                  | None ->
+                      proc.state <- Blocked (ports, k);
+                      t.cpu_free.(p) <- t.time;
+                      push_event t t.time (Dispatch p))
+          | _ -> None);
+    }
+  in
+  let saved = !current in
+  current := Some (t, proc);
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      match resume with
+      | Start body -> match_with body () handler
+      | RUnit k -> continue k ()
+      | RMsg (k, port, v) -> continue k (port, v))
+
+let spawn t ~name ~on body =
+  if t.ran then invalid_arg "Sim.spawn: machine already ran";
+  if on < 0 || on >= Archi.nprocs t.arch then
+    invalid_arg (Printf.sprintf "Sim.spawn: no processor %d" on);
+  let pid = t.nprocesses in
+  let proc = { pid; name; on; state = Runnable; mailboxes = Hashtbl.create 4 } in
+  if pid >= Array.length t.processes then begin
+    let cap = max 16 (2 * Array.length t.processes) in
+    let np = Array.make cap proc in
+    Array.blit t.processes 0 np 0 t.nprocesses;
+    t.processes <- np
+  end;
+  t.processes.(pid) <- proc;
+  t.nprocesses <- t.nprocesses + 1;
+  Queue.add (pid, Start body) t.ready.(on);
+  push_event t 0.0 (Dispatch on);
+  pid
+
+let inject t ?(at = 0.0) pid port v =
+  if pid < 0 || pid >= t.nprocesses then invalid_arg "Sim.inject: unknown process";
+  push_event t at (Deliver (pid, port, v))
+
+let halt_processor t ?(at = 0.0) p =
+  if p < 0 || p >= Archi.nprocs t.arch then
+    invalid_arg "Sim.halt_processor: no such processor";
+  push_event t at (Halt p)
+
+let deliver t pid port v =
+  let proc = t.processes.(pid) in
+  let q =
+    match Hashtbl.find_opt proc.mailboxes port with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace proc.mailboxes port q;
+        q
+  in
+  Queue.add (t.time, v) q;
+  match proc.state with
+  | Blocked (ports, k) when List.mem port ports ->
+      (* Wake up: re-run the receive logic from the dispatch path. *)
+      proc.state <- Runnable;
+      let port, _ = Option.get (earliest_message proc ports) in
+      let v = pop_message proc port in
+      make_ready t proc (RMsg (k, port, v))
+  | Blocked _ | Runnable | Finished -> ()
+
+let dispatch t p =
+  if t.halted.(p) then ()
+  else if t.cpu_free.(p) > t.time then
+    (* CPU still busy: retry when it frees. *)
+    push_event t t.cpu_free.(p) (Dispatch p)
+  else if not (Queue.is_empty t.ready.(p)) then begin
+    let pid, resume = Queue.pop t.ready.(p) in
+    run_segment t t.processes.(pid) resume
+  end
+
+let run ?(until = infinity) t =
+  if t.ran then failwith "Sim.run: machine already ran";
+  t.ran <- true;
+  let rec loop () =
+    match Support.Pqueue.pop t.events with
+    | None -> ()
+    | Some (at, ev) ->
+        if at > until then ()
+        else begin
+          t.time <- Float.max t.time at;
+          (match ev with
+          | Dispatch p -> dispatch t p
+          | Step (pid, resume) ->
+              if not t.halted.(t.processes.(pid).on) then
+                run_segment t t.processes.(pid) resume
+          | Enqueue (pid, resume) -> make_ready t t.processes.(pid) resume
+          | Deliver (pid, port, v) ->
+              if not t.halted.(t.processes.(pid).on) then deliver t pid port v
+          | Halt p -> t.halted.(p) <- true);
+          loop ()
+        end
+  in
+  loop ();
+  t.time
+
+type stats = {
+  finish_time : float;
+  messages : int;
+  bytes : int;
+  busy : float array;
+  hops_total : int;
+}
+
+let stats t =
+  {
+    finish_time = t.time;
+    messages = t.messages;
+    bytes = t.bytes;
+    busy = Array.copy t.busy;
+    hops_total = t.hops_total;
+  }
+
+let utilisation t =
+  if t.time <= 0.0 then 0.0
+  else
+    Array.fold_left ( +. ) 0.0 t.busy
+    /. (t.time *. float_of_int (Archi.nprocs t.arch))
+
+let trace t = List.rev t.trace_rev
+
+let process_accounts t =
+  List.init t.nprocesses (fun pid ->
+      let proc = t.processes.(pid) in
+      ( proc.name,
+        proc.on,
+        Option.value ~default:0.0 (Hashtbl.find_opt t.proc_busy pid),
+        Option.value ~default:0 (Hashtbl.find_opt t.proc_sends pid) ))
+
+let gantt ?(width = 72) t =
+  let buf = Buffer.create 256 in
+  let horizon = if t.time > 0.0 then t.time else 1.0 in
+  Buffer.add_string buf
+    (Printf.sprintf "time: 0 .. %.3f ms ('#' = busy)\n" (horizon *. 1e3));
+  Array.iteri
+    (fun p intervals ->
+      let cells = Bytes.make width '.' in
+      List.iter
+        (fun (t0, t1) ->
+          let c0 = int_of_float (t0 /. horizon *. float_of_int width) in
+          let c1 = int_of_float (t1 /. horizon *. float_of_int width) in
+          for c = max 0 c0 to min (width - 1) (max c0 c1) do
+            Bytes.set cells c '#'
+          done)
+        intervals;
+      Buffer.add_string buf (Printf.sprintf "P%-3d |%s|\n" p (Bytes.to_string cells)))
+    t.busy_intervals;
+  Buffer.contents buf

@@ -1,0 +1,136 @@
+(** Discrete-event simulator of a MIMD-DM machine.
+
+    This is the executable stand-in for the paper's Transvision platform
+    (a ring of T9000 Transputers with point-to-point links): processes are
+    placed on processors, execute sequentially (one process at a time per
+    processor, cooperative between communications), and exchange values over
+    the architecture's links with startup + bandwidth costs, store-and-forward
+    through intermediate processors, and per-link contention.
+
+    Process bodies are plain OCaml functions written in direct style; the
+    communication/computation primitives ({!recv}, {!send}, {!compute}) are
+    implemented with effect handlers, so a body looks exactly like the
+    pseudo-code of a SKiPPER kernel primitive sequence. The simulation is
+    fully deterministic: simultaneous events are processed in creation
+    order.
+
+    Values computed are real {!Skel.Value.t}s, so a simulated run returns the
+    actual program output, which tests compare against sequential
+    emulation. *)
+
+type t
+type pid = int
+
+val create : ?trace:bool -> ?trace_limit:int -> Archi.t -> t
+(** [create arch] builds an empty machine over [arch]. With [~trace:true],
+    events are recorded (up to [trace_limit], default 20000). *)
+
+val arch : t -> Archi.t
+
+(** {1 Process primitives}
+
+    These may only be called from inside a process body spawned with
+    {!spawn}; elsewhere they raise [Not_in_process]. *)
+
+exception Not_in_process
+
+val self : unit -> pid
+val now : unit -> float
+(** Current simulation time, seconds. *)
+
+val compute : float -> unit
+(** [compute cycles] occupies the hosting processor for
+    [cycles * cycle_time] seconds. *)
+
+val send : pid -> string -> Skel.Value.t -> unit
+(** [send dst port v] transmits [v] to process [dst]'s [port]. The sender is
+    charged a fixed software overhead; the transfer itself proceeds like DMA:
+    link occupancy along the route is serialised per link, and the sender
+    does not wait for delivery. Local (same-processor) messages cost only a
+    memory-copy time. *)
+
+val recv : string -> Skel.Value.t
+(** [recv port] blocks until a message is available on [port] and returns
+    it. Messages per port arrive FIFO. *)
+
+val recv_any : string list -> string * Skel.Value.t
+(** [recv_any ports] blocks until any of [ports] has a message; among ports
+    with waiting messages, the earliest-delivered message is taken. *)
+
+val sleep_until : float -> unit
+(** [sleep_until t] releases the processor and resumes no earlier than
+    absolute time [t] (immediately if [t] has passed). Sleeping does not
+    count as busy time; it models a process waiting on an external timer,
+    e.g. a camera delivering frames at 25 Hz. *)
+
+(** {1 Building and running} *)
+
+val spawn : t -> name:string -> on:int -> (unit -> unit) -> pid
+(** [spawn t ~name ~on body] places a process on processor [on]. Bodies
+    start running at time 0. Raises [Invalid_argument] for a bad processor
+    id, or if the machine already ran. *)
+
+val inject : t -> ?at:float -> pid -> string -> Skel.Value.t -> unit
+(** [inject t pid port v] delivers an external message (e.g. the program
+    input) at time [at] (default 0) without charging any link. *)
+
+val halt_processor : t -> ?at:float -> int -> unit
+(** Fault injection: at time [at] (default 0) the processor stops — its
+    processes never run again and messages addressed to them are dropped.
+    Messages already in flight on links still occupy them. The rest of the
+    machine keeps running, so tests can observe how an executive behaves
+    when part of the ring dies (SKiPPER itself has no fault tolerance: the
+    pipeline stalls, which {!Executive.run} reports). *)
+
+val run : ?until:float -> t -> float
+(** Executes until the event queue drains (or simulated time exceeds
+    [until], default infinite). Returns the time of the last event.
+    A process still blocked in {!recv} when the queue drains is simply
+    terminated (streams end this way); a [compute]/[send] deadlock cannot
+    occur since both always progress. Raises [Failure] if called twice. *)
+
+exception Process_failure of string * exn
+(** Raised by {!run} when a process body raises: carries the process name
+    and original exception. *)
+
+(** {1 Results and metrics} *)
+
+type stats = {
+  finish_time : float;  (** time of last event *)
+  messages : int;  (** total messages sent *)
+  bytes : int;  (** total payload bytes sent *)
+  busy : float array;  (** per-processor busy seconds *)
+  hops_total : int;  (** total link traversals *)
+}
+
+val stats : t -> stats
+
+val utilisation : t -> float
+(** Mean processor busy fraction over the run ([0, 1]). *)
+
+type trace_event = {
+  time : float;
+  proc : int;
+  process : string;
+  what : [ `Start_compute of float | `End_compute | `Send of string * int | `Recv of string | `Done ];
+}
+
+val trace : t -> trace_event list
+(** Recorded events in time order (empty unless [~trace:true]). *)
+
+val process_accounts : t -> (string * int * float * int) list
+(** Per-process accounting, in spawn (pid) order:
+    [(name, processor, busy_seconds, messages_sent)]. Always available (no
+    tracing needed). *)
+
+val gantt : ?width:int -> t -> string
+(** ASCII Gantt chart of processor occupation (requires tracing). *)
+
+(** {1 Cost constants} *)
+
+val send_overhead_cycles : float
+(** Software cost charged to a sender per message (kernel primitive cost). *)
+
+val recv_overhead_cycles : float
+val local_copy_bandwidth : float
+(** Bytes/second for same-processor message copies. *)

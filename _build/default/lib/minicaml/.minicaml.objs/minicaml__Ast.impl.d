@@ -1,0 +1,1 @@
+lib/minicaml/ast.ml: Format List Printf String

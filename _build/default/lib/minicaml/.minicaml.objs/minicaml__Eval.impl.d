@@ -1,0 +1,1 @@
+lib/minicaml/eval.ml: Ast Format List Map Option Printf Skel String

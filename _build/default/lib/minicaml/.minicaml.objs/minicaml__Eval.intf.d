@@ -1,0 +1,1 @@
+lib/minicaml/eval.mli: Ast Format Skel

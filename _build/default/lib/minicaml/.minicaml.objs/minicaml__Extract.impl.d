@@ -1,0 +1,1 @@
+lib/minicaml/extract.ml: Ast Eval Format List Printf Skel

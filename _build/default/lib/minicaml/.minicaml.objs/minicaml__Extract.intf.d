@@ -1,0 +1,1 @@
+lib/minicaml/extract.mli: Ast Skel

@@ -1,0 +1,1 @@
+lib/minicaml/infer.ml: Ast List Map Parser Printf String Types

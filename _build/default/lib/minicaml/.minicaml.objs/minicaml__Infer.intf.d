@@ -1,0 +1,1 @@
+lib/minicaml/infer.mli: Ast Types

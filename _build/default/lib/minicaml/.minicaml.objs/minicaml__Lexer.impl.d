@@ -1,0 +1,1 @@
+lib/minicaml/lexer.ml: Ast Buffer List Printf String

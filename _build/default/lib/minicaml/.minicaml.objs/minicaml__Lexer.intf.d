@@ -1,0 +1,1 @@
+lib/minicaml/lexer.mli: Ast

@@ -1,0 +1,1 @@
+lib/minicaml/parser.ml: Array Ast Lexer List Printf

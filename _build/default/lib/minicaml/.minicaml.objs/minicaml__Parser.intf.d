@@ -1,0 +1,1 @@
+lib/minicaml/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/minicaml/repl.ml: Ast Eval Format In_channel Infer Lexer List Parser Printf String Types

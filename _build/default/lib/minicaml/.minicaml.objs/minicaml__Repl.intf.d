@@ -1,0 +1,1 @@
+lib/minicaml/repl.mli: Skel

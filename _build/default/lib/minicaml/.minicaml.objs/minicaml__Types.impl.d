@@ -1,0 +1,1 @@
+lib/minicaml/types.ml: Ast Char Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/minicaml/types.mli: Ast

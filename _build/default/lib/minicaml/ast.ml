@@ -1,0 +1,209 @@
+(* Abstract syntax of the specification language: the Caml subset in which
+   SKiPPER programs are written (paper §3-4). Programs are sequences of
+   top-level bindings and external declarations; expressions cover the
+   functional core needed by skeletal specifications. *)
+
+type loc = { line : int; col : int }
+
+let noloc = { line = 0; col = 0 }
+let pp_loc ppf l = Format.fprintf ppf "line %d, column %d" l.line l.col
+
+type constant =
+  | Cunit
+  | Cbool of bool
+  | Cint of int
+  | Cfloat of float
+  | Cstring of string
+
+type pattern =
+  | Pvar of string * loc
+  | Pwild of loc
+  | Punit of loc
+  | Ptuple of pattern list * loc
+  | Pconst of constant * loc  (** literal patterns, match arms only *)
+  | Pnil of loc  (** [] *)
+  | Pcons of pattern * pattern * loc  (** x :: xs *)
+
+type expr =
+  | Const of constant * loc
+  | Var of string * loc
+  | Tuple of expr list * loc
+  | List of expr list * loc
+  | App of expr * expr * loc
+  | Lambda of pattern list * expr * loc
+  | Let of { recursive : bool; pat : pattern; bound : expr; body : expr; loc : loc }
+  | If of expr * expr * expr * loc
+  | Binop of string * expr * expr * loc
+  | Uminus of expr * loc
+  | Seq of expr * expr * loc  (** e1; e2 *)
+  | Match of expr * (pattern * expr) list * loc
+
+(* Type expressions as written in external declarations. *)
+type type_expr =
+  | Tname of string * type_expr list * loc  (** e.g. [int], ['a list] *)
+  | Tvar_expr of string * loc  (** 'a *)
+  | Tarrow_expr of type_expr * type_expr * loc
+  | Ttuple_expr of type_expr list * loc
+
+type top =
+  | Tlet of { recursive : bool; pat : pattern; expr : expr; loc : loc }
+  | Texternal of { name : string; ty : type_expr; loc : loc }
+
+type program = top list
+
+let expr_loc = function
+  | Const (_, l)
+  | Var (_, l)
+  | Tuple (_, l)
+  | List (_, l)
+  | App (_, _, l)
+  | Lambda (_, _, l)
+  | If (_, _, _, l)
+  | Binop (_, _, _, l)
+  | Uminus (_, l)
+  | Seq (_, _, l)
+  | Match (_, _, l) ->
+      l
+  | Let { loc; _ } -> loc
+
+let pattern_loc = function
+  | Pvar (_, l) | Pwild l | Punit l | Ptuple (_, l) | Pconst (_, l) | Pnil l
+  | Pcons (_, _, l) ->
+      l
+
+let rec pattern_vars = function
+  | Pvar (x, _) -> [ x ]
+  | Pwild _ | Punit _ | Pconst _ | Pnil _ -> []
+  | Ptuple (ps, _) -> List.concat_map pattern_vars ps
+  | Pcons (hd, tl, _) -> pattern_vars hd @ pattern_vars tl
+
+(* Floats must re-lex as floats: %g would print 5.0 as "5" (an integer
+   literal) and 1e20 without a dot, which the lexer rejects. *)
+let float_literal f =
+  let s = Printf.sprintf "%.12g" f in
+  if String.contains s '.' then s
+  else
+    match String.index_opt s 'e' with
+    | Some i -> String.sub s 0 i ^ ".0" ^ String.sub s i (String.length s - i)
+    | None -> s ^ ".0"
+
+let pp_constant ppf = function
+  | Cunit -> Format.pp_print_string ppf "()"
+  | Cbool b -> Format.pp_print_bool ppf b
+  | Cint n -> Format.pp_print_int ppf n
+  | Cfloat f -> Format.pp_print_string ppf (float_literal f)
+  | Cstring s -> Format.fprintf ppf "%S" s
+
+let rec pp_pattern ppf = function
+  | Pvar (x, _) -> Format.pp_print_string ppf x
+  | Pwild _ -> Format.pp_print_string ppf "_"
+  | Punit _ -> Format.pp_print_string ppf "()"
+  | Ptuple (ps, _) ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_pattern)
+        ps
+  | Pconst (c, _) -> pp_constant ppf c
+  | Pnil _ -> Format.pp_print_string ppf "[]"
+  | Pcons (hd, tl, _) -> Format.fprintf ppf "(%a :: %a)" pp_pattern hd pp_pattern tl
+
+let rec pp_expr ppf = function
+  | Const (c, _) -> pp_constant ppf c
+  | Var (x, _) -> Format.pp_print_string ppf x
+  | Tuple (es, _) ->
+      Format.fprintf ppf "(@[%a@])"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_expr)
+        es
+  | List (es, _) ->
+      Format.fprintf ppf "[@[%a@]]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_expr)
+        es
+  | App (f, a, _) -> Format.fprintf ppf "(@[%a@ %a@])" pp_expr f pp_expr a
+  | Lambda (ps, body, _) ->
+      Format.fprintf ppf "(@[fun %a ->@ %a@])"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_pattern)
+        ps pp_expr body
+  | Let { recursive; pat; bound; body; _ } ->
+      Format.fprintf ppf "(@[<v>let %s%a = %a in@ %a@])"
+        (if recursive then "rec " else "")
+        pp_pattern pat pp_expr bound pp_expr body
+  | If (c, t, e, _) ->
+      Format.fprintf ppf "(@[if %a@ then %a@ else %a@])" pp_expr c pp_expr t pp_expr e
+  | Binop (op, a, b, _) -> Format.fprintf ppf "(@[%a %s %a@])" pp_expr a op pp_expr b
+  | Uminus (e, _) -> Format.fprintf ppf "(- %a)" pp_expr e
+  | Seq (a, b, _) -> Format.fprintf ppf "(@[%a;@ %a@])" pp_expr a pp_expr b
+  | Match (scrutinee, arms, _) ->
+      let pp_arm ppf (p, e) =
+        Format.fprintf ppf "| %a -> %a" pp_pattern p pp_expr e
+      in
+      Format.fprintf ppf "(@[<v>match %a with@ %a@])" pp_expr scrutinee
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_arm)
+        arms
+
+let rec pp_type_expr ppf = function
+  | Tname (n, [], _) -> Format.pp_print_string ppf n
+  | Tname (n, [ arg ], _) -> Format.fprintf ppf "%a %s" pp_type_expr arg n
+  | Tname (n, args, _) ->
+      Format.fprintf ppf "(%a) %s"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_type_expr)
+        args n
+  | Tvar_expr (v, _) -> Format.fprintf ppf "'%s" v
+  | Tarrow_expr (a, b, _) -> Format.fprintf ppf "(%a -> %a)" pp_type_expr a pp_type_expr b
+  | Ttuple_expr (ts, _) ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " * ") pp_type_expr)
+        ts
+
+let pp_top ppf = function
+  | Tlet { recursive; pat; expr; _ } ->
+      Format.fprintf ppf "@[<2>let %s%a =@ %a@]"
+        (if recursive then "rec " else "")
+        pp_pattern pat pp_expr expr
+  | Texternal { name; ty; _ } ->
+      Format.fprintf ppf "@[<2>external %s :@ %a@]" name pp_type_expr ty
+
+let pp_program ppf prog =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@.@.") pp_top ppf prog
+
+(* Structural equality modulo source locations, for printer/parser
+   round-trip testing. *)
+let rec equal_pattern a b =
+  match (a, b) with
+  | Pvar (x, _), Pvar (y, _) -> String.equal x y
+  | Pwild _, Pwild _ | Punit _, Punit _ | Pnil _, Pnil _ -> true
+  | Pconst (c, _), Pconst (d, _) -> c = d
+  | Ptuple (ps, _), Ptuple (qs, _) ->
+      List.length ps = List.length qs && List.for_all2 equal_pattern ps qs
+  | Pcons (h1, t1, _), Pcons (h2, t2, _) -> equal_pattern h1 h2 && equal_pattern t1 t2
+  | ( (Pvar _ | Pwild _ | Punit _ | Pnil _ | Pconst _ | Ptuple _ | Pcons _), _ ) ->
+      false
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Const (c, _), Const (d, _) -> c = d
+  | Var (x, _), Var (y, _) -> String.equal x y
+  | Tuple (xs, _), Tuple (ys, _) | List (xs, _), List (ys, _) ->
+      List.length xs = List.length ys && List.for_all2 equal_expr xs ys
+  | App (f1, a1, _), App (f2, a2, _) -> equal_expr f1 f2 && equal_expr a1 a2
+  | Lambda (ps1, b1, _), Lambda (ps2, b2, _) ->
+      List.length ps1 = List.length ps2
+      && List.for_all2 equal_pattern ps1 ps2
+      && equal_expr b1 b2
+  | Let l1, Let l2 ->
+      l1.recursive = l2.recursive && equal_pattern l1.pat l2.pat
+      && equal_expr l1.bound l2.bound && equal_expr l1.body l2.body
+  | If (c1, t1, e1, _), If (c2, t2, e2, _) ->
+      equal_expr c1 c2 && equal_expr t1 t2 && equal_expr e1 e2
+  | Binop (o1, a1, b1, _), Binop (o2, a2, b2, _) ->
+      String.equal o1 o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Uminus (e1, _), Uminus (e2, _) -> equal_expr e1 e2
+  | Seq (a1, b1, _), Seq (a2, b2, _) -> equal_expr a1 a2 && equal_expr b1 b2
+  | Match (s1, arms1, _), Match (s2, arms2, _) ->
+      equal_expr s1 s2
+      && List.length arms1 = List.length arms2
+      && List.for_all2
+           (fun (p1, e1) (p2, e2) -> equal_pattern p1 p2 && equal_expr e1 e2)
+           arms1 arms2
+  | ( (Const _ | Var _ | Tuple _ | List _ | App _ | Lambda _ | Let _ | If _
+      | Binop _ | Uminus _ | Seq _ | Match _),
+      _ ) ->
+      false

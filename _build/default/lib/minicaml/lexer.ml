@@ -1,0 +1,277 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | TYVAR of string
+  | LET
+  | REC
+  | IN
+  | IF
+  | THEN
+  | ELSE
+  | FUN
+  | MATCH
+  | WITH
+  | BAR
+  | TRUE
+  | FALSE
+  | EXTERNAL
+  | ARROW
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | SEMISEMI
+  | COLON
+  | EQUAL
+  | OP of string
+  | STAR
+  | UNDERSCORE
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * Ast.loc
+
+let error msg line col = raise (Lex_error (msg, { Ast.line; col }))
+
+let keyword = function
+  | "let" -> Some LET
+  | "rec" -> Some REC
+  | "in" -> Some IN
+  | "if" -> Some IF
+  | "then" -> Some THEN
+  | "else" -> Some ELSE
+  | "fun" | "function" -> Some FUN
+  | "match" -> Some MATCH
+  | "with" -> Some WITH
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "external" -> Some EXTERNAL
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || c = '_'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let out = ref [] in
+  let emit tok at = out := { tok; line = !line; col = at - !bol + 1 } :: !out in
+  let rec skip_comment i depth start_line =
+    if i + 1 >= n then error "unterminated comment" start_line 0
+    else if src.[i] = '*' && src.[i + 1] = ')' then
+      if depth = 1 then i + 2 else skip_comment (i + 2) (depth - 1) start_line
+    else if src.[i] = '(' && src.[i + 1] = '*' then
+      skip_comment (i + 2) (depth + 1) start_line
+    else begin
+      if src.[i] = '\n' then begin
+        incr line;
+        bol := i + 1
+      end;
+      skip_comment (i + 1) depth start_line
+    end
+  in
+  let rec go i =
+    if i >= n then emit EOF i
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+          incr line;
+          bol := i + 1;
+          go (i + 1)
+      | '(' when i + 1 < n && src.[i + 1] = '*' -> go (skip_comment (i + 2) 1 !line)
+      | '(' ->
+          emit LPAREN i;
+          go (i + 1)
+      | ')' ->
+          emit RPAREN i;
+          go (i + 1)
+      | '[' ->
+          emit LBRACKET i;
+          go (i + 1)
+      | ']' ->
+          emit RBRACKET i;
+          go (i + 1)
+      | ',' ->
+          emit COMMA i;
+          go (i + 1)
+      | ';' ->
+          if i + 1 < n && src.[i + 1] = ';' then begin
+            emit SEMISEMI i;
+            go (i + 2)
+          end
+          else begin
+            emit SEMI i;
+            go (i + 1)
+          end
+      | '_' when i + 1 >= n || not (is_ident_char src.[i + 1]) ->
+          emit UNDERSCORE i;
+          go (i + 1)
+      | '\'' ->
+          (* type variable 'a *)
+          let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+          let j = stop (i + 1) in
+          if j = i + 1 then error "lone quote" !line (i - !bol + 1)
+          else begin
+            emit (TYVAR (String.sub src (i + 1) (j - i - 1))) i;
+            go j
+          end
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec scan j =
+            if j >= n then error "unterminated string" !line (i - !bol + 1)
+            else if src.[j] = '"' then j + 1
+            else if src.[j] = '\\' && j + 1 < n then begin
+              (match src.[j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '"' -> Buffer.add_char buf '"'
+              | c -> Buffer.add_char buf c);
+              scan (j + 2)
+            end
+            else begin
+              Buffer.add_char buf src.[j];
+              scan (j + 1)
+            end
+          in
+          let j = scan (i + 1) in
+          emit (STRING (Buffer.contents buf)) i;
+          go j
+      | c when is_digit c ->
+          let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
+          let j = digits i in
+          if j < n && src.[j] = '.' then begin
+            let k = digits (j + 1) in
+            let k =
+              if k < n && (src.[k] = 'e' || src.[k] = 'E') then
+                let k' = if k + 1 < n && (src.[k + 1] = '-' || src.[k + 1] = '+') then k + 2 else k + 1 in
+                digits k'
+              else k
+            in
+            emit (FLOAT (float_of_string (String.sub src i (k - i)))) i;
+            go k
+          end
+          else begin
+            emit (INT (int_of_string (String.sub src i (j - i)))) i;
+            go j
+          end
+      | c when is_ident_start c ->
+          let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+          let j = stop i in
+          let word = String.sub src i (j - i) in
+          (match keyword word with
+          | Some tok -> emit tok i
+          | None -> emit (IDENT word) i);
+          go j
+      | '-' when i + 1 < n && src.[i + 1] = '>' ->
+          emit ARROW i;
+          go (i + 2)
+      | ':' when i + 1 < n && src.[i + 1] = ':' ->
+          emit (OP "::") i;
+          go (i + 2)
+      | ':' ->
+          emit COLON i;
+          go (i + 1)
+      | '=' ->
+          emit EQUAL i;
+          go (i + 1)
+      | '*' when i + 1 < n && src.[i + 1] = '.' ->
+          emit (OP "*.") i;
+          go (i + 2)
+      | '*' ->
+          emit STAR i;
+          go (i + 1)
+      | '+' | '-' | '/' ->
+          if i + 1 < n && src.[i + 1] = '.' then begin
+            emit (OP (Printf.sprintf "%c." c)) i;
+            go (i + 2)
+          end
+          else begin
+            emit (OP (String.make 1 c)) i;
+            go (i + 1)
+          end
+      | '<' ->
+          if i + 1 < n && (src.[i + 1] = '=' || src.[i + 1] = '>') then begin
+            emit (OP (Printf.sprintf "<%c" src.[i + 1])) i;
+            go (i + 2)
+          end
+          else begin
+            emit (OP "<") i;
+            go (i + 1)
+          end
+      | '>' ->
+          if i + 1 < n && src.[i + 1] = '=' then begin
+            emit (OP ">=") i;
+            go (i + 2)
+          end
+          else begin
+            emit (OP ">") i;
+            go (i + 1)
+          end
+      | '&' when i + 1 < n && src.[i + 1] = '&' ->
+          emit (OP "&&") i;
+          go (i + 2)
+      | '|' when i + 1 < n && src.[i + 1] = '|' ->
+          emit (OP "||") i;
+          go (i + 2)
+      | '|' ->
+          emit BAR i;
+          go (i + 1)
+      | '@' ->
+          emit (OP "@") i;
+          go (i + 1)
+      | '^' ->
+          emit (OP "^") i;
+          go (i + 1)
+      | c -> error (Printf.sprintf "unexpected character %C" c) !line (i - !bol + 1)
+  in
+  go 0;
+  List.rev !out
+
+let token_name = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | TYVAR s -> "'" ^ s
+  | LET -> "let"
+  | REC -> "rec"
+  | IN -> "in"
+  | IF -> "if"
+  | THEN -> "then"
+  | ELSE -> "else"
+  | FUN -> "fun"
+  | MATCH -> "match"
+  | WITH -> "with"
+  | BAR -> "|"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | EXTERNAL -> "external"
+  | ARROW -> "->"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | SEMISEMI -> ";;"
+  | COLON -> ":"
+  | EQUAL -> "="
+  | OP s -> s
+  | STAR -> "*"
+  | UNDERSCORE -> "_"
+  | EOF -> "<eof>"

@@ -1,0 +1,45 @@
+(** Hand-written lexer for the specification language. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string  (** lowercase identifiers *)
+  | TYVAR of string  (** 'a *)
+  | LET
+  | REC
+  | IN
+  | IF
+  | THEN
+  | ELSE
+  | FUN
+  | MATCH
+  | WITH
+  | BAR  (** | *)
+  | TRUE
+  | FALSE
+  | EXTERNAL
+  | ARROW  (** -> *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | SEMISEMI
+  | COLON
+  | EQUAL
+  | OP of string  (** infix operators: + - * / +. -. *. /. :: @ < > <= >= <> && || ^ *)
+  | STAR  (** '*', doubles as type product and int multiplication *)
+  | UNDERSCORE
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * Ast.loc
+
+val tokenize : string -> located list
+(** Raises [Lex_error] on unexpected characters, unterminated strings or
+    comments. OCaml-style [(* ... *)] comments nest. *)
+
+val token_name : token -> string

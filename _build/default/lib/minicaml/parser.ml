@@ -1,0 +1,491 @@
+exception Parse_error of string * Ast.loc
+
+type state = { toks : Lexer.located array; mutable pos : int }
+
+let loc_of (l : Lexer.located) = { Ast.line = l.line; col = l.col }
+let peek st = st.toks.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.toks then Some st.toks.(st.pos + 1) else None
+let advance st = st.pos <- st.pos + 1
+
+let error st msg =
+  let l = peek st in
+  raise
+    (Parse_error
+       ( Printf.sprintf "%s (found %s)" msg (Lexer.token_name l.Lexer.tok),
+         loc_of l ))
+
+let expect st tok msg =
+  if (peek st).Lexer.tok = tok then advance st else error st msg
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+
+let rec parse_pattern st =
+  let l = peek st in
+  let loc = loc_of l in
+  match l.Lexer.tok with
+  | Lexer.IDENT x ->
+      advance st;
+      Ast.Pvar (x, loc)
+  | Lexer.UNDERSCORE ->
+      advance st;
+      Ast.Pwild loc
+  | Lexer.LPAREN -> (
+      advance st;
+      match (peek st).Lexer.tok with
+      | Lexer.RPAREN ->
+          advance st;
+          Ast.Punit loc
+      | _ ->
+          let first = parse_pattern st in
+          let rec more acc =
+            match (peek st).Lexer.tok with
+            | Lexer.COMMA ->
+                advance st;
+                more (parse_pattern st :: acc)
+            | _ -> List.rev acc
+          in
+          let ps = more [ first ] in
+          expect st Lexer.RPAREN "expected ')' after pattern";
+          (match ps with [ p ] -> p | ps -> Ast.Ptuple (ps, loc)))
+  | _ -> error st "expected a pattern"
+
+(* Full patterns for match arms: additionally literals, [] and cons. *)
+let rec parse_match_pattern st =
+  let head = parse_match_patom st in
+  match (peek st).Lexer.tok with
+  | Lexer.OP "::" ->
+      let loc = loc_of (peek st) in
+      advance st;
+      Ast.Pcons (head, parse_match_pattern st, loc)
+  | _ -> head
+
+and parse_match_patom st =
+  let l = peek st in
+  let loc = loc_of l in
+  match l.Lexer.tok with
+  | Lexer.IDENT x ->
+      advance st;
+      Ast.Pvar (x, loc)
+  | Lexer.UNDERSCORE ->
+      advance st;
+      Ast.Pwild loc
+  | Lexer.INT n ->
+      advance st;
+      Ast.Pconst (Ast.Cint n, loc)
+  | Lexer.FLOAT f ->
+      advance st;
+      Ast.Pconst (Ast.Cfloat f, loc)
+  | Lexer.STRING str ->
+      advance st;
+      Ast.Pconst (Ast.Cstring str, loc)
+  | Lexer.TRUE ->
+      advance st;
+      Ast.Pconst (Ast.Cbool true, loc)
+  | Lexer.FALSE ->
+      advance st;
+      Ast.Pconst (Ast.Cbool false, loc)
+  | Lexer.LBRACKET -> (
+      advance st;
+      match (peek st).Lexer.tok with
+      | Lexer.RBRACKET ->
+          advance st;
+          Ast.Pnil loc
+      | _ ->
+          (* [p1; p2] sugar for p1 :: p2 :: [] *)
+          let first = parse_match_pattern st in
+          let rec more acc =
+            match (peek st).Lexer.tok with
+            | Lexer.SEMI ->
+                advance st;
+                more (parse_match_pattern st :: acc)
+            | _ -> List.rev acc
+          in
+          let ps = more [ first ] in
+          expect st Lexer.RBRACKET "expected ']' in list pattern";
+          List.fold_right (fun p acc -> Ast.Pcons (p, acc, loc)) ps (Ast.Pnil loc))
+  | Lexer.LPAREN -> (
+      advance st;
+      match (peek st).Lexer.tok with
+      | Lexer.RPAREN ->
+          advance st;
+          Ast.Punit loc
+      | _ ->
+          let first = parse_match_pattern st in
+          let rec more acc =
+            match (peek st).Lexer.tok with
+            | Lexer.COMMA ->
+                advance st;
+                more (parse_match_pattern st :: acc)
+            | _ -> List.rev acc
+          in
+          let ps = more [ first ] in
+          expect st Lexer.RPAREN "expected ')' in pattern";
+          (match ps with [ p ] -> p | ps -> Ast.Ptuple (ps, loc)))
+  | _ -> error st "expected a pattern"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+
+let rec parse_type st =
+  let left = parse_type_tuple st in
+  match (peek st).Lexer.tok with
+  | Lexer.ARROW ->
+      let loc = loc_of (peek st) in
+      advance st;
+      let right = parse_type st in
+      Ast.Tarrow_expr (left, right, loc)
+  | _ -> left
+
+and parse_type_tuple st =
+  let first = parse_type_app st in
+  let rec more acc =
+    match (peek st).Lexer.tok with
+    | Lexer.STAR ->
+        advance st;
+        more (parse_type_app st :: acc)
+    | _ -> List.rev acc
+  in
+  match more [ first ] with
+  | [ t ] -> t
+  | t :: _ as ts -> Ast.Ttuple_expr (ts, type_expr_loc t)
+  | [] -> assert false
+
+and type_expr_loc = function
+  | Ast.Tname (_, _, l) | Ast.Tvar_expr (_, l) | Ast.Tarrow_expr (_, _, l)
+  | Ast.Ttuple_expr (_, l) ->
+      l
+
+and parse_type_app st =
+  let atom = parse_type_atom st in
+  (* postfix constructors: int list, 'a list list *)
+  let rec post t =
+    match (peek st).Lexer.tok with
+    | Lexer.IDENT n ->
+        let loc = loc_of (peek st) in
+        advance st;
+        post (Ast.Tname (n, [ t ], loc))
+    | _ -> t
+  in
+  post atom
+
+and parse_type_atom st =
+  let l = peek st in
+  let loc = loc_of l in
+  match l.Lexer.tok with
+  | Lexer.TYVAR v ->
+      advance st;
+      Ast.Tvar_expr (v, loc)
+  | Lexer.IDENT n ->
+      advance st;
+      Ast.Tname (n, [], loc)
+  | Lexer.LPAREN ->
+      advance st;
+      let t = parse_type st in
+      expect st Lexer.RPAREN "expected ')' in type";
+      t
+  | _ -> error st "expected a type"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let atom_start = function
+  | Lexer.IDENT "mod" -> false (* infix keyword-operator, never an atom *)
+  | Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _ | Lexer.IDENT _ | Lexer.TRUE
+  | Lexer.FALSE | Lexer.LPAREN | Lexer.LBRACKET ->
+      true
+  | _ -> false
+
+let rec parse_expr st = parse_seq st
+
+and parse_seq st =
+  let first = parse_nonseq st in
+  match (peek st).Lexer.tok with
+  | Lexer.SEMI -> (
+      match peek2 st with
+      (* Trailing ';;' or list separators are handled by callers; here a ';'
+         always starts a sequence. *)
+      | _ ->
+          let loc = loc_of (peek st) in
+          advance st;
+          let rest = parse_seq st in
+          Ast.Seq (first, rest, loc))
+  | _ -> first
+
+and parse_nonseq st =
+  let l = peek st in
+  let loc = loc_of l in
+  match l.Lexer.tok with
+  | Lexer.LET ->
+      advance st;
+      let recursive =
+        if (peek st).Lexer.tok = Lexer.REC then begin
+          advance st;
+          true
+        end
+        else false
+      in
+      let pat, bound = parse_binding st in
+      expect st Lexer.IN "expected 'in' after let binding";
+      let body = parse_expr st in
+      Ast.Let { recursive; pat; bound; body; loc }
+  | Lexer.IF ->
+      advance st;
+      let c = parse_nonseq st in
+      expect st Lexer.THEN "expected 'then'";
+      let t = parse_nonseq st in
+      expect st Lexer.ELSE "expected 'else'";
+      let e = parse_nonseq st in
+      Ast.If (c, t, e, loc)
+  | Lexer.MATCH ->
+      advance st;
+      let scrutinee = parse_nonseq st in
+      expect st Lexer.WITH "expected 'with' after match scrutinee";
+      if (peek st).Lexer.tok = Lexer.BAR then advance st;
+      let rec arms acc =
+        let pat = parse_match_pattern st in
+        expect st Lexer.ARROW "expected '->' in match arm";
+        let body = parse_nonseq st in
+        let acc = (pat, body) :: acc in
+        if (peek st).Lexer.tok = Lexer.BAR then begin
+          advance st;
+          arms acc
+        end
+        else List.rev acc
+      in
+      Ast.Match (scrutinee, arms [], loc)
+  | Lexer.FUN ->
+      advance st;
+      let rec params acc =
+        match (peek st).Lexer.tok with
+        | Lexer.ARROW ->
+            advance st;
+            List.rev acc
+        | _ -> params (parse_pattern st :: acc)
+      in
+      let ps = params [] in
+      if ps = [] then error st "fun needs at least one parameter";
+      let body = parse_nonseq st in
+      Ast.Lambda (ps, body, loc)
+  | _ -> parse_tuple st
+
+(* let f x y = e  /  let (a, b) = e *)
+and parse_binding st =
+  let pat = parse_pattern st in
+  match (pat, (peek st).Lexer.tok) with
+  | Ast.Pvar _, Lexer.EQUAL ->
+      advance st;
+      (pat, parse_nonseq st)
+  | Ast.Pvar (_, floc), _ when (peek st).Lexer.tok <> Lexer.EQUAL ->
+      (* function sugar: parameters follow *)
+      let rec params acc =
+        match (peek st).Lexer.tok with
+        | Lexer.EQUAL ->
+            advance st;
+            List.rev acc
+        | _ -> params (parse_pattern st :: acc)
+      in
+      let ps = params [] in
+      if ps = [] then error st "expected '=' in let binding";
+      let body = parse_nonseq st in
+      (pat, Ast.Lambda (ps, body, floc))
+  | _, Lexer.EQUAL ->
+      advance st;
+      (pat, parse_nonseq st)
+  | _ -> error st "expected '=' in let binding"
+
+and parse_tuple st =
+  let first = parse_or st in
+  match (peek st).Lexer.tok with
+  | Lexer.COMMA ->
+      let loc = loc_of (peek st) in
+      let rec more acc =
+        match (peek st).Lexer.tok with
+        | Lexer.COMMA ->
+            advance st;
+            more (parse_or st :: acc)
+        | _ -> List.rev acc
+      in
+      Ast.Tuple (more [ first ], loc)
+  | _ -> first
+
+and binop_level op =
+  match op with
+  | "||" -> Some 1
+  | "&&" -> Some 2
+  | "=" | "<>" | "<" | ">" | "<=" | ">=" -> Some 3
+  | "::" | "@" -> Some 4 (* right associative *)
+  | "+" | "-" | "+." | "-." | "^" -> Some 5
+  | "*" | "/" | "*." | "/." | "mod" -> Some 6
+  | _ -> None
+
+and parse_or st = parse_binop st 1
+
+and parse_binop st level =
+  if level > 6 then parse_unary st
+  else if level = 4 then begin
+    (* right-associative cons/append *)
+    let left = parse_binop st 5 in
+    match (peek st).Lexer.tok with
+    | Lexer.OP op when binop_level op = Some 4 ->
+        let loc = loc_of (peek st) in
+        advance st;
+        let right = parse_binop st 4 in
+        Ast.Binop (op, left, right, loc)
+    | _ -> left
+  end
+  else begin
+    let left = ref (parse_binop st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      let tok = (peek st).Lexer.tok in
+      let opname =
+        match tok with
+        | Lexer.OP op -> Some op
+        | Lexer.EQUAL -> Some "="
+        | Lexer.STAR -> Some "*"
+        | Lexer.IDENT "mod" -> Some "mod"
+        | _ -> None
+      in
+      match opname with
+      | Some op when binop_level op = Some level ->
+          let loc = loc_of (peek st) in
+          advance st;
+          let right = parse_binop st (level + 1) in
+          left := Ast.Binop (op, !left, right, loc)
+      | _ -> continue := false
+    done;
+    !left
+  end
+
+and parse_unary st =
+  let l = peek st in
+  match l.Lexer.tok with
+  | Lexer.OP "-" ->
+      advance st;
+      Ast.Uminus (parse_unary st, loc_of l)
+  | Lexer.OP "-." ->
+      advance st;
+      Ast.Uminus (parse_unary st, loc_of l)
+  | _ -> parse_app st
+
+and parse_app st =
+  let head = parse_atom st in
+  let rec args acc =
+    if atom_start (peek st).Lexer.tok then
+      let a = parse_atom st in
+      args (Ast.App (acc, a, Ast.expr_loc a))
+    else acc
+  in
+  args head
+
+and parse_atom st =
+  let l = peek st in
+  let loc = loc_of l in
+  match l.Lexer.tok with
+  | Lexer.INT n ->
+      advance st;
+      Ast.Const (Ast.Cint n, loc)
+  | Lexer.FLOAT f ->
+      advance st;
+      Ast.Const (Ast.Cfloat f, loc)
+  | Lexer.STRING s ->
+      advance st;
+      Ast.Const (Ast.Cstring s, loc)
+  | Lexer.TRUE ->
+      advance st;
+      Ast.Const (Ast.Cbool true, loc)
+  | Lexer.FALSE ->
+      advance st;
+      Ast.Const (Ast.Cbool false, loc)
+  | Lexer.IDENT x ->
+      advance st;
+      Ast.Var (x, loc)
+  | Lexer.LPAREN -> (
+      advance st;
+      match (peek st).Lexer.tok with
+      | Lexer.RPAREN ->
+          advance st;
+          Ast.Const (Ast.Cunit, loc)
+      | _ ->
+          let e = parse_expr st in
+          expect st Lexer.RPAREN "expected ')'";
+          e)
+  | Lexer.LBRACKET -> (
+      advance st;
+      match (peek st).Lexer.tok with
+      | Lexer.RBRACKET ->
+          advance st;
+          Ast.List ([], loc)
+      | _ ->
+          let first = parse_nonseq st in
+          let rec more acc =
+            match (peek st).Lexer.tok with
+            | Lexer.SEMI ->
+                advance st;
+                more (parse_nonseq st :: acc)
+            | _ -> List.rev acc
+          in
+          let es = more [ first ] in
+          expect st Lexer.RBRACKET "expected ']'";
+          Ast.List (es, loc))
+  | _ -> error st "expected an expression"
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+
+let parse_top st =
+  let l = peek st in
+  let loc = loc_of l in
+  match l.Lexer.tok with
+  | Lexer.LET ->
+      advance st;
+      let recursive =
+        if (peek st).Lexer.tok = Lexer.REC then begin
+          advance st;
+          true
+        end
+        else false
+      in
+      let pat, expr = parse_binding st in
+      Ast.Tlet { recursive; pat; expr; loc }
+  | Lexer.EXTERNAL ->
+      advance st;
+      let name =
+        match (peek st).Lexer.tok with
+        | Lexer.IDENT x ->
+            advance st;
+            x
+        | _ -> error st "expected a name after 'external'"
+      in
+      expect st Lexer.COLON "expected ':' in external declaration";
+      let ty = parse_type st in
+      Ast.Texternal { name; ty; loc }
+  | _ -> error st "expected 'let' or 'external' at top level"
+
+let skip_semisemi st =
+  while (peek st).Lexer.tok = Lexer.SEMISEMI do
+    advance st
+  done
+
+let program src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let rec tops acc =
+    skip_semisemi st;
+    if (peek st).Lexer.tok = Lexer.EOF then List.rev acc
+    else tops (parse_top st :: acc)
+  in
+  tops []
+
+let expression src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let e = parse_expr st in
+  skip_semisemi st;
+  if (peek st).Lexer.tok <> Lexer.EOF then error st "trailing input after expression";
+  e
+
+let type_expression src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let t = parse_type st in
+  if (peek st).Lexer.tok <> Lexer.EOF then error st "trailing input after type";
+  t

@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the specification language.
+
+    Grammar (a strict Caml subset): top-level [let]/[let rec] bindings with
+    [let f x y = ...] sugar, [external name : type] declarations, and an
+    expression language with tuples, lists, conditionals, anonymous
+    functions, local bindings, sequences and the usual arithmetic /
+    comparison / list operators at OCaml's precedences. [;;] separators are
+    optional. *)
+
+exception Parse_error of string * Ast.loc
+
+val program : string -> Ast.program
+(** Raises [Parse_error] or [Lexer.Lex_error]. *)
+
+val expression : string -> Ast.expr
+(** Parses a single expression (for tests and the REPL-style emulator). *)
+
+val type_expression : string -> Ast.type_expr
+(** Parses a type as written in external declarations, e.g.
+    ["('a -> 'b) -> 'a list -> 'b list"]. *)

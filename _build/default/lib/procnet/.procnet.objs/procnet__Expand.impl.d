@@ -1,0 +1,1 @@
+lib/procnet/expand.ml: Graph List Printf Skel

@@ -1,0 +1,1 @@
+lib/procnet/expand.mli: Graph Skel

@@ -1,0 +1,1 @@
+lib/procnet/graph.ml: Array Buffer Format Hashtbl List Printf Skel String

@@ -1,0 +1,1 @@
+lib/procnet/graph.mli: Format Skel

@@ -1,0 +1,1 @@
+lib/procnet/templates.ml: Array Graph Printf String

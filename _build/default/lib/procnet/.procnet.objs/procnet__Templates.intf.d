@@ -1,0 +1,1 @@
+lib/procnet/templates.mli: Graph Skel

@@ -1,0 +1,103 @@
+exception Expansion_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Expansion_error m)) fmt
+
+(* Splice the template for [stage] into builder [b]; returns the (entry,
+   exit) node ids of the spliced fragment. *)
+let rec splice b stage =
+  let module B = Graph.Builder in
+  match stage with
+  | Skel.Ir.Seq f ->
+      let n = B.add_node b ~label:f (Graph.Compute f) in
+      (n, n)
+  | Skel.Ir.Pipe [] ->
+      (* Identity: a pass-through compute would need a function; use a Join-
+         free trick: an empty pipe is spliced as a no-op Compute on a
+         reserved identity function name. *)
+      let n = B.add_node b ~label:"id" (Graph.Compute "__id") in
+      (n, n)
+  | Skel.Ir.Pipe stages ->
+      let fragments = List.map (splice b) stages in
+      let rec link = function
+        | (_, x1) :: ((e2, _) :: _ as rest) ->
+            B.add_edge b x1 e2;
+            link rest
+        | _ -> ()
+      in
+      link fragments;
+      (fst (List.hd fragments), snd (List.nth fragments (List.length fragments - 1)))
+  | Skel.Ir.Scm { nparts; split; compute; merge } ->
+      let s =
+        B.add_node b ~label:("split:" ^ split) (Graph.ScmSplit { fn = split; nparts })
+      in
+      let m =
+        B.add_node b ~label:("merge:" ^ merge) (Graph.ScmMerge { fn = merge; nparts })
+      in
+      for i = 0 to nparts - 1 do
+        let w =
+          B.add_node b
+            ~label:(Printf.sprintf "%s[%d]" compute i)
+            (Graph.ScmCompute { fn = compute; part = i })
+        in
+        B.add_edge b ~src_port:(Printf.sprintf "p%d" i) s w;
+        B.add_edge b ~dst_port:(Printf.sprintf "p%d" i) w m
+      done;
+      (s, m)
+  | Skel.Ir.Df { nworkers; comp; acc; init } ->
+      let m =
+        B.add_node b ~label:("df:" ^ acc) (Graph.DfMaster { acc; init; nworkers })
+      in
+      for i = 0 to nworkers - 1 do
+        let w =
+          B.add_node b
+            ~label:(Printf.sprintf "%s[%d]" comp i)
+            (Graph.DfWorker { comp })
+        in
+        B.add_edge b ~src_port:"task" ~dst_port:"task" m w;
+        B.add_edge b ~dst_port:"result" w m
+      done;
+      (m, m)
+  | Skel.Ir.Tf { nworkers; work; acc; init } ->
+      let m =
+        B.add_node b ~label:("tf:" ^ acc) (Graph.TfMaster { acc; init; nworkers })
+      in
+      for i = 0 to nworkers - 1 do
+        let w =
+          B.add_node b
+            ~label:(Printf.sprintf "%s[%d]" work i)
+            (Graph.TfWorker { work })
+        in
+        B.add_edge b ~src_port:"task" ~dst_port:"task" m w;
+        B.add_edge b ~dst_port:"result" w m
+      done;
+      (m, m)
+  | Skel.Ir.Itermem { input; loop; output; init } ->
+      let inp = B.add_node b ~label:("in:" ^ input) (Graph.Input input) in
+      let mem = B.add_node b ~label:"mem" (Graph.Mem { init }) in
+      let join = B.add_node b Graph.Join in
+      let fork = B.add_node b Graph.Fork in
+      let out = B.add_node b ~label:("out:" ^ output) (Graph.Output output) in
+      let loop_entry, loop_exit = splice b loop in
+      B.add_edge b ~dst_port:"data" inp join;
+      B.add_edge b ~dst_port:"state" mem join;
+      B.add_edge b join loop_entry;
+      B.add_edge b loop_exit fork;
+      B.add_edge b ~src_port:"fst" ~dst_port:"update" fork mem;
+      B.add_edge b ~src_port:"snd" fork out;
+      (inp, out)
+
+let expand_stage stage =
+  let b = Graph.Builder.create "stage" in
+  let entry, exit_node = splice b stage in
+  Graph.Builder.freeze b ~entry ~exit_node
+
+let expand table prog =
+  (match Skel.Ir.validate table prog with
+  | Ok () -> ()
+  | Error msg -> error "invalid program %s: %s" prog.Skel.Ir.name msg);
+  let b = Graph.Builder.create prog.Skel.Ir.name in
+  let entry, exit_node = splice b prog.Skel.Ir.body in
+  let g = Graph.Builder.freeze b ~entry ~exit_node in
+  match Graph.validate g with
+  | Ok () -> g
+  | Error msg -> error "template instantiation for %s is malformed: %s" prog.Skel.Ir.name msg

@@ -1,0 +1,1 @@
+lib/skel/funtable.ml: Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/skel/funtable.mli: Value

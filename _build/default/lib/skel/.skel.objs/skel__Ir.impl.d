@@ -1,0 +1,1 @@
+lib/skel/ir.ml: Format Funtable Hashtbl List Printf Result Value

@@ -1,0 +1,1 @@
+lib/skel/ir.mli: Format Funtable Value

@@ -1,0 +1,1 @@
+lib/skel/nest.ml: Funtable Ir List Printf Sem

@@ -1,0 +1,1 @@
+lib/skel/nest.mli: Funtable Ir Value

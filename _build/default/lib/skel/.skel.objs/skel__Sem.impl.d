@@ -1,0 +1,1 @@
+lib/skel/sem.ml: Funtable Ir List Printf Value

@@ -1,0 +1,1 @@
+lib/skel/sem.mli: Funtable Ir Value

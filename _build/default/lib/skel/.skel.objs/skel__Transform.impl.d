@@ -1,0 +1,1 @@
+lib/skel/transform.ml: Funtable Ir List Printf Value

@@ -1,0 +1,1 @@
+lib/skel/transform.mli: Funtable Ir

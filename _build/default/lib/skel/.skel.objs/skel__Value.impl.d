@@ -1,0 +1,1 @@
+lib/skel/value.ml: Bool Float Format Int List Printf Stdlib String Vision

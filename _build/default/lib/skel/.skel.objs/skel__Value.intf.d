@@ -1,0 +1,1 @@
+lib/skel/value.mli: Format Vision

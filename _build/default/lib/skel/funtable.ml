@@ -1,0 +1,33 @@
+type entry = {
+  name : string;
+  arity : int;
+  apply : Value.t -> Value.t;
+  cost : Value.t -> float;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 32
+let default_cost _ = 1000.0
+
+let register t ?(arity = 1) ?(cost = default_cost) name apply =
+  if Hashtbl.mem t name then
+    invalid_arg (Printf.sprintf "Funtable.register: %S already registered" name);
+  Hashtbl.replace t name { name; arity; apply; cost }
+
+let find_opt t name = Hashtbl.find_opt t name
+
+let find t name =
+  match find_opt t name with
+  | Some e -> e
+  | None -> failwith (Printf.sprintf "Funtable: unknown function %S" name)
+
+let mem t name = Hashtbl.mem t name
+let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort compare
+let apply t name v = (find t name).apply v
+let cost t name v = (find t name).cost v
+
+let of_list entries =
+  let t = create () in
+  List.iter (fun (name, arity, apply, cost) -> register t ~arity ~cost name apply) entries;
+  t

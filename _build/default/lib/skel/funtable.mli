@@ -1,0 +1,43 @@
+(** Registry of application-specific sequential functions.
+
+    In the paper these are the C functions a programmer supplies as skeleton
+    parameters (e.g. [detect_mark], [accum_marks]); SKiPPER treats them as
+    opaque computations with a communication interface. Here each function is
+    an OCaml function over {!Value.t} together with a *cost model* — the
+    number of processor cycles a call consumes as a function of its argument —
+    used by the SynDEx-style scheduler and charged by the machine simulator.
+
+    Multi-argument functions receive a [Value.Tuple]; binary folding functions
+    (the [acc] parameter of [df]/[tf]) receive [Tuple [accumulator; item]]. *)
+
+type entry = {
+  name : string;
+  arity : int;  (** number of source-language arguments; 1 means unary *)
+  apply : Value.t -> Value.t;
+  cost : Value.t -> float;  (** processor cycles consumed by one call *)
+}
+
+type t
+
+val create : unit -> t
+
+val register :
+  t -> ?arity:int -> ?cost:(Value.t -> float) -> string -> (Value.t -> Value.t) -> unit
+(** [register t name fn] adds an entry. Default arity 1; default cost a small
+    constant (1000 cycles). Raises [Invalid_argument] if [name] is already
+    registered. *)
+
+val find : t -> string -> entry
+(** Raises [Not_found]-carrying [Failure] with the unknown name. *)
+
+val find_opt : t -> string -> entry option
+val mem : t -> string -> bool
+val names : t -> string list
+(** Registered names, sorted. *)
+
+val apply : t -> string -> Value.t -> Value.t
+val cost : t -> string -> Value.t -> float
+
+val of_list :
+  (string * int * (Value.t -> Value.t) * (Value.t -> float)) list -> t
+(** Convenience bulk constructor: [(name, arity, apply, cost)] tuples. *)

@@ -1,0 +1,111 @@
+type t =
+  | Seq of string
+  | Pipe of t list
+  | Scm of { nparts : int; split : string; compute : string; merge : string }
+  | Df of { nworkers : int; comp : string; acc : string; init : Value.t }
+  | Tf of { nworkers : int; work : string; acc : string; init : Value.t }
+  | Itermem of { input : string; loop : t; output : string; init : Value.t }
+
+type program = { name : string; body : t; frames : int }
+
+let program ?(frames = 1) name body = { name; body; frames }
+
+let rec skeleton_instances = function
+  | Seq _ -> []
+  | Pipe stages -> List.concat_map skeleton_instances stages
+  | Scm _ -> [ "scm" ]
+  | Df _ -> [ "df" ]
+  | Tf _ -> [ "tf" ]
+  | Itermem { loop; _ } -> "itermem" :: skeleton_instances loop
+
+let functions_used stage =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      out := name :: !out
+    end
+  in
+  let rec go = function
+    | Seq f -> add f
+    | Pipe stages -> List.iter go stages
+    | Scm { split; compute; merge; _ } ->
+        add split;
+        add compute;
+        add merge
+    | Df { comp; acc; _ } ->
+        add comp;
+        add acc
+    | Tf { work; acc; _ } ->
+        add work;
+        add acc
+    | Itermem { input; loop; output; _ } ->
+        add input;
+        go loop;
+        add output
+  in
+  go stage;
+  List.rev !out
+
+let validate table prog =
+  let ( let* ) = Result.bind in
+  let check_fn name =
+    if Funtable.mem table name then Ok ()
+    else Error (Printf.sprintf "unknown sequential function %S" name)
+  in
+  let check_pos what n =
+    if n > 0 then Ok () else Error (Printf.sprintf "%s must be positive, got %d" what n)
+  in
+  let rec check ~depth ~top = function
+    | Seq f -> check_fn f
+    | Pipe stages ->
+        List.fold_left
+          (fun acc stage ->
+            let* () = acc in
+            check ~depth ~top:false stage)
+          (Ok ()) stages
+    | Scm { nparts; split; compute; merge } ->
+        let* () = check_pos "scm nparts" nparts in
+        let* () = check_fn split in
+        let* () = check_fn compute in
+        check_fn merge
+    | Df { nworkers; comp; acc; _ } ->
+        let* () = check_pos "df nworkers" nworkers in
+        let* () = check_fn comp in
+        check_fn acc
+    | Tf { nworkers; work; acc; _ } ->
+        let* () = check_pos "tf nworkers" nworkers in
+        let* () = check_fn work in
+        check_fn acc
+    | Itermem { input; loop; output; _ } ->
+        if not top then Error "itermem is only allowed at the top level"
+        else
+          let* () = check_fn input in
+          let* () = check_fn output in
+          check ~depth:(depth + 1) ~top:false loop
+  in
+  let* () = check ~depth:0 ~top:true prog.body in
+  if prog.frames <= 0 then Error "program frame count must be positive" else Ok ()
+
+let rec pp ppf = function
+  | Seq f -> Format.fprintf ppf "seq %s" f
+  | Pipe stages ->
+      Format.fprintf ppf "(@[%a@])"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ |> ")
+           pp)
+        stages
+  | Scm { nparts; split; compute; merge } ->
+      Format.fprintf ppf "scm %d %s %s %s" nparts split compute merge
+  | Df { nworkers; comp; acc; init } ->
+      Format.fprintf ppf "df %d %s %s %a" nworkers comp acc Value.pp init
+  | Tf { nworkers; work; acc; init } ->
+      Format.fprintf ppf "tf %d %s %s %a" nworkers work acc Value.pp init
+  | Itermem { input; loop; output; init } ->
+      Format.fprintf ppf "@[<2>itermem %s@ (%a)@ %s@ %a@]" input pp loop output
+        Value.pp init
+
+let pp_program ppf prog =
+  Format.fprintf ppf "@[<v2>program %s (frames=%d):@ %a@]" prog.name prog.frames pp
+    prog.body

@@ -1,0 +1,56 @@
+(** The skeletal intermediate representation.
+
+    A skeletal program is a composition of skeleton instances whose
+    parameters are *named* sequential functions (resolved against a
+    {!Funtable.t}). Both front-ends produce this IR: the embedded OCaml
+    combinator API builds it directly, and the ML front-end
+    ({!Minicaml.Extract}) recovers it from a typed abstract syntax tree.
+    Downstream, {!Procnet.Expand} turns it into a process network.
+
+    SKiPPER's skeletons compose but do not nest (paper §5: "their skeletons
+    can be freely nested, ours not"): compute parameters of [scm]/[df]/[tf]
+    are sequential functions, and only [itermem]'s loop body is a (skeleton)
+    pipeline. [validate] enforces this. *)
+
+type t =
+  | Seq of string
+      (** apply a registered sequential function to the incoming value *)
+  | Pipe of t list  (** left-to-right composition; [Pipe []] is the identity *)
+  | Scm of { nparts : int; split : string; compute : string; merge : string }
+      (** split into [nparts] sub-domains, compute each, merge the list of
+          results *)
+  | Df of { nworkers : int; comp : string; acc : string; init : Value.t }
+      (** data farm over an incoming [List]: [fold acc init (map comp)] *)
+  | Tf of { nworkers : int; work : string; acc : string; init : Value.t }
+      (** task farm: [work] returns [Tuple [List new_packets; result]] *)
+  | Itermem of { input : string; loop : t; output : string; init : Value.t }
+      (** stream loop with memory: per frame [i], feeds
+          [Tuple [state; input i]] to [loop], expects [Tuple [state'; y]],
+          passes [y] to [output] *)
+
+type program = {
+  name : string;
+  body : t;
+  frames : int;
+      (** number of stream iterations to run when the body is an [Itermem]
+          (the paper's version loops forever on live video) *)
+}
+
+val program : ?frames:int -> string -> t -> program
+(** Default [frames] = 1. *)
+
+val validate : Funtable.t -> program -> (unit, string) result
+(** Checks that every referenced function is registered, worker/part counts
+    are positive, skeletons are not nested except under [Itermem]'s loop, and
+    [Itermem] appears only at top level. *)
+
+val skeleton_instances : t -> string list
+(** Names of skeleton constructors used, in traversal order, e.g.
+    [["itermem"; "df"]] for the vehicle tracker. *)
+
+val functions_used : t -> string list
+(** All referenced sequential-function names, deduplicated, in order of first
+    use. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,83 @@
+exception Emulation_error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Emulation_error msg)) fmt
+
+let as_list what = function
+  | Value.List vs -> vs
+  | v -> error "%s: expected a list, got %s" what (Value.to_string v)
+
+let as_pair what = function
+  | Value.Tuple [ a; b ] -> (a, b)
+  | v -> error "%s: expected a pair, got %s" what (Value.to_string v)
+
+(* The interpreter is parameterised by the function-application primitive so
+   the instrumented (cost-summing) variant shares the control structure. *)
+let rec eval_with apply table stage v =
+  match stage with
+  | Ir.Seq f -> apply table f v
+  | Ir.Pipe stages ->
+      List.fold_left (fun v stage -> eval_with apply table stage v) v stages
+  | Ir.Scm { nparts; split; compute; merge } ->
+      let parts =
+        as_list ("scm split " ^ split)
+          (apply table split (Value.Tuple [ Value.Int nparts; v ]))
+      in
+      let results = List.map (apply table compute) parts in
+      apply table merge (Value.List results)
+  | Ir.Df { comp; acc; init; _ } ->
+      let xs = as_list "df input" v in
+      (* Exactly the paper's declarative definition:
+         df n comp acc z xs = fold_left acc z (map comp xs). *)
+      List.fold_left
+        (fun z x -> apply table acc (Value.Tuple [ z; apply table comp x ]))
+        init xs
+  | Ir.Tf { work; acc; init; _ } ->
+      let rec loop z = function
+        | [] -> z
+        | x :: rest ->
+            let subs, y = as_pair "tf work result" (apply table work x) in
+            let subs = as_list "tf new packets" subs in
+            loop (apply table acc (Value.Tuple [ z; y ])) (subs @ rest)
+      in
+      loop init (as_list "tf input" v)
+  | Ir.Itermem _ -> error "itermem inside eval_stage: stream loops are driven by run"
+
+let eval_stage table stage v = eval_with Funtable.apply table stage v
+
+let eval_stage_cost table stage v =
+  let cycles = ref 0.0 in
+  let apply table f v =
+    cycles := !cycles +. Funtable.cost table f v;
+    Funtable.apply table f v
+  in
+  let result = eval_with apply table stage v in
+  (result, !cycles)
+
+let run_with apply table prog input =
+  match prog.Ir.body with
+  | Ir.Itermem { input = inp; loop; output; init } ->
+      let rec drive state i outputs =
+        if i >= prog.Ir.frames then
+          Value.Tuple [ state; Value.List (List.rev outputs) ]
+        else
+          let x = apply table inp (Value.Tuple [ input; Value.Int i ]) in
+          let state', y =
+            as_pair "itermem loop result"
+              (eval_with apply table loop (Value.Tuple [ state; x ]))
+          in
+          let shown = apply table output y in
+          drive state' (i + 1) (shown :: outputs)
+      in
+      drive init 0 []
+  | body -> eval_with apply table body input
+
+let run table prog input = run_with Funtable.apply table prog input
+
+let run_cost table prog input =
+  let cycles = ref 0.0 in
+  let apply table f v =
+    cycles := !cycles +. Funtable.cost table f v;
+    Funtable.apply table f v
+  in
+  let result = run_with apply table prog input in
+  (result, !cycles)

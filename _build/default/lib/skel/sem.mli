@@ -1,0 +1,46 @@
+(** Sequential emulation of skeletal programs (the left branch of the paper's
+    Fig. 2: running the specification on a workstation to check the
+    correctness of the parallel algorithm).
+
+    Emulation interprets the IR with the declarative skeleton semantics of
+    {!Skeletons} over dynamic {!Value.t}s. The parallel executive
+    ({!Executive} + {!Machine}) must agree with this module's results
+    whenever the [df]/[tf] accumulation functions are commutative and
+    associative. *)
+
+exception Emulation_error of string
+
+val eval_stage : Funtable.t -> Ir.t -> Value.t -> Value.t
+(** [eval_stage table stage v] evaluates one stage on input [v].
+    Calling conventions:
+    - [Seq f]: [f v];
+    - [Scm]: [split (Tuple [Int nparts; v])] must yield a [List]; [merge]
+      receives the [List] of per-part compute results;
+    - [Df]: [v] must be a [List]; [comp] maps items; [acc] receives
+      [Tuple [accumulator; item_result]];
+    - [Tf]: [v] must be a [List] of packets; [work] returns
+      [Tuple [List new_packets; result]]; new packets are processed
+      depth-first;
+    - [Itermem] is rejected here (stream loops are driven by [run]).
+    Raises [Emulation_error] on convention violations. *)
+
+val eval_stage_cost : Funtable.t -> Ir.t -> Value.t -> Value.t * float
+(** Instrumented variant of [eval_stage]: also returns the total cycles the
+    stage's sequential functions would charge (the sum of their cost models
+    over the actual calls made). Used to derive cost models for nested
+    skeletons ({!Nest}). *)
+
+val run : Funtable.t -> Ir.program -> Value.t -> Value.t
+(** [run table prog input] emulates a whole program.
+
+    When [prog.body] is an [Itermem ...], the stream is driven for
+    [prog.frames] iterations: at frame [i] the input function receives
+    [Tuple [input; Int i]], the loop receives [Tuple [state; x_i]] and must
+    return [Tuple [state'; y_i]], and the output function's results are
+    collected. The overall result is [Tuple [final_state; List outputs]].
+
+    Otherwise the result is [eval_stage table prog.body input]. *)
+
+val run_cost : Funtable.t -> Ir.program -> Value.t -> Value.t * float
+(** [run] plus the total sequential cycle count — the paper's workstation
+    emulation doubling as a single-processor execution-time estimate. *)

@@ -1,0 +1,44 @@
+let scm n split comp merge x = merge (List.map comp (split n x))
+let df _n comp acc z xs = List.fold_left acc z (List.map comp xs)
+
+let tf _n work acc z xs =
+  let rec loop z = function
+    | [] -> z
+    | x :: rest ->
+        let subs, y = work x in
+        loop (acc z y) (subs @ rest)
+  in
+  loop z xs
+
+let itermem inp loop out z x =
+  let rec f z =
+    let z', y = loop (z, inp x) in
+    out y;
+    f z'
+  in
+  f z
+
+let itermem_n k inp loop out z x =
+  if k < 0 then invalid_arg "itermem_n: negative iteration count";
+  let rec f z i =
+    if i >= k then z
+    else begin
+      let z', y = loop (z, inp x) in
+      out y;
+      f z' (i + 1)
+    end
+  in
+  f z 0
+
+let itermem_stream k inp loop z =
+  let outputs = ref [] in
+  let rec f z i =
+    if i >= k then z
+    else begin
+      let z', y = loop (z, inp i) in
+      outputs := y :: !outputs;
+      f z' (i + 1)
+    end
+  in
+  let final = f z 0 in
+  (final, List.rev !outputs)

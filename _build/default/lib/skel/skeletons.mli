@@ -1,0 +1,47 @@
+(** Declarative (sequential, executable) definitions of the four SKiPPER
+    skeletons, exactly as published in the paper (§2, Fig. 4).
+
+    These higher-order functions give skeleton-based programs their
+    architecture-independent semantics, and implement the "sequential
+    emulation" branch of the toolchain (paper Fig. 2): a skeletal program run
+    through these combinators on a workstation must produce the same result
+    as the parallel executive, provided the accumulation functions passed to
+    [df]/[tf] are commutative and associative (the equivalence obligation the
+    paper places on the implementor). *)
+
+val scm : int -> (int -> 'a -> 'b list) -> ('b -> 'c) -> ('c list -> 'd) -> 'a -> 'd
+(** [scm n split comp merge x = merge (List.map comp (split n x))].
+    Split, Compute and Merge: regular geometric data parallelism. [split n x]
+    must return exactly [n] sub-domains for the operational version to use
+    [n] compute processes; the declarative version accepts any length. *)
+
+val df : int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c
+(** [df n comp acc z xs = List.fold_left acc z (List.map comp xs)].
+    Data Farming: irregular data parallelism over a list of items, with
+    dynamic load balancing in the operational version. The first argument
+    (number of workers) only affects the operational definition. *)
+
+val tf : int -> ('a -> 'a list * 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c
+(** Task Farming: generalisation of [df] where each worker may recursively
+    generate new packets (divide and conquer). Declaratively, packets are
+    processed depth-first:
+    [tf n work acc z (x :: rest)] runs [work x = (subs, y)], then recurses on
+    [subs @ rest] with accumulator [acc z y]. *)
+
+val itermem : ('a -> 'b) -> ('c * 'b -> 'c * 'd) -> ('d -> unit) -> 'c -> 'a -> unit
+(** The paper's Fig. 4 definition, verbatim:
+    [itermem inp loop out z x] runs
+    [let rec f z = let z', y = loop (z, inp x) in out y; f z' in f z].
+    Never returns; use [itermem_n] for bounded runs. *)
+
+val itermem_n :
+  int -> ('a -> 'b) -> ('c * 'b -> 'c * 'd) -> ('d -> unit) -> 'c -> 'a -> 'c
+(** [itermem_n k inp loop out z x] is [itermem] limited to [k] iterations;
+    returns the final memory value. Raises [Invalid_argument] when [k < 0]. *)
+
+val itermem_stream :
+  int -> (int -> 'b) -> ('c * 'b -> 'c * 'd) -> 'c -> 'c * 'd list
+(** Stream-of-frames variant used by the applications: the input function
+    receives the frame index (a camera delivering frame [i]), and outputs are
+    collected. [itermem_stream k inp loop z] returns the final memory and the
+    [k] outputs in order. *)

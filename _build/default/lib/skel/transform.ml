@@ -1,0 +1,159 @@
+type applied = { rule : string; count : int }
+
+let rule_names = [ "flatten-pipe"; "fuse-seq"; "serialise-df"; "serialise-tf"; "serialise-scm" ]
+
+let gensym =
+  let n = ref 0 in
+  fun base ->
+    incr n;
+    Printf.sprintf "%s__t%d" base !n
+
+(* ------------------------------------------------------------------ *)
+(* Structural rules                                                    *)
+
+let rec flatten_pipes stage =
+  match stage with
+  | Ir.Pipe stages ->
+      let flat =
+        List.concat_map
+          (fun s ->
+            match flatten_pipes s with Ir.Pipe inner -> inner | s -> [ s ])
+          stages
+      in
+      (match flat with [ s ] -> s | stages -> Ir.Pipe stages)
+  | Ir.Itermem { input; loop; output; init } ->
+      Ir.Itermem { input; loop = flatten_pipes loop; output; init }
+  | Ir.Seq _ | Ir.Scm _ | Ir.Df _ | Ir.Tf _ -> stage
+
+(* ------------------------------------------------------------------ *)
+(* Table-backed rules                                                  *)
+
+let compose table f g =
+  let ef = Funtable.find table f and eg = Funtable.find table g in
+  let name = gensym (f ^ "_" ^ g) in
+  Funtable.register table name ~arity:1
+    ~cost:(fun v ->
+      (* Cost of f plus cost of g on f's result: evaluating f here would
+         run user code inside a cost model, so approximate g's argument by
+         f's input — cost models are estimates by nature. *)
+      ef.Funtable.cost v +. eg.Funtable.cost v)
+    (fun v -> eg.Funtable.apply (ef.Funtable.apply v));
+  name
+
+let serialise_df table ~comp ~acc ~init =
+  let ec = Funtable.find table comp and ea = Funtable.find table acc in
+  let name = gensym ("df1_" ^ comp) in
+  Funtable.register table name ~arity:1
+    ~cost:(fun v ->
+      match v with
+      | Value.List xs ->
+          List.fold_left
+            (fun total x -> total +. ec.Funtable.cost x +. ea.Funtable.cost x)
+            500.0 xs
+      | _ -> 500.0)
+    (fun v ->
+      match v with
+      | Value.List xs ->
+          List.fold_left
+            (fun z x ->
+              ea.Funtable.apply (Value.Tuple [ z; ec.Funtable.apply x ]))
+            init xs
+      | other -> raise (Value.Type_error ("df expects a list, got " ^ Value.to_string other)));
+  name
+
+let serialise_tf table ~work ~acc ~init =
+  let ew = Funtable.find table work and ea = Funtable.find table acc in
+  let name = gensym ("tf1_" ^ work) in
+  Funtable.register table name ~arity:1
+    ~cost:(fun v ->
+      match v with
+      | Value.List xs ->
+          (* Lower bound: at least one work + acc per initial packet. *)
+          List.fold_left
+            (fun total x -> total +. ew.Funtable.cost x +. ea.Funtable.cost x)
+            500.0 xs
+      | _ -> 500.0)
+    (fun v ->
+      match v with
+      | Value.List xs ->
+          let rec loop z = function
+            | [] -> z
+            | x :: rest -> (
+                match ew.Funtable.apply x with
+                | Value.Tuple [ Value.List subs; y ] ->
+                    loop (ea.Funtable.apply (Value.Tuple [ z; y ])) (subs @ rest)
+                | other ->
+                    raise
+                      (Value.Type_error
+                         ("tf work returned " ^ Value.to_string other)))
+          in
+          loop init xs
+      | other -> raise (Value.Type_error ("tf expects a list, got " ^ Value.to_string other)));
+  name
+
+let serialise_scm table ~split ~compute ~merge =
+  let es = Funtable.find table split
+  and ec = Funtable.find table compute
+  and em = Funtable.find table merge in
+  let name = gensym ("scm1_" ^ compute) in
+  Funtable.register table name ~arity:1
+    ~cost:(fun v -> es.Funtable.cost v +. ec.Funtable.cost v +. em.Funtable.cost v)
+    (fun v ->
+      match es.Funtable.apply (Value.Tuple [ Value.Int 1; v ]) with
+      | Value.List parts ->
+          em.Funtable.apply (Value.List (List.map ec.Funtable.apply parts))
+      | other -> raise (Value.Type_error ("scm split returned " ^ Value.to_string other)));
+  name
+
+(* One bottom-up rewriting pass; returns the stage and per-rule counters. *)
+let rewrite_pass table stage counters =
+  let bump rule = counters := (rule, 1 + (try List.assoc rule !counters with Not_found -> 0)) :: List.remove_assoc rule !counters in
+  let rec go stage =
+    match stage with
+    | Ir.Seq _ -> stage
+    | Ir.Pipe stages ->
+        let stages = List.map go stages in
+        (* fuse adjacent Seq stages *)
+        let rec fuse = function
+          | Ir.Seq f :: Ir.Seq g :: rest ->
+              bump "fuse-seq";
+              fuse (Ir.Seq (compose table f g) :: rest)
+          | s :: rest -> s :: fuse rest
+          | [] -> []
+        in
+        let fused = fuse stages in
+        (match fused with [ s ] -> s | stages -> Ir.Pipe stages)
+    | Ir.Df { nworkers = 1; comp; acc; init } ->
+        bump "serialise-df";
+        Ir.Seq (serialise_df table ~comp ~acc ~init)
+    | Ir.Tf { nworkers = 1; work; acc; init } ->
+        bump "serialise-tf";
+        Ir.Seq (serialise_tf table ~work ~acc ~init)
+    | Ir.Scm { nparts = 1; split; compute; merge } ->
+        bump "serialise-scm";
+        Ir.Seq (serialise_scm table ~split ~compute ~merge)
+    | Ir.Df _ | Ir.Tf _ | Ir.Scm _ -> stage
+    | Ir.Itermem { input; loop; output; init } ->
+        Ir.Itermem { input; loop = go loop; output; init }
+  in
+  go stage
+
+let normalize table prog =
+  let counters = ref [] in
+  let flat_counter = ref 0 in
+  let rec fixpoint stage n =
+    if n > 20 then stage
+    else begin
+      let flattened = flatten_pipes stage in
+      if flattened <> stage then incr flat_counter;
+      let rewritten = rewrite_pass table flattened counters in
+      if rewritten = flattened then rewritten else fixpoint rewritten (n + 1)
+    end
+  in
+  let body = fixpoint prog.Ir.body 0 in
+  let applied =
+    (if !flat_counter > 0 then [ { rule = "flatten-pipe"; count = !flat_counter } ]
+     else [])
+    @ List.map (fun (rule, count) -> { rule; count }) (List.rev !counters)
+  in
+  ({ prog with Ir.body }, applied)

@@ -1,0 +1,1 @@
+lib/skipper/pipeline.ml: Executive Format List Minicaml Printf Procnet Skel Syndex

@@ -1,0 +1,1 @@
+lib/skipper/pipeline.mli: Archi Executive Format Procnet Skel Syndex

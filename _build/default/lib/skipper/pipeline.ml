@@ -1,0 +1,119 @@
+type compiled = {
+  name : string;
+  table : Skel.Funtable.t;
+  program : Skel.Ir.program;
+  graph : Procnet.Graph.t;
+  input : Skel.Value.t option;
+  signatures : (string * string) list;
+}
+
+type strategy = Heft | Canonical | Round_robin
+
+exception Compile_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Compile_error m)) fmt
+
+let maybe_optimize optimize table program =
+  if optimize then fst (Skel.Transform.normalize table program) else program
+
+let compile_source ?(frames = 1) ?(optimize = false) ~table src =
+  let ast =
+    try Minicaml.Parser.program src with
+    | Minicaml.Parser.Parse_error (msg, loc) ->
+        error "parse error: %s (at %s)" msg
+          (Format.asprintf "%a" Minicaml.Ast.pp_loc loc)
+    | Minicaml.Lexer.Lex_error (msg, loc) ->
+        error "lexical error: %s (at %s)" msg
+          (Format.asprintf "%a" Minicaml.Ast.pp_loc loc)
+  in
+  let signatures =
+    Minicaml.Types.reset_counter ();
+    match Minicaml.Infer.infer_program Minicaml.Infer.initial_env ast with
+    | _, schemes ->
+        List.map (fun (n, s) -> (n, Minicaml.Types.scheme_to_string s)) schemes
+    | exception Minicaml.Infer.Type_error (msg, loc) ->
+        error "type error: %s (at %s)" msg
+          (Format.asprintf "%a" Minicaml.Ast.pp_loc loc)
+  in
+  let extraction =
+    try Minicaml.Extract.extract ~frames table ast with
+    | Minicaml.Extract.Extract_error (msg, loc) ->
+        error "skeleton extraction: %s (at %s)" msg
+          (Format.asprintf "%a" Minicaml.Ast.pp_loc loc)
+  in
+  let program = maybe_optimize optimize table extraction.Minicaml.Extract.program in
+  let graph =
+    try Procnet.Expand.expand table program
+    with Procnet.Expand.Expansion_error msg -> error "expansion: %s" msg
+  in
+  {
+    name = program.Skel.Ir.name;
+    table;
+    program;
+    graph;
+    input = extraction.Minicaml.Extract.input;
+    signatures;
+  }
+
+let compile_ir ?(optimize = false) ~table program =
+  (match Skel.Ir.validate table program with
+  | Ok () -> ()
+  | Error msg -> error "invalid program %s: %s" program.Skel.Ir.name msg);
+  let program = maybe_optimize optimize table program in
+  let graph =
+    try Procnet.Expand.expand table program
+    with Procnet.Expand.Expansion_error msg -> error "expansion: %s" msg
+  in
+  { name = program.Skel.Ir.name; table; program; graph; input = None; signatures = [] }
+
+let emulate compiled input = Skel.Sem.run compiled.table compiled.program input
+
+let default_cost _compiled = Syndex.Cost.make ()
+
+let map ?(strategy = Canonical) ?cost compiled arch =
+  let cost = match cost with Some c -> c | None -> default_cost compiled in
+  match strategy with
+  | Heft -> Syndex.Heft.map cost arch compiled.graph
+  | Canonical ->
+      Syndex.Place.of_placement cost arch compiled.graph
+        (Syndex.Place.canonical compiled.graph arch)
+  | Round_robin ->
+      Syndex.Place.of_placement cost arch compiled.graph
+        (Syndex.Place.round_robin compiled.graph arch)
+
+let resolve_input compiled input =
+  match (input, compiled.input) with
+  | Some v, _ -> v
+  | None, Some v -> v
+  | None, None ->
+      error "program %s needs an explicit input value" compiled.name
+
+let execute ?trace ?input_period ?strategy ?cost ?input compiled arch =
+  let schedule = map ?strategy ?cost compiled arch in
+  let input = resolve_input compiled input in
+  Executive.run ?trace ?input_period ~table:compiled.table ~arch
+    ~placement:schedule.Syndex.Schedule.placement ~graph:compiled.graph
+    ~frames:compiled.program.Skel.Ir.frames ~input ()
+
+let check_equivalence ?input compiled arch =
+  let input = resolve_input compiled input in
+  let emulated = emulate compiled input in
+  let result = execute ~input compiled arch in
+  if Skel.Value.equal emulated result.Executive.value then Ok emulated
+  else
+    Error
+      (Printf.sprintf "emulation and executive disagree:\n  emulated: %s\n  parallel: %s"
+         (Skel.Value.to_string emulated)
+         (Skel.Value.to_string result.Executive.value))
+
+let macro_code compiled schedule =
+  Executive.Macro.emit compiled.graph
+    ~placement:schedule.Syndex.Schedule.placement
+    ~arch:schedule.Syndex.Schedule.arch
+
+let graph_dot compiled = Procnet.Graph.to_dot compiled.graph
+
+let pp_signatures ppf compiled =
+  List.iter
+    (fun (name, scheme) -> Format.fprintf ppf "val %s : %s@." name scheme)
+    compiled.signatures

@@ -1,0 +1,70 @@
+(** The SKiPPER environment, end to end (paper Fig. 2).
+
+    Ties the components together: the custom Caml compiler front-end
+    (parsing, polymorphic type-checking, skeleton extraction), skeleton
+    expansion into a process network, SynDEx-style mapping onto an
+    architecture graph, macro-code emission, and the two execution paths —
+    sequential emulation on the "workstation" and the distributed executive
+    on the simulated MIMD-DM machine. *)
+
+type compiled = {
+  name : string;
+  table : Skel.Funtable.t;
+  program : Skel.Ir.program;
+  graph : Procnet.Graph.t;
+  input : Skel.Value.t option;  (** program input when the source fixes it *)
+  signatures : (string * string) list;
+      (** inferred type schemes of the top-level names (source path only) *)
+}
+
+type strategy = Heft | Canonical | Round_robin
+
+exception Compile_error of string
+(** Carries a rendered, located error message from any front-end stage. *)
+
+val compile_source :
+  ?frames:int -> ?optimize:bool -> table:Skel.Funtable.t -> string -> compiled
+(** Parse, type-check (with the skeleton signatures in scope), extract the
+    skeletal program, optionally normalise it with the transformational
+    rules ({!Skel.Transform}, default off), and expand to a process network.
+    Wrapper glue functions are registered into [table]. *)
+
+val compile_ir :
+  ?optimize:bool -> table:Skel.Funtable.t -> Skel.Ir.program -> compiled
+(** The embedded-API entry: validates and expands a hand-built program. *)
+
+val emulate : compiled -> Skel.Value.t -> Skel.Value.t
+(** Sequential emulation via the declarative semantics ({!Skel.Sem}). *)
+
+val default_cost : compiled -> Syndex.Cost.t
+(** Static cost model for mapping; uses the generic defaults (the simulator
+    charges exact data-dependent costs at run time regardless). *)
+
+val map :
+  ?strategy:strategy -> ?cost:Syndex.Cost.t -> compiled -> Archi.t ->
+  Syndex.Schedule.t
+(** Produce the static schedule/placement (default strategy [Canonical],
+    the paper's Fig. 1 layout; [Heft] enables the automatic adequation
+    heuristic). *)
+
+val execute :
+  ?trace:bool ->
+  ?input_period:float ->
+  ?strategy:strategy ->
+  ?cost:Syndex.Cost.t ->
+  ?input:Skel.Value.t ->
+  compiled ->
+  Archi.t ->
+  Executive.result
+(** Map then run on the simulated machine. [input] overrides the compiled
+    input; raises [Compile_error] when neither is available. *)
+
+val check_equivalence :
+  ?input:Skel.Value.t -> compiled -> Archi.t -> (Skel.Value.t, string) result
+(** Runs both paths with fresh state and compares results; [Ok v] returns
+    the common value. This is the paper's correctness story: the emulated
+    specification and the distributed executive must agree. *)
+
+val macro_code : compiled -> Syndex.Schedule.t -> string
+val graph_dot : compiled -> string
+val pp_signatures : Format.formatter -> compiled -> unit

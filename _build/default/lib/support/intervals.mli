@@ -1,0 +1,24 @@
+(** Busy-interval bookkeeping for exclusive resources (communication links).
+
+    An occupancy list is a sorted list of disjoint [(start, stop)] intervals.
+    Both the machine simulator and the static scheduler reserve link time
+    with first-fit insertion, so predicted and simulated transfers share one
+    contention model. *)
+
+type t = (float * float) list
+(** Sorted by start, pairwise disjoint. *)
+
+val empty : t
+
+val first_fit : t -> earliest:float -> duration:float -> float
+(** Earliest start [>= earliest] such that [[start, start + duration)] does
+    not overlap any interval. *)
+
+val reserve : t -> earliest:float -> duration:float -> float * t
+(** [first_fit] plus insertion; returns the start and the updated list. *)
+
+val total : t -> float
+(** Sum of interval lengths. *)
+
+val valid : t -> bool
+(** Checks ordering and disjointness (for tests). *)

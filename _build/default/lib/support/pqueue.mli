@@ -1,0 +1,21 @@
+(** Mutable binary min-heap keyed by [(priority, tie)].
+
+    Used as the event queue of the discrete-event simulator and as the ready
+    list of the scheduler. Ties are broken by an integer sequence number so
+    extraction order is fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q prio v] inserts [v] with priority [prio]. Insertion order breaks
+    priority ties (FIFO among equal priorities). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element. *)
+
+val peek : 'a t -> (float * 'a) option
+val clear : 'a t -> unit

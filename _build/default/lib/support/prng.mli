@@ -1,0 +1,37 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the environment (scene generation, workload
+    synthesis, property tests that need auxiliary randomness) draws from an
+    explicit [Prng.t] so that runs are reproducible from a single seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. Equal seeds yield
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] when
+    [bound <= 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal via Box–Muller. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)

@@ -1,0 +1,1 @@
+lib/syndex/cost.mli: Procnet Skel

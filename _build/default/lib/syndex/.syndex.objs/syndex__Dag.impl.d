@@ -1,0 +1,1 @@
+lib/syndex/dag.ml: Array Cost List Procnet Queue

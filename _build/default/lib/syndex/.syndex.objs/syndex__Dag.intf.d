@@ -1,0 +1,1 @@
+lib/syndex/dag.mli: Cost Procnet

@@ -1,0 +1,1 @@
+lib/syndex/heft.ml: Archi Array Dag Float Fun List Place Procnet

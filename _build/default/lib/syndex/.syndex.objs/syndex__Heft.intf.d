@@ -1,0 +1,1 @@
+lib/syndex/heft.mli: Archi Cost Dag Procnet Schedule

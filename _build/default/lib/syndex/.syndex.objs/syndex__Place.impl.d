@@ -1,0 +1,1 @@
+lib/syndex/place.ml: Archi Array Dag Float Hashtbl List Option Procnet Schedule Support

@@ -1,0 +1,1 @@
+lib/syndex/place.mli: Archi Cost Procnet Schedule

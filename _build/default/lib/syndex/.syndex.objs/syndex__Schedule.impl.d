@@ -1,0 +1,1 @@
+lib/syndex/schedule.ml: Archi Array Buffer Bytes Dag Format Hashtbl List Option Printf Procnet

@@ -1,0 +1,1 @@
+lib/syndex/schedule.mli: Archi Dag Format Procnet

@@ -1,0 +1,39 @@
+type t = {
+  node_cycles : Procnet.Graph.node -> float;
+  edge_bytes : Procnet.Graph.edge -> int;
+}
+
+let node_function (node : Procnet.Graph.node) =
+  match node.kind with
+  | Input fn | Output fn | Compute fn -> Some fn
+  | ScmCompute { fn; _ } -> Some fn
+  | ScmSplit { fn; _ } | ScmMerge { fn; _ } -> Some fn
+  | DfMaster { acc; _ } | TfMaster { acc; _ } -> Some acc
+  | DfWorker { comp } -> Some comp
+  | TfWorker { work } -> Some work
+  | Mem _ | Join | Fork | Router _ -> None
+
+let make ?(fn_cycles = fun _ -> None) ?(control_cycles = 500.0)
+    ?(default_fn_cycles = 10_000.0) ?(edge_bytes = fun _ -> None)
+    ?(default_edge_bytes = 1024) () =
+  let node_cycles node =
+    match node_function node with
+    | None -> control_cycles
+    | Some fn -> (
+        match fn_cycles fn with Some c -> c | None -> default_fn_cycles)
+  in
+  let edge_bytes e =
+    match edge_bytes e with Some b -> b | None -> default_edge_bytes
+  in
+  { node_cycles; edge_bytes }
+
+let of_table table ~sample =
+  let fn_cycles name =
+    match Skel.Funtable.find_opt table name with
+    | None -> None
+    | Some entry -> (
+        match sample name with
+        | Some v -> Some (entry.Skel.Funtable.cost v)
+        | None -> None)
+  in
+  make ~fn_cycles ()

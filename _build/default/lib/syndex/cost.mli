@@ -1,0 +1,41 @@
+(** Cost model for static mapping.
+
+    SynDEx's "adequation" needs per-operation worst/mean execution times and
+    per-dependency data sizes. Dynamic skeletons make exact values
+    data-dependent, so the mapper works from estimates: a table of mean
+    cycles per sequential function and mean bytes per channel, both
+    overridable per call site. The machine simulator then charges *actual*
+    costs at run time; the scheduler only needs estimates good enough for
+    placement decisions. *)
+
+type t = {
+  node_cycles : Procnet.Graph.node -> float;
+      (** mean cycles per activation of a process *)
+  edge_bytes : Procnet.Graph.edge -> int;
+      (** mean payload bytes per message on a channel *)
+}
+
+val make :
+  ?fn_cycles:(string -> float option) ->
+  ?control_cycles:float ->
+  ?default_fn_cycles:float ->
+  ?edge_bytes:(Procnet.Graph.edge -> int option) ->
+  ?default_edge_bytes:int ->
+  unit ->
+  t
+(** [make ()] builds a model. [fn_cycles name] may return a per-function
+    estimate (consulted for every node kind that carries a function name:
+    compute, workers, split/merge, masters' fold, input/output).
+    Control-only processes (join, fork, mem, routers) cost [control_cycles]
+    (default 500). Unestimated functions cost [default_fn_cycles]
+    (default 10000). [edge_bytes] likewise overrides the per-channel size
+    (default 1024 bytes). *)
+
+val of_table : Skel.Funtable.t -> sample:(string -> Skel.Value.t option) -> t
+(** Derives function costs by evaluating each registered function's cost
+    model on a sample argument ([sample name]); functions without a sample
+    fall back to defaults. *)
+
+val node_function : Procnet.Graph.node -> string option
+(** The sequential function a process applies, if any (masters report their
+    fold function). *)

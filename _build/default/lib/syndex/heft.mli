@@ -1,0 +1,18 @@
+(** The adequation heuristic: list scheduling with earliest finish time.
+
+    This fills the pipeline slot the paper delegates to SynDEx: a static
+    distribution of the process graph onto the processor graph, minimising
+    the predicted latency of one stream iteration. The algorithm is
+    HEFT-style — operations are prioritised by upward rank (critical-path
+    distance to the sinks, including mean communication costs) and each is
+    placed on the processor minimising its earliest finish time, respecting
+    the colocation constraints of split control operations.
+
+    Predicted times are estimates over the {!Cost} model; actual latencies
+    come from executing the mapped executive on the machine simulator. *)
+
+val map : Cost.t -> Archi.t -> Procnet.Graph.t -> Schedule.t
+(** Raises [Failure] when the graph's scheduling DAG is cyclic. *)
+
+val upward_ranks : Cost.t -> Archi.t -> Dag.t -> float array
+(** Exposed for tests: rank per op id. *)

@@ -1,0 +1,142 @@
+(* Parallel work processes: df/tf workers and scm computes. Pipeline
+   [Compute] stages stay with the control processes: shipping the full
+   dataflow value to another processor usually costs more than it saves. *)
+let is_worker (node : Procnet.Graph.node) =
+  match node.kind with
+  | Procnet.Graph.DfWorker _ | Procnet.Graph.TfWorker _ | Procnet.Graph.ScmCompute _ ->
+      true
+  | _ -> false
+
+let canonical g arch =
+  let nprocs = Archi.nprocs arch in
+  let placement = Array.make (Procnet.Graph.nnodes g) 0 in
+  let next = ref 0 in
+  Array.iter
+    (fun (node : Procnet.Graph.node) ->
+      if is_worker node then begin
+        (* Fig. 1 layout: worker i on P(i+1) around the ring, wrapping back
+           to the master's processor last. *)
+        let p = (!next + 1) mod nprocs in
+        incr next;
+        placement.(node.id) <- p
+      end)
+    (Procnet.Graph.nodes g);
+  placement
+
+let round_robin g arch =
+  let nprocs = Archi.nprocs arch in
+  Array.init (Procnet.Graph.nnodes g) (fun i -> i mod nprocs)
+
+(* Store-and-forward transfer with static per-link reservation: the same
+   first-fit contention model the machine simulator uses, so the predicted
+   communication schedule mirrors what the executive will do. Returns the
+   arrival time. *)
+let reserve_transfer arch link_busy ~src ~dst ~bytes ~depart =
+  if src = dst then depart
+  else begin
+    let path = Archi.route arch src dst in
+    let rec hop depart = function
+      | a :: (b :: _ as rest) ->
+          let link =
+            match Archi.link_between arch a b with
+            | Some l -> l
+            | None -> failwith "Place: route uses missing link"
+          in
+          let duration =
+            link.Archi.startup +. (float_of_int bytes /. link.Archi.bandwidth)
+          in
+          let existing =
+            Option.value ~default:Support.Intervals.empty
+              (Hashtbl.find_opt link_busy (a, b))
+          in
+          let start, updated =
+            Support.Intervals.reserve existing ~earliest:depart ~duration
+          in
+          Hashtbl.replace link_busy (a, b) updated;
+          hop (start +. duration) rest
+      | _ -> depart
+    in
+    hop depart path
+  end
+
+let of_placement cost arch g placement =
+  if Array.length placement <> Procnet.Graph.nnodes g then
+    invalid_arg "Place.of_placement: placement length mismatch";
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= Archi.nprocs arch then
+        invalid_arg "Place.of_placement: placement names a missing processor")
+    placement;
+  let dag = Dag.of_graph cost g in
+  let nops = Array.length dag.Dag.ops in
+  let op_proc =
+    Array.map (fun (op : Dag.op) -> placement.(op.Dag.node)) dag.Dag.ops
+  in
+  let op_start = Array.make nops 0.0 and op_finish = Array.make nops 0.0 in
+  let avail = Array.make (Archi.nprocs arch) 0.0 in
+  let link_busy = Hashtbl.create 16 in
+  let cycle_time p = (Archi.processors arch).(p).Archi.cycle_time in
+  List.iter
+    (fun i ->
+      let p = op_proc.(i) in
+      let est =
+        List.fold_left
+          (fun acc (d : Dag.dep) ->
+            let src = d.Dag.src_op in
+            let arrival =
+              if op_proc.(src) = p then op_finish.(src)
+              else
+                reserve_transfer arch link_busy ~src:op_proc.(src) ~dst:p
+                  ~bytes:d.Dag.bytes ~depart:op_finish.(src)
+            in
+            Float.max acc arrival)
+          avail.(p) dag.Dag.preds.(i)
+      in
+      op_start.(i) <- est;
+      op_finish.(i) <- est +. (dag.Dag.ops.(i).Dag.cycles *. cycle_time p);
+      avail.(p) <- op_finish.(i))
+    (Dag.topological_order dag);
+  let ops =
+    Array.to_list dag.Dag.ops
+    |> List.map (fun (op : Dag.op) ->
+           {
+             Schedule.node = op.Dag.node;
+             part = op.Dag.part;
+             proc = op_proc.(op.Dag.op_id);
+             start = op_start.(op.Dag.op_id);
+             finish = op_finish.(op.Dag.op_id);
+           })
+    |> List.sort (fun (a : Schedule.op_slot) (b : Schedule.op_slot) ->
+           compare (a.Schedule.start, a.Schedule.node) (b.Schedule.start, b.Schedule.node))
+  in
+  let comms =
+    List.filter_map
+      (fun (d : Dag.dep) ->
+        match d.Dag.edge with
+        | Some e when op_proc.(d.Dag.src_op) <> op_proc.(d.Dag.dst_op) ->
+            let from_proc = op_proc.(d.Dag.src_op)
+            and to_proc = op_proc.(d.Dag.dst_op) in
+            let start = op_finish.(d.Dag.src_op) in
+            Some
+              {
+                Schedule.edge = e;
+                from_proc;
+                to_proc;
+                route = Archi.route arch from_proc to_proc;
+                bytes = d.Dag.bytes;
+                start;
+                finish = start +. Archi.transfer_time arch from_proc to_proc d.Dag.bytes;
+              }
+        | _ -> None)
+      dag.Dag.deps
+    |> List.sort (fun (a : Schedule.comm_slot) (b : Schedule.comm_slot) ->
+           compare (a.Schedule.start, a.Schedule.bytes) (b.Schedule.start, b.Schedule.bytes))
+  in
+  {
+    Schedule.graph = g;
+    arch;
+    placement = Array.copy placement;
+    ops;
+    comms;
+    makespan = Array.fold_left Float.max 0.0 op_finish;
+  }

@@ -1,0 +1,23 @@
+(** Fixed placement strategies and schedule derivation.
+
+    Besides the {!Heft} heuristic, the environment offers the placements a
+    SKiPPER programmer would draw by hand — the "canonical" layout of the
+    paper's Fig. 1 (control processes with the master on P0, workers spread
+    over the remaining processors) and a plain round-robin. [of_placement]
+    turns any placement into a full static schedule so the strategies can be
+    compared on predicted latency (the mapping-ablation experiment). *)
+
+val canonical : Procnet.Graph.t -> Archi.t -> int array
+(** Control processes (masters, split/merge, mem, join, fork, input/output)
+    on processor 0; worker and compute processes round-robin starting from
+    processor 1 and wrapping around the whole machine (the paper's Fig. 1
+    layout: master on P0, worker i on P(i+1)). *)
+
+val round_robin : Procnet.Graph.t -> Archi.t -> int array
+(** Node [i] on processor [i mod P]. *)
+
+val of_placement : Cost.t -> Archi.t -> Procnet.Graph.t -> int array -> Schedule.t
+(** List-schedules the graph's operations in topological order on the given
+    fixed placement, yielding predicted op times, communications and
+    makespan. Raises [Invalid_argument] when the placement array has the
+    wrong length or names a missing processor. *)

@@ -1,0 +1,52 @@
+(** Static schedules: the output of the adequation step.
+
+    A schedule fixes where every process runs ([placement]), when each
+    operation of one stream iteration executes, and the total order of
+    communications on every link. SynDEx's key guarantee — a dead-lock free
+    distributed executive — comes from this static per-link total ordering;
+    {!deadlock_free} checks it explicitly by verifying that the union of
+    operation precedence, message causality and per-link FIFO order is
+    acyclic. *)
+
+type op_slot = {
+  node : int;
+  part : Dag.part;
+  proc : int;
+  start : float;
+  finish : float;
+}
+
+type comm_slot = {
+  edge : Procnet.Graph.edge;
+  from_proc : int;
+  to_proc : int;
+  route : int list;
+  bytes : int;
+  start : float;
+  finish : float;
+}
+
+type t = {
+  graph : Procnet.Graph.t;
+  arch : Archi.t;
+  placement : int array;  (** node id -> processor *)
+  ops : op_slot list;  (** sorted by start time *)
+  comms : comm_slot list;  (** sorted by start time *)
+  makespan : float;  (** predicted latency of one iteration, seconds *)
+}
+
+val validate : t -> (unit, string) result
+(** Checks that ops on one processor do not overlap, every op's processor
+    matches the placement, every comm joins the placements of its edge's
+    endpoints, and comm routes only use existing links. *)
+
+val link_orders : t -> ((int * int) * comm_slot list) list
+(** Communications grouped per directed link (first hop attribution), each
+    list in scheduled order: the static communication schedule. *)
+
+val deadlock_free : t -> bool
+
+val gantt : ?width:int -> t -> string
+(** ASCII Gantt chart of the predicted schedule, one row per processor. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tracking/detector.ml: List Mark Skel Vision

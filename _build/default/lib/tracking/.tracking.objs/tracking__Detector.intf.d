@@ -1,0 +1,1 @@
+lib/tracking/detector.mli: Mark Skel Vision

@@ -1,0 +1,1 @@
+lib/tracking/funcs.ml: Detector List Mark Predictor Printf Skel Track_state Vision

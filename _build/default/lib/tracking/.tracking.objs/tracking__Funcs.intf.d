@@ -1,0 +1,1 @@
+lib/tracking/funcs.mli: Skel Vision

@@ -1,0 +1,1 @@
+lib/tracking/mark.ml: Format List Skel Vision

@@ -1,0 +1,1 @@
+lib/tracking/mark.mli: Format Skel Vision

@@ -1,0 +1,1 @@
+lib/tracking/predictor.ml: List Mark Track_state Vision

@@ -1,0 +1,1 @@
+lib/tracking/predictor.mli: Mark Track_state Vision

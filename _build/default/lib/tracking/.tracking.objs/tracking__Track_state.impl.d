@@ -1,0 +1,1 @@
+lib/tracking/track_state.ml: Format List Mark Printf Skel

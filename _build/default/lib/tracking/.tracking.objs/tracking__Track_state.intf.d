@@ -1,0 +1,1 @@
+lib/tracking/track_state.mli: Format Mark Skel

@@ -1,0 +1,165 @@
+module V = Skel.Value
+
+type config = {
+  scene : Vision.Scene.params;
+  nproc : int;
+  read_cycles_per_px : float;
+  extract_cycles_per_px : float;
+  detect_cycles_per_px : float;
+}
+
+let default_config =
+  {
+    scene = Vision.Scene.default_params;
+    nproc = 8;
+    read_cycles_per_px = 2.0;
+    extract_cycles_per_px = 0.5;
+    detect_cycles_per_px = 36.0;
+  }
+
+let with_nproc nproc config = { config with nproc }
+
+(* The [get_windows] computation shared by the 3-argument external (used by
+   the ML front-end) and the unary pipeline stage (embedded IR). *)
+let get_windows_impl config np state_v img =
+  let state = Track_state.of_value state_v in
+  let windows =
+    Predictor.windows_for ~nproc:np ~width:(Vision.Image.width img)
+      ~height:(Vision.Image.height img) state
+  in
+  ignore config;
+  V.List (Detector.window_items img windows)
+
+let get_windows_cost config np state_v img =
+  let state = Track_state.of_value state_v in
+  let windows =
+    Predictor.windows_for ~nproc:np ~width:(Vision.Image.width img)
+      ~height:(Vision.Image.height img) state
+  in
+  let pixels = List.fold_left (fun acc w -> acc + Vision.Window.area w) 0 windows in
+  3000.0 +. (config.extract_cycles_per_px *. float_of_int pixels)
+
+(* predict is pure: the paper's C function keeps its trajectory model in
+   process-local memory; our substitution derives the next state from the
+   current marks alone, with window margins absorbing inter-frame motion
+   (see DESIGN.md). *)
+let predict_impl marks_v =
+  let marks = Mark.list_of_value marks_v in
+  let state' = Predictor.update Track_state.initial marks in
+  V.Tuple [ Track_state.to_value state'; marks_v ]
+
+let nmarks_of = function V.List l -> List.length l | _ -> 0
+
+let register config table =
+  let reg = Skel.Funtable.register table in
+  reg "read_img" ~arity:2
+    ~cost:(fun v ->
+      match v with
+      | V.Tuple [ V.Tuple [ V.Int w; V.Int h ]; _ ] ->
+          10_000.0 +. (config.read_cycles_per_px *. float_of_int (w * h))
+      | _ -> 10_000.0)
+    (fun v ->
+      match v with
+      | V.Tuple [ V.Tuple [ V.Int w; V.Int h ]; V.Int i ] ->
+          let params = { config.scene with Vision.Scene.width = w; height = h } in
+          V.Image (Vision.Scene.frame params i)
+      | _ -> raise (V.Type_error "read_img expects ((w, h), frame)"));
+  reg "init_state" ~arity:1 ~cost:(fun _ -> 500.0) (fun _ ->
+      Track_state.to_value Track_state.initial);
+  reg "get_windows" ~arity:3
+    ~cost:(fun v ->
+      match v with
+      | V.Tuple [ V.Int np; state_v; V.Image img ] -> get_windows_cost config np state_v img
+      | _ -> 3000.0)
+    (fun v ->
+      match v with
+      | V.Tuple [ V.Int np; state_v; V.Image img ] -> get_windows_impl config np state_v img
+      | _ -> raise (V.Type_error "get_windows expects (nproc, state, image)"));
+  (* Unary pipeline form over the itermem pair (state, image). *)
+  reg "get_windows_stage" ~arity:1
+    ~cost:(fun v ->
+      match v with
+      | V.Tuple [ state_v; V.Image img ] -> get_windows_cost config config.nproc state_v img
+      | _ -> 3000.0)
+    (fun v ->
+      match v with
+      | V.Tuple [ state_v; V.Image img ] -> get_windows_impl config config.nproc state_v img
+      | _ -> raise (V.Type_error "get_windows_stage expects (state, image)"));
+  reg "detect_mark" ~arity:1
+    ~cost:(fun item ->
+      match item with
+      | V.Record _ ->
+          5000.0 +. (config.detect_cycles_per_px *. float_of_int (Detector.item_area item))
+      | _ -> 5000.0)
+    Detector.detect_item;
+  reg "accum_marks" ~arity:2
+    ~cost:(fun v ->
+      match v with
+      | V.Tuple [ _; y ] -> 300.0 +. (20.0 *. float_of_int (nmarks_of y))
+      | _ -> 300.0)
+    (fun v ->
+      match v with
+      | V.Tuple [ V.List acc; V.List y ] ->
+          (* The paper requires df accumulation functions to be commutative
+             and associative (results arrive in unpredictable order); keeping
+             the mark list canonically sorted makes concatenation so. *)
+          V.List (List.sort V.compare (acc @ y))
+      | _ -> raise (V.Type_error "accum_marks expects (markList, markList)"));
+  reg "predict" ~arity:1
+    ~cost:(fun marks -> 8000.0 +. (600.0 *. float_of_int (nmarks_of marks)))
+    predict_impl;
+  reg "display_marks" ~arity:1 ~cost:(fun _ -> 2000.0) (fun v -> v);
+  reg "empty_list" ~arity:0 ~cost:(fun _ -> 1.0) (fun _ -> V.List [])
+
+let table config =
+  let t = Skel.Funtable.create () in
+  register config t;
+  t
+
+let source config =
+  Printf.sprintf
+    {|(* Real-time vehicle detection and tracking -- paper section 4. *)
+external read_img : int * int -> img
+external init_state : unit -> state
+external get_windows : int -> state -> img -> window list
+external detect_mark : window -> mark
+external accum_marks : markList -> mark -> markList
+external predict : markList -> state * markList
+external display_marks : markList -> unit
+external empty_list : markList
+
+let nproc = %d
+let s0 = init_state ()
+let loop (state, im) =
+  let ws = get_windows nproc state im in
+  let marks = df nproc detect_mark accum_marks empty_list ws in
+  predict marks
+let main = itermem read_img loop display_marks s0 (%d, %d)
+|}
+    config.nproc config.scene.Vision.Scene.width config.scene.Vision.Scene.height
+
+let ir ?(frames = 1) config =
+  Skel.Ir.program ~frames "vehicle-tracking"
+    (Skel.Ir.Itermem
+       {
+         input = "read_img";
+         loop =
+           Skel.Ir.Pipe
+             [
+               Skel.Ir.Seq "get_windows_stage";
+               Skel.Ir.Df
+                 {
+                   nworkers = config.nproc;
+                   comp = "detect_mark";
+                   acc = "accum_marks";
+                   init = V.List [];
+                 };
+               Skel.Ir.Seq "predict";
+             ];
+         output = "display_marks";
+         init = Track_state.to_value Track_state.initial;
+       })
+
+let input_value config =
+  V.Tuple
+    [ V.Int config.scene.Vision.Scene.width; V.Int config.scene.Vision.Scene.height ]

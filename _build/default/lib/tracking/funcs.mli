@@ -1,0 +1,39 @@
+(** The application's sequential functions, with cost models.
+
+    These are the seven C functions of the paper's §4 case study, written
+    against the vision substrate and registered in a {!Skel.Funtable.t}.
+    Cost models are calibrated to land the T9000-era machine model in the
+    paper's regime (see DESIGN.md): frame acquisition ≈ 1 cycle/pixel,
+    detection ≈ 50 cycles/pixel of window content (threshold + CCL +
+    moments), prediction a few thousand cycles. *)
+
+type config = {
+  scene : Vision.Scene.params;  (** synthetic camera parameters *)
+  nproc : int;  (** the [nproc] constant of the specification *)
+  read_cycles_per_px : float;
+  extract_cycles_per_px : float;
+  detect_cycles_per_px : float;
+}
+
+val default_config : config
+(** 512x512, 2 vehicles, nproc = 8, calibrated cycle constants. *)
+
+val with_nproc : int -> config -> config
+
+val register : config -> Skel.Funtable.t -> unit
+(** Registers [read_img], [init_state], [get_windows], [detect_mark],
+    [accum_marks], [predict], [display_marks] and [empty_list]. *)
+
+val table : config -> Skel.Funtable.t
+(** Fresh table with everything registered. *)
+
+val source : config -> string
+(** The specification program of §4, verbatim modulo the [nproc] constant
+    and our external declarations. *)
+
+val ir : ?frames:int -> config -> Skel.Ir.program
+(** The same skeletal program built directly with the embedded API
+    (bypassing the ML front-end). *)
+
+val input_value : config -> Skel.Value.t
+(** [(512, 512)] — the argument the paper passes to [itermem]. *)

@@ -1,0 +1,1 @@
+lib/vision/ccl.ml: Array Format Fun Hashtbl Image List Queue

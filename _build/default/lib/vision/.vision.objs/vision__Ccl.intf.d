@@ -1,0 +1,1 @@
+lib/vision/ccl.mli: Format Image

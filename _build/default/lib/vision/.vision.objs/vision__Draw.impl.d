@@ -1,0 +1,1 @@
+lib/vision/draw.ml: Image Window

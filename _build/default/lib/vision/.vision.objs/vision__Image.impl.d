@@ -1,0 +1,1 @@
+lib/vision/image.ml: Bytes Char Format Fun In_channel List Printf Result String

@@ -1,0 +1,1 @@
+lib/vision/image.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/vision/ops.ml: Array Image

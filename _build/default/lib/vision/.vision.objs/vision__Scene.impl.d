@@ -1,0 +1,1 @@
+lib/vision/scene.ml: Image List Support

@@ -1,0 +1,1 @@
+lib/vision/window.ml: Ccl Format Image List

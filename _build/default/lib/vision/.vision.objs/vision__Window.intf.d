@@ -1,0 +1,1 @@
+lib/vision/window.mli: Ccl Format Image

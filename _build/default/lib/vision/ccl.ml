@@ -1,0 +1,233 @@
+type labelling = {
+  labels : int array;
+  width : int;
+  height : int;
+  ncomponents : int;
+}
+
+type region = {
+  label : int;
+  area : int;
+  cx : float;
+  cy : float;
+  min_x : int;
+  min_y : int;
+  max_x : int;
+  max_y : int;
+}
+
+(* Union-find with path halving and union by rank. *)
+module Uf = struct
+  type t = { parent : int array; rank : int array }
+
+  let create n = { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+  let rec find t i =
+    let p = t.parent.(i) in
+    if p = i then i
+    else begin
+      t.parent.(i) <- t.parent.(p);
+      find t t.parent.(i)
+    end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then
+      if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+      else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+      else begin
+        t.parent.(rb) <- ra;
+        t.rank.(ra) <- t.rank.(ra) + 1
+      end
+end
+
+(* Renumber labels densely, in raster order of each component's first pixel,
+   with 0 reserved for background. [raw] holds provisional labels >= 1. *)
+let densify raw =
+  let remap = Hashtbl.create 64 in
+  let next = ref 0 in
+  Array.iteri
+    (fun i r ->
+      if r <> 0 then begin
+        match Hashtbl.find_opt remap r with
+        | Some d -> raw.(i) <- d
+        | None ->
+            incr next;
+            Hashtbl.add remap r !next;
+            raw.(i) <- !next
+      end)
+    raw;
+  !next
+
+let label ~threshold img =
+  let w = Image.width img and h = Image.height img in
+  let labels = Array.make (w * h) 0 in
+  let uf = Uf.create ((w * h / 2) + 2) in
+  let next = ref 0 in
+  (* First pass: provisional labels, record equivalences. *)
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if Image.get img x y >= threshold then begin
+        let left = if x > 0 then labels.(((y * w) + x) - 1) else 0 in
+        let up = if y > 0 then labels.(((y - 1) * w) + x) else 0 in
+        let l =
+          match (left, up) with
+          | 0, 0 ->
+              incr next;
+              !next
+          | l, 0 | 0, l -> l
+          | l, u ->
+              if l <> u then Uf.union uf l u;
+              min l u
+        in
+        labels.((y * w) + x) <- l
+      end
+    done
+  done;
+  (* Second pass: resolve to representatives, then densify. *)
+  for i = 0 to (w * h) - 1 do
+    if labels.(i) <> 0 then labels.(i) <- Uf.find uf labels.(i)
+  done;
+  let ncomponents = densify labels in
+  { labels; width = w; height = h; ncomponents }
+
+let label_flood ~threshold img =
+  let w = Image.width img and h = Image.height img in
+  let labels = Array.make (w * h) 0 in
+  let next = ref 0 in
+  let queue = Queue.create () in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if Image.get img x y >= threshold && labels.((y * w) + x) = 0 then begin
+        incr next;
+        let l = !next in
+        labels.((y * w) + x) <- l;
+        Queue.add (x, y) queue;
+        while not (Queue.is_empty queue) do
+          let cx, cy = Queue.pop queue in
+          let visit nx ny =
+            if
+              nx >= 0 && nx < w && ny >= 0 && ny < h
+              && labels.((ny * w) + nx) = 0
+              && Image.get img nx ny >= threshold
+            then begin
+              labels.((ny * w) + nx) <- l;
+              Queue.add (nx, ny) queue
+            end
+          in
+          visit (cx - 1) cy;
+          visit (cx + 1) cy;
+          visit cx (cy - 1);
+          visit cx (cy + 1)
+        done
+      end
+    done
+  done;
+  { labels; width = w; height = h; ncomponents = !next }
+
+let regions lab =
+  let n = lab.ncomponents in
+  if n = 0 then []
+  else begin
+    let area = Array.make (n + 1) 0 in
+    let sx = Array.make (n + 1) 0 and sy = Array.make (n + 1) 0 in
+    let minx = Array.make (n + 1) max_int and miny = Array.make (n + 1) max_int in
+    let maxx = Array.make (n + 1) min_int and maxy = Array.make (n + 1) min_int in
+    for y = 0 to lab.height - 1 do
+      for x = 0 to lab.width - 1 do
+        let l = lab.labels.((y * lab.width) + x) in
+        if l <> 0 then begin
+          area.(l) <- area.(l) + 1;
+          sx.(l) <- sx.(l) + x;
+          sy.(l) <- sy.(l) + y;
+          if x < minx.(l) then minx.(l) <- x;
+          if x > maxx.(l) then maxx.(l) <- x;
+          if y < miny.(l) then miny.(l) <- y;
+          if y > maxy.(l) then maxy.(l) <- y
+        end
+      done
+    done;
+    List.init n (fun i ->
+        let l = i + 1 in
+        {
+          label = l;
+          area = area.(l);
+          cx = float_of_int sx.(l) /. float_of_int area.(l);
+          cy = float_of_int sy.(l) /. float_of_int area.(l);
+          min_x = minx.(l);
+          min_y = miny.(l);
+          max_x = maxx.(l);
+          max_y = maxy.(l);
+        })
+  end
+
+let detect_regions ~threshold img = regions (label ~threshold img)
+
+let equivalent a b =
+  a.width = b.width && a.height = b.height
+  && a.ncomponents = b.ncomponents
+  &&
+  let fwd = Hashtbl.create 64 and bwd = Hashtbl.create 64 in
+  let ok = ref true in
+  let n = a.width * a.height in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let la = a.labels.(!i) and lb = b.labels.(!i) in
+    if (la = 0) <> (lb = 0) then ok := false
+    else if la <> 0 then begin
+      (match Hashtbl.find_opt fwd la with
+      | Some lb' -> if lb' <> lb then ok := false
+      | None -> Hashtbl.add fwd la lb);
+      match Hashtbl.find_opt bwd lb with
+      | Some la' -> if la' <> la then ok := false
+      | None -> Hashtbl.add bwd lb la
+    end;
+    incr i
+  done;
+  !ok
+
+let merge_bands ~width bands =
+  (* Validate contiguity and reassemble raw labels with per-band offsets so
+     provisional labels are globally unique, then union across seams. *)
+  let total_height =
+    List.fold_left
+      (fun expected_y0 ((lab : labelling), y0) ->
+        if lab.width <> width then invalid_arg "Ccl.merge_bands: width mismatch";
+        if y0 <> expected_y0 then invalid_arg "Ccl.merge_bands: bands not contiguous";
+        y0 + lab.height)
+      0 bands
+  in
+  let labels = Array.make (width * total_height) 0 in
+  let offset = ref 0 in
+  let total_components =
+    List.fold_left
+      (fun acc ((lab : labelling), y0) ->
+        Array.iteri
+          (fun i l -> if l <> 0 then labels.((y0 * width) + i) <- l + !offset)
+          lab.labels;
+        offset := !offset + lab.ncomponents;
+        acc + lab.ncomponents)
+      0 bands
+  in
+  let uf = Uf.create (total_components + 1) in
+  (* Union components that touch vertically across each seam. *)
+  List.iter
+    (fun ((lab : labelling), y0) ->
+      if y0 > 0 then
+        for x = 0 to width - 1 do
+          let above = labels.(((y0 - 1) * width) + x)
+          and below = labels.((y0 * width) + x) in
+          if above <> 0 && below <> 0 then Uf.union uf above below
+        done;
+      ignore lab)
+    bands;
+  for i = 0 to Array.length labels - 1 do
+    if labels.(i) <> 0 then labels.(i) <- Uf.find uf labels.(i)
+  done;
+  let ncomponents = densify labels in
+  { labels; width; height = total_height; ncomponents }
+
+let pp_region ppf r =
+  Format.fprintf ppf
+    "@[<h>region %d: area=%d cg=(%.1f, %.1f) frame=[%d..%d]x[%d..%d]@]" r.label
+    r.area r.cx r.cy r.min_x r.max_x r.min_y r.max_y

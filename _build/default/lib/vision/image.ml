@@ -1,0 +1,193 @@
+type t = { width : int; height : int; data : Bytes.t }
+
+let clamp v = if v < 0 then 0 else if v > 255 then 255 else v
+
+let create ?(init = 0) width height =
+  if width <= 0 || height <= 0 then
+    invalid_arg "Image.create: non-positive dimensions";
+  if init < 0 || init > 255 then invalid_arg "Image.create: init out of range";
+  { width; height; data = Bytes.make (width * height) (Char.chr init) }
+
+let width img = img.width
+let height img = img.height
+let size img = img.width * img.height
+let in_bounds img x y = x >= 0 && x < img.width && y >= 0 && y < img.height
+
+let check img x y =
+  if not (in_bounds img x y) then
+    invalid_arg
+      (Printf.sprintf "Image: (%d, %d) out of bounds for %dx%d" x y img.width
+         img.height)
+
+let unsafe_get img x y = Char.code (Bytes.unsafe_get img.data ((y * img.width) + x))
+
+let unsafe_set img x y v =
+  Bytes.unsafe_set img.data ((y * img.width) + x) (Char.unsafe_chr v)
+
+let get img x y =
+  check img x y;
+  unsafe_get img x y
+
+let set img x y v =
+  check img x y;
+  unsafe_set img x y (clamp v)
+
+let get_opt img x y = if in_bounds img x y then Some (unsafe_get img x y) else None
+let fill img v = Bytes.fill img.data 0 (Bytes.length img.data) (Char.chr (clamp v))
+let copy img = { img with data = Bytes.copy img.data }
+
+let clip_rect img x y w h =
+  let x0 = max 0 x and y0 = max 0 y in
+  let x1 = min img.width (x + w) and y1 = min img.height (y + h) in
+  (x0, y0, x1 - x0, y1 - y0)
+
+let sub img ~x ~y ~w ~h =
+  let x0, y0, cw, ch = clip_rect img x y w h in
+  if cw <= 0 || ch <= 0 then invalid_arg "Image.sub: empty rectangle";
+  let dst = create cw ch in
+  for row = 0 to ch - 1 do
+    Bytes.blit img.data (((y0 + row) * img.width) + x0) dst.data (row * cw) cw
+  done;
+  dst
+
+let blit ~src ~dst ~x ~y =
+  let x0, y0, cw, ch = clip_rect dst x y src.width src.height in
+  let sx = x0 - x and sy = y0 - y in
+  for row = 0 to ch - 1 do
+    Bytes.blit src.data (((sy + row) * src.width) + sx) dst.data
+      (((y0 + row) * dst.width) + x0)
+      cw
+  done
+
+let map f img =
+  let dst = create img.width img.height in
+  for i = 0 to Bytes.length img.data - 1 do
+    Bytes.unsafe_set dst.data i
+      (Char.unsafe_chr (clamp (f (Char.code (Bytes.unsafe_get img.data i)))))
+  done;
+  dst
+
+let mapi f img =
+  let dst = create img.width img.height in
+  for y = 0 to img.height - 1 do
+    for x = 0 to img.width - 1 do
+      unsafe_set dst x y (clamp (f x y (unsafe_get img x y)))
+    done
+  done;
+  dst
+
+let iter f img =
+  for y = 0 to img.height - 1 do
+    for x = 0 to img.width - 1 do
+      f x y (unsafe_get img x y)
+    done
+  done
+
+let fold f z img =
+  let acc = ref z in
+  for i = 0 to Bytes.length img.data - 1 do
+    acc := f !acc (Char.code (Bytes.unsafe_get img.data i))
+  done;
+  !acc
+
+let row_bands img n =
+  if n <= 0 then invalid_arg "Image.row_bands: n <= 0";
+  let h = img.height in
+  let base = h / n and extra = h mod n in
+  let rec loop i y acc =
+    if i >= n || y >= h then List.rev acc
+    else
+      let rows = base + if i < extra then 1 else 0 in
+      if rows = 0 then loop (i + 1) y acc
+      else loop (i + 1) (y + rows) ((y, rows) :: acc)
+  in
+  loop 0 0 []
+
+let extract_band img (y0, nrows) = sub img ~x:0 ~y:y0 ~w:img.width ~h:nrows
+
+let equal a b =
+  a.width = b.width && a.height = b.height && Bytes.equal a.data b.data
+
+let digest img =
+  (* Cheap FNV-1a over the raster, for display and quick comparisons. *)
+  let h = ref 0x811c9dc5 in
+  Bytes.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x01000193 land 0x3fffffff)
+    img.data;
+  !h
+
+let pp ppf img =
+  Format.fprintf ppf "<image %dx%d #%08x>" img.width img.height (digest img)
+
+let to_pgm img =
+  let header = Printf.sprintf "P5\n%d %d\n255\n" img.width img.height in
+  header ^ Bytes.to_string img.data
+
+let of_pgm s =
+  (* Tokenise the header, skipping '#' comments, then read the raster. *)
+  let n = String.length s in
+  let rec skip_ws i =
+    if i >= n then i
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip_ws (i + 1)
+      | '#' ->
+          let rec eol j = if j >= n || s.[j] = '\n' then j else eol (j + 1) in
+          skip_ws (eol i)
+      | _ -> i
+  in
+  let token i =
+    let i = skip_ws i in
+    let rec stop j =
+      if j >= n then j
+      else match s.[j] with ' ' | '\t' | '\n' | '\r' | '#' -> j | _ -> stop (j + 1)
+    in
+    let j = stop i in
+    if j = i then Error "of_pgm: unexpected end of header"
+    else Ok (String.sub s i (j - i), j)
+  in
+  let ( let* ) = Result.bind in
+  let int_token i =
+    let* tok, j = token i in
+    match int_of_string_opt tok with
+    | Some v -> Ok (v, j)
+    | None -> Error (Printf.sprintf "of_pgm: expected integer, got %S" tok)
+  in
+  let* magic, i = token 0 in
+  let* w, i = int_token i in
+  let* h, i = int_token i in
+  let* maxval, i = int_token i in
+  if w <= 0 || h <= 0 then Error "of_pgm: bad dimensions"
+  else if maxval <= 0 || maxval > 255 then Error "of_pgm: unsupported maxval"
+  else
+    match magic with
+    | "P5" ->
+        let start = i + 1 in
+        if n - start < w * h then Error "of_pgm: truncated raster"
+        else
+          let img = create w h in
+          Bytes.blit_string s start img.data 0 (w * h);
+          Ok img
+    | "P2" ->
+        let img = create w h in
+        let rec read k i =
+          if k >= w * h then Ok img
+          else
+            let* v, i = int_token i in
+            Bytes.set img.data k (Char.chr (clamp v));
+            read (k + 1) i
+        in
+        read 0 i
+    | m -> Error (Printf.sprintf "of_pgm: unsupported magic %S" m)
+
+let save_pgm img path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_pgm img))
+
+let load_pgm path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> of_pgm s
+  | exception Sys_error msg -> Error msg

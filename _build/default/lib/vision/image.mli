@@ -1,0 +1,84 @@
+(** Grayscale 8-bit images.
+
+    Images are mutable row-major byte rasters. Coordinates are [(x, y)] with
+    [x] the column in [0 .. width - 1] and [y] the row in [0 .. height - 1].
+    All accessors raise [Invalid_argument] on out-of-bounds coordinates unless
+    documented otherwise. *)
+
+type t = private {
+  width : int;
+  height : int;
+  data : Bytes.t;  (** row-major, [width * height] bytes *)
+}
+
+val create : ?init:int -> int -> int -> t
+(** [create ?init w h] allocates a [w * h] image filled with [init]
+    (default 0). Raises [Invalid_argument] if [w <= 0], [h <= 0] or
+    [init] is outside [0, 255]. *)
+
+val width : t -> int
+val height : t -> int
+val size : t -> int
+(** [size img] is [width img * height img]. *)
+
+val get : t -> int -> int -> int
+(** [get img x y] is the pixel value at [(x, y)], in [0, 255]. *)
+
+val set : t -> int -> int -> int -> unit
+(** [set img x y v] writes [v] (clamped to [0, 255]) at [(x, y)]. *)
+
+val get_opt : t -> int -> int -> int option
+(** [get_opt img x y] is [None] when [(x, y)] is out of bounds. *)
+
+val in_bounds : t -> int -> int -> bool
+
+val fill : t -> int -> unit
+(** [fill img v] sets every pixel to [v] (clamped). *)
+
+val copy : t -> t
+
+val sub : t -> x:int -> y:int -> w:int -> h:int -> t
+(** [sub img ~x ~y ~w ~h] extracts a copy of the rectangle. The rectangle is
+    clipped against the image; raises [Invalid_argument] when the clipped
+    rectangle is empty. *)
+
+val blit : src:t -> dst:t -> x:int -> y:int -> unit
+(** [blit ~src ~dst ~x ~y] pastes [src] into [dst] at [(x, y)], clipping
+    against [dst]'s bounds. *)
+
+val map : (int -> int) -> t -> t
+(** [map f img] applies [f] to every pixel (result clamped to [0, 255]). *)
+
+val mapi : (int -> int -> int -> int) -> t -> t
+(** [mapi f img] applies [f x y v] to every pixel. *)
+
+val iter : (int -> int -> int -> unit) -> t -> unit
+(** [iter f img] calls [f x y v] for every pixel in row-major order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** [fold f z img] folds over pixel values in row-major order. *)
+
+val row_bands : t -> int -> (int * int) list
+(** [row_bands img n] splits the rows into [n] contiguous bands, returned as
+    [(first_row, nrows)] pairs; bands differ in height by at most one row.
+    Bands beyond [height] rows are dropped, so fewer than [n] pairs may be
+    returned for very short images. *)
+
+val extract_band : t -> int * int -> t
+(** [extract_band img (y0, nrows)] is the horizontal band starting at row
+    [y0]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** [pp] prints dimensions and a short content digest, not the raster. *)
+
+val to_pgm : t -> string
+(** Binary PGM (P5) encoding. *)
+
+val of_pgm : string -> (t, string) result
+(** Parses binary (P5) or ASCII (P2) PGM, maxval up to 255. *)
+
+val save_pgm : t -> string -> unit
+(** [save_pgm img path] writes [to_pgm img] to [path]. *)
+
+val load_pgm : string -> (t, string) result

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Archi Array Executive List Printf Procnet QCheck QCheck_alcotest Skel Skipper_lib Syndex Vision

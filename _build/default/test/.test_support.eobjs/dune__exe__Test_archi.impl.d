@@ -1,0 +1,1 @@
+test/test_archi.ml: Alcotest Archi Array Astring List Printf QCheck QCheck_alcotest

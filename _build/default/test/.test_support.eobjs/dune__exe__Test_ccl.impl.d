@@ -1,0 +1,1 @@
+test/test_ccl.ml: Alcotest Array List Printf QCheck QCheck_alcotest Support Vision

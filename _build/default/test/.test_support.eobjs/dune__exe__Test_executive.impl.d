@@ -1,0 +1,1 @@
+test/test_executive.ml: Alcotest Archi Array Astring Executive Fun List Machine Procnet QCheck QCheck_alcotest Skel Syndex

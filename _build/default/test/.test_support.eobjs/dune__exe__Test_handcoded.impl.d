@@ -1,0 +1,1 @@
+test/test_handcoded.ml: Alcotest Archi Executive Handcoded List Procnet Skel Syndex Tracking Vision

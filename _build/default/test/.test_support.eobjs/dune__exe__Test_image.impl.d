@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Filename Fun List Printf QCheck QCheck_alcotest Result Support Sys Vision

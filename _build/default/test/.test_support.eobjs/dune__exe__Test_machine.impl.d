@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Archi Array Astring Float List Machine Printf QCheck QCheck_alcotest Skel String

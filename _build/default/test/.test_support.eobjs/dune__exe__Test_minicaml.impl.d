@@ -1,0 +1,1 @@
+test/test_minicaml.ml: Alcotest Apps Astring Filename Format Fun In_channel List Minicaml Option Out_channel QCheck QCheck_alcotest Skel Sys Tracking

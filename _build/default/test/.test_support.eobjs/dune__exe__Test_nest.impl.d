@@ -1,0 +1,1 @@
+test/test_nest.ml: Alcotest Archi Executive List Printf Procnet QCheck QCheck_alcotest Skel Syndex

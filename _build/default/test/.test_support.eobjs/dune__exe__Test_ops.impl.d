@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest Array QCheck QCheck_alcotest Support Vision

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Archi Astring Executive Format List Skel Skipper_lib Syndex Tracking Vision

@@ -1,0 +1,1 @@
+test/test_procnet.ml: Alcotest Array Astring List Printf Procnet QCheck QCheck_alcotest Result Skel

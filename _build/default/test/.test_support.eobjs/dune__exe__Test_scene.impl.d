@@ -1,0 +1,1 @@
+test/test_scene.ml: Alcotest List QCheck QCheck_alcotest Vision

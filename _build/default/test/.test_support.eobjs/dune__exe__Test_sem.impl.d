@@ -1,0 +1,1 @@
+test/test_sem.ml: Alcotest Fun List QCheck QCheck_alcotest Skel

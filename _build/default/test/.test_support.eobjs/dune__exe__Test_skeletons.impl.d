@@ -1,0 +1,1 @@
+test/test_skeletons.ml: Alcotest Array List QCheck QCheck_alcotest Skel String

@@ -1,0 +1,1 @@
+test/test_specs.ml: Alcotest Apps Archi Array Filename In_channel List Printf Skel Skipper_lib Syndex Sys Tracking Vision

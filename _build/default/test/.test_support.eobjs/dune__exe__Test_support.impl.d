@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Fun List Option QCheck QCheck_alcotest Support

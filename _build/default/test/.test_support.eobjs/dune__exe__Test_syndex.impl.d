@@ -1,0 +1,1 @@
+test/test_syndex.ml: Alcotest Archi Array Hashtbl List Printf Procnet QCheck QCheck_alcotest Result Skel Syndex

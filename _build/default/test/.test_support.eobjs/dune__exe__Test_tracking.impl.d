@@ -1,0 +1,1 @@
+test/test_tracking.ml: Alcotest Archi Executive List Option Printf Procnet QCheck QCheck_alcotest Skel Skipper_lib Syndex Tracking Vision

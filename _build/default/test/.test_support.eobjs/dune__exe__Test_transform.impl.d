@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Archi Executive Format List Printf Procnet QCheck QCheck_alcotest Skel Syndex

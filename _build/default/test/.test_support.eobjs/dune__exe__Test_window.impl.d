@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Vision

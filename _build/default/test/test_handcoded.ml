@@ -1,0 +1,79 @@
+(* Tests for the hand-crafted parallel baseline: it must compute the same
+   marks as the skeleton-generated executive and perform comparably (the
+   paper's §4 comparison). *)
+
+module V = Skel.Value
+
+let config =
+  {
+    Tracking.Funcs.default_config with
+    Tracking.Funcs.scene =
+      { Vision.Scene.default_params with Vision.Scene.width = 256; height = 256 };
+    nproc = 4;
+  }
+
+let skeleton_run frames =
+  let table = Tracking.Funcs.table config in
+  let prog = Tracking.Funcs.ir ~frames config in
+  let g = Procnet.Expand.expand table prog in
+  let arch = Archi.ring config.Tracking.Funcs.nproc in
+  Executive.run ~table ~arch
+    ~placement:(Syndex.Place.canonical g arch)
+    ~graph:g ~frames
+    ~input:(Tracking.Funcs.input_value config)
+    ()
+
+let test_same_outputs () =
+  let frames = 4 in
+  let skel = skeleton_run frames in
+  let hand =
+    Handcoded.run ~config ~frames (Archi.ring config.Tracking.Funcs.nproc)
+  in
+  Alcotest.(check int) "same frame count" (List.length skel.Executive.outputs)
+    (List.length hand.Handcoded.output_values);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "same marks" true (V.equal a b))
+    skel.Executive.outputs hand.Handcoded.output_values
+
+let test_performance_comparable () =
+  (* The paper found the skeleton version's performance "similar to the
+     hand-crafted version". The hand-coded one avoids the generated
+     executive's extra control processes, so it should be at least as fast,
+     but within a factor of two. *)
+  let frames = 3 in
+  let skel = skeleton_run frames in
+  let hand = Handcoded.run ~config ~frames (Archi.ring config.Tracking.Funcs.nproc) in
+  let skel_lat = List.nth skel.Executive.latencies (frames - 1) in
+  let hand_lat = List.nth hand.Handcoded.latencies (frames - 1) in
+  Alcotest.(check bool) "hand-coded not slower" true (hand_lat <= skel_lat *. 1.05);
+  Alcotest.(check bool) "skeleton within 2x" true (skel_lat <= hand_lat *. 2.0)
+
+let test_marks_per_frame () =
+  let hand = Handcoded.run ~config ~frames:4 (Archi.ring config.Tracking.Funcs.nproc) in
+  (* Two vehicles, three marks each, once tracking locks on. Frame 0 is the
+     reinitialisation frame: its full-image tiling can cut a mark across a
+     tile boundary and detect both halves, so it is excluded. *)
+  List.iteri
+    (fun i n -> if i > 0 then Alcotest.(check int) "6 marks" 6 n)
+    hand.Handcoded.marks_per_frame
+
+let test_pacing () =
+  let hand =
+    Handcoded.run ~input_period:0.1 ~config ~frames:3
+      (Archi.ring config.Tracking.Funcs.nproc)
+  in
+  List.iter
+    (fun l -> Alcotest.(check bool) "latency positive, below period" true (l > 0.0 && l < 0.1))
+    hand.Handcoded.latencies
+
+let () =
+  Alcotest.run "handcoded"
+    [
+      ( "baseline",
+        [
+          Alcotest.test_case "same outputs" `Quick test_same_outputs;
+          Alcotest.test_case "performance comparable" `Quick test_performance_comparable;
+          Alcotest.test_case "marks per frame" `Quick test_marks_per_frame;
+          Alcotest.test_case "pacing" `Quick test_pacing;
+        ] );
+    ]

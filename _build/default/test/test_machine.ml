@@ -1,0 +1,336 @@
+(* Tests for the discrete-event MIMD-DM simulator: timing semantics of the
+   kernel primitives, link contention, determinism, and failure handling. *)
+
+module Sim = Machine.Sim
+module V = Skel.Value
+
+(* A ring with easy numbers: 1 us cycles, 1 MB/s links, 1 ms startup. *)
+let toy_arch n =
+  Archi.ring ~cycle_time:1e-6 ~bandwidth:1e6 ~startup:1e-3 n
+
+let test_compute_advances_time () =
+  let sim = Sim.create (toy_arch 2) in
+  let finished = ref 0.0 in
+  let _ =
+    Sim.spawn sim ~name:"p" ~on:0 (fun () ->
+        Sim.compute 1000.0;
+        finished := Sim.now ())
+  in
+  let _ = Sim.run sim in
+  Alcotest.(check (float 1e-12)) "1000 cycles at 1us" 1e-3 !finished
+
+let test_cpu_exclusive () =
+  (* Two processes on one processor serialise their computations. *)
+  let sim = Sim.create (toy_arch 1) in
+  let t1 = ref 0.0 and t2 = ref 0.0 in
+  let _ = Sim.spawn sim ~name:"a" ~on:0 (fun () -> Sim.compute 1000.0; t1 := Sim.now ()) in
+  let _ = Sim.spawn sim ~name:"b" ~on:0 (fun () -> Sim.compute 1000.0; t2 := Sim.now ()) in
+  let _ = Sim.run sim in
+  Alcotest.(check (float 1e-12)) "first done at 1ms" 1e-3 (Float.min !t1 !t2);
+  Alcotest.(check (float 1e-12)) "second done at 2ms" 2e-3 (Float.max !t1 !t2)
+
+let test_parallel_processors_overlap () =
+  let sim = Sim.create (toy_arch 2) in
+  let t1 = ref 0.0 and t2 = ref 0.0 in
+  let _ = Sim.spawn sim ~name:"a" ~on:0 (fun () -> Sim.compute 1000.0; t1 := Sim.now ()) in
+  let _ = Sim.spawn sim ~name:"b" ~on:1 (fun () -> Sim.compute 1000.0; t2 := Sim.now ()) in
+  let finish = Sim.run sim in
+  Alcotest.(check (float 1e-12)) "both done at 1ms" 1e-3 finish;
+  Alcotest.(check (float 1e-12)) "a" 1e-3 !t1;
+  Alcotest.(check (float 1e-12)) "b" 1e-3 !t2
+
+let test_message_latency_model () =
+  (* 1000-byte message over one link: send overhead + startup + bytes/bw. *)
+  let sim = Sim.create (toy_arch 2) in
+  let arrival = ref 0.0 in
+  let receiver =
+    Sim.spawn sim ~name:"rx" ~on:1 (fun () ->
+        let _ = Sim.recv "in" in
+        arrival := Sim.now ())
+  in
+  let _ =
+    Sim.spawn sim ~name:"tx" ~on:0 (fun () ->
+        Sim.send receiver "in" (V.Str (String.make 996 'x')))
+  in
+  let _ = Sim.run sim in
+  (* send overhead 200 cycles = 200us; transfer = 1ms startup + 1ms payload;
+     receive overhead happens after arrival. *)
+  let expected = (Sim.send_overhead_cycles *. 1e-6) +. 1e-3 +. 1e-3 in
+  Alcotest.(check (float 1e-9)) "arrival time" expected !arrival
+
+let test_store_and_forward () =
+  (* Two hops double the link time. *)
+  let sim = Sim.create (toy_arch 5) in
+  let arrival = ref 0.0 in
+  let receiver =
+    Sim.spawn sim ~name:"rx" ~on:2 (fun () ->
+        let _ = Sim.recv "in" in
+        arrival := Sim.now ())
+  in
+  let _ =
+    Sim.spawn sim ~name:"tx" ~on:0 (fun () ->
+        Sim.send receiver "in" (V.Str (String.make 996 'x')))
+  in
+  let _ = Sim.run sim in
+  let expected = (Sim.send_overhead_cycles *. 1e-6) +. (2.0 *. (1e-3 +. 1e-3)) in
+  Alcotest.(check (float 1e-9)) "two hops" expected !arrival;
+  Alcotest.(check int) "hops counted" 2 (Sim.stats sim).Sim.hops_total
+
+let test_link_contention_serialises () =
+  (* Two messages on the same link cannot overlap. *)
+  let sim = Sim.create (toy_arch 2) in
+  let arrivals = ref [] in
+  let receiver =
+    Sim.spawn sim ~name:"rx" ~on:1 (fun () ->
+        for _ = 1 to 2 do
+          let _ = Sim.recv "in" in
+          arrivals := Sim.now () :: !arrivals
+        done)
+  in
+  let _ =
+    Sim.spawn sim ~name:"tx" ~on:0 (fun () ->
+        Sim.send receiver "in" (V.Str (String.make 996 'x'));
+        Sim.send receiver "in" (V.Str (String.make 996 'y')))
+  in
+  let _ = Sim.run sim in
+  match List.rev !arrivals with
+  | [ a1; a2 ] ->
+      (* second transfer starts only after the first releases the link *)
+      Alcotest.(check bool) "serialised" true (a2 -. a1 >= 2e-3 -. 1e-9)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_local_message_cheap () =
+  let sim = Sim.create (toy_arch 2) in
+  let arrival = ref 0.0 in
+  let receiver =
+    Sim.spawn sim ~name:"rx" ~on:0 (fun () ->
+        let _ = Sim.recv "in" in
+        arrival := Sim.now ())
+  in
+  let _ = Sim.spawn sim ~name:"tx" ~on:0 (fun () -> Sim.send receiver "in" (V.Int 1)) in
+  let _ = Sim.run sim in
+  Alcotest.(check bool) "local copy is far below link time" true (!arrival < 1e-3)
+
+let test_fifo_per_port () =
+  let sim = Sim.create (toy_arch 2) in
+  let got = ref [] in
+  let receiver =
+    Sim.spawn sim ~name:"rx" ~on:1 (fun () ->
+        for _ = 1 to 3 do
+          got := V.to_int (Sim.recv "in") :: !got
+        done)
+  in
+  let _ =
+    Sim.spawn sim ~name:"tx" ~on:0 (fun () ->
+        List.iter (fun i -> Sim.send receiver "in" (V.Int i)) [ 1; 2; 3 ])
+  in
+  let _ = Sim.run sim in
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3 ] (List.rev !got)
+
+let test_recv_any () =
+  let sim = Sim.create (toy_arch 5) in
+  let first = ref "" in
+  let receiver =
+    Sim.spawn sim ~name:"rx" ~on:0 (fun () ->
+        let port, _ = Sim.recv_any [ "a"; "b" ] in
+        first := port)
+  in
+  (* b is adjacent, a is two hops away, so b arrives first *)
+  let _ = Sim.spawn sim ~name:"ta" ~on:2 (fun () -> Sim.send receiver "a" (V.Int 1)) in
+  let _ = Sim.spawn sim ~name:"tb" ~on:1 (fun () -> Sim.send receiver "b" (V.Int 2)) in
+  let _ = Sim.run sim in
+  Alcotest.(check string) "earliest message wins" "b" !first
+
+let test_sleep_until () =
+  let sim = Sim.create (toy_arch 1) in
+  let woke = ref 0.0 in
+  let _ =
+    Sim.spawn sim ~name:"s" ~on:0 (fun () ->
+        Sim.sleep_until 0.5;
+        woke := Sim.now ())
+  in
+  let _ = Sim.run sim in
+  Alcotest.(check (float 1e-9)) "woke at 0.5" 0.5 !woke;
+  (* sleeping is not busy time *)
+  Alcotest.(check bool) "no busy time" true ((Sim.stats sim).Sim.busy.(0) < 1e-6)
+
+let test_blocked_process_terminates_run () =
+  let sim = Sim.create (toy_arch 1) in
+  let _ = Sim.spawn sim ~name:"waiter" ~on:0 (fun () -> ignore (Sim.recv "never")) in
+  let finish = Sim.run sim in
+  Alcotest.(check (float 0.0)) "drains immediately" 0.0 finish
+
+let test_process_failure_wrapped () =
+  let sim = Sim.create (toy_arch 1) in
+  let _ = Sim.spawn sim ~name:"boom" ~on:0 (fun () -> failwith "kaboom") in
+  Alcotest.(check bool) "wrapped" true
+    (try ignore (Sim.run sim); false
+     with Sim.Process_failure (name, Failure msg) -> name = "boom" && msg = "kaboom")
+
+let test_primitives_outside_process () =
+  Alcotest.check_raises "now outside" Sim.Not_in_process (fun () -> ignore (Sim.now ()))
+
+let test_spawn_validation () =
+  let sim = Sim.create (toy_arch 2) in
+  Alcotest.(check bool) "bad processor" true
+    (try ignore (Sim.spawn sim ~name:"x" ~on:7 (fun () -> ())); false
+     with Invalid_argument _ -> true)
+
+let test_run_twice_rejected () =
+  let sim = Sim.create (toy_arch 1) in
+  let _ = Sim.run sim in
+  Alcotest.(check bool) "second run fails" true
+    (try ignore (Sim.run sim); false with Failure _ -> true)
+
+let test_determinism () =
+  let build () =
+    let sim = Sim.create (toy_arch 4) in
+    let outputs = ref [] in
+    let collector =
+      Sim.spawn sim ~name:"col" ~on:0 (fun () ->
+          for _ = 1 to 6 do
+            outputs := V.to_int (Sim.recv "r") :: !outputs
+          done)
+    in
+    for i = 1 to 3 do
+      let _ =
+        Sim.spawn sim ~name:(Printf.sprintf "w%d" i) ~on:(i mod 4) (fun () ->
+            Sim.compute (float_of_int (i * 100));
+            Sim.send collector "r" (V.Int i);
+            Sim.compute 50.0;
+            Sim.send collector "r" (V.Int (10 * i)))
+      in
+      ()
+    done;
+    let finish = Sim.run sim in
+    (finish, List.rev !outputs)
+  in
+  let f1, o1 = build () and f2, o2 = build () in
+  Alcotest.(check (float 0.0)) "same finish" f1 f2;
+  Alcotest.(check (list int)) "same order" o1 o2
+
+let test_stats_and_utilisation () =
+  let sim = Sim.create (toy_arch 2) in
+  let r = Sim.spawn sim ~name:"rx" ~on:1 (fun () -> ignore (Sim.recv "in")) in
+  let _ =
+    Sim.spawn sim ~name:"tx" ~on:0 (fun () ->
+        Sim.compute 100.0;
+        Sim.send r "in" (V.Int 5))
+  in
+  let _ = Sim.run sim in
+  let st = Sim.stats sim in
+  Alcotest.(check int) "one message" 1 st.Sim.messages;
+  Alcotest.(check int) "bytes" 4 st.Sim.bytes;
+  Alcotest.(check bool) "utilisation in (0,1]" true
+    (Sim.utilisation sim > 0.0 && Sim.utilisation sim <= 1.0)
+
+let test_trace_and_gantt () =
+  let sim = Sim.create ~trace:true (toy_arch 1) in
+  let _ = Sim.spawn sim ~name:"p" ~on:0 (fun () -> Sim.compute 500.0) in
+  let _ = Sim.run sim in
+  let events = Sim.trace sim in
+  Alcotest.(check bool) "has compute event" true
+    (List.exists (fun e -> match e.Sim.what with `Start_compute _ -> true | _ -> false) events);
+  Alcotest.(check bool) "has done event" true
+    (List.exists (fun e -> e.Sim.what = `Done) events);
+  let g = Sim.gantt sim in
+  Alcotest.(check bool) "gantt has the processor row" true
+    (Astring.String.is_infix ~affix:"P0" g)
+
+let prop_compute_time_additive =
+  QCheck.Test.make ~name:"sequential computes add up" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 10) (int_range 1 1000))
+    (fun cycles ->
+      let sim = Sim.create (toy_arch 1) in
+      let _ =
+        Sim.spawn sim ~name:"p" ~on:0 (fun () ->
+            List.iter (fun c -> Sim.compute (float_of_int c)) cycles)
+      in
+      let finish = Sim.run sim in
+      let expected = float_of_int (List.fold_left ( + ) 0 cycles) *. 1e-6 in
+      abs_float (finish -. expected) < 1e-9)
+
+
+let test_process_accounts () =
+  let sim = Sim.create (toy_arch 2) in
+  let r = Sim.spawn sim ~name:"rx" ~on:1 (fun () -> ignore (Sim.recv "in")) in
+  let _ =
+    Sim.spawn sim ~name:"tx" ~on:0 (fun () ->
+        Sim.compute 1000.0;
+        Sim.send r "in" (V.Int 1))
+  in
+  let _ = Sim.run sim in
+  match Sim.process_accounts sim with
+  | [ ("rx", 1, rx_busy, rx_sends); ("tx", 0, tx_busy, tx_sends) ] ->
+      Alcotest.(check int) "rx sent nothing" 0 rx_sends;
+      Alcotest.(check int) "tx sent one" 1 tx_sends;
+      Alcotest.(check bool) "tx busier than rx" true (tx_busy > rx_busy);
+      (* tx busy = 1000 compute + 200 send overhead cycles at 1us *)
+      Alcotest.(check (float 1e-9)) "tx busy" 1.2e-3 tx_busy
+  | other -> Alcotest.failf "unexpected accounts (%d entries)" (List.length other)
+
+let test_metrics_report () =
+  let sim = Sim.create (toy_arch 2) in
+  let r = Sim.spawn sim ~name:"rx" ~on:1 (fun () -> ignore (Sim.recv "in")) in
+  let _ =
+    Sim.spawn sim ~name:"tx" ~on:0 (fun () ->
+        Sim.compute 5000.0;
+        Sim.send r "in" (V.Int 1))
+  in
+  let _ = Sim.run sim in
+  let report = Machine.Metrics.analyse sim in
+  Alcotest.(check int) "messages" 1 report.Machine.Metrics.messages;
+  Alcotest.(check bool) "finish positive" true (report.Machine.Metrics.finish_time > 0.0);
+  (match report.Machine.Metrics.hottest_process with
+  | Some (name, _) -> Alcotest.(check string) "hottest" "tx" name
+  | None -> Alcotest.fail "expected a hottest process");
+  Alcotest.(check bool) "imbalance >= 1" true (Machine.Metrics.imbalance report >= 1.0);
+  let text = Machine.Metrics.to_string report in
+  Alcotest.(check bool) "has bars" true (Astring.String.is_infix ~affix:"P0" text);
+  Alcotest.(check bool) "names busiest" true (Astring.String.is_infix ~affix:"tx" text)
+
+let test_metrics_empty_machine () =
+  let sim = Sim.create (toy_arch 1) in
+  let _ = Sim.run sim in
+  let report = Machine.Metrics.analyse sim in
+  Alcotest.(check (float 0.0)) "no imbalance" 0.0 (Machine.Metrics.imbalance report);
+  Alcotest.(check int) "no messages" 0 report.Machine.Metrics.messages
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "compute",
+        [
+          Alcotest.test_case "advances time" `Quick test_compute_advances_time;
+          Alcotest.test_case "cpu exclusive" `Quick test_cpu_exclusive;
+          Alcotest.test_case "processors overlap" `Quick test_parallel_processors_overlap;
+          QCheck_alcotest.to_alcotest prop_compute_time_additive;
+        ] );
+      ( "communication",
+        [
+          Alcotest.test_case "latency model" `Quick test_message_latency_model;
+          Alcotest.test_case "store and forward" `Quick test_store_and_forward;
+          Alcotest.test_case "link contention" `Quick test_link_contention_serialises;
+          Alcotest.test_case "local messages cheap" `Quick test_local_message_cheap;
+          Alcotest.test_case "FIFO per port" `Quick test_fifo_per_port;
+          Alcotest.test_case "recv_any earliest" `Quick test_recv_any;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "sleep_until" `Quick test_sleep_until;
+          Alcotest.test_case "blocked process tolerated" `Quick test_blocked_process_terminates_run;
+          Alcotest.test_case "process failure wrapped" `Quick test_process_failure_wrapped;
+          Alcotest.test_case "primitives need a process" `Quick test_primitives_outside_process;
+          Alcotest.test_case "spawn validation" `Quick test_spawn_validation;
+          Alcotest.test_case "run twice rejected" `Quick test_run_twice_rejected;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "stats" `Quick test_stats_and_utilisation;
+          Alcotest.test_case "trace and gantt" `Quick test_trace_and_gantt;
+          Alcotest.test_case "process accounts" `Quick test_process_accounts;
+          Alcotest.test_case "metrics report" `Quick test_metrics_report;
+          Alcotest.test_case "metrics empty machine" `Quick test_metrics_empty_machine;
+        ] );
+    ]

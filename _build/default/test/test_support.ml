@@ -1,0 +1,237 @@
+(* Tests for the support library: deterministic PRNG and the binary heap. *)
+
+let test_prng_determinism () =
+  let a = Support.Prng.create 42 and b = Support.Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Support.Prng.bits64 a) (Support.Prng.bits64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Support.Prng.create 1 and b = Support.Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Support.Prng.bits64 a = Support.Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_prng_split_independent () =
+  let a = Support.Prng.create 7 in
+  let b = Support.Prng.split a in
+  let xa = Support.Prng.bits64 a and xb = Support.Prng.bits64 b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_prng_copy () =
+  let a = Support.Prng.create 9 in
+  let _ = Support.Prng.bits64 a in
+  let b = Support.Prng.copy a in
+  Alcotest.(check int64) "copy resumes identically" (Support.Prng.bits64 a)
+    (Support.Prng.bits64 b)
+
+let test_prng_int_bounds () =
+  let rng = Support.Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Support.Prng.int rng 17 in
+    Alcotest.(check bool) "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_rejects_nonpositive () =
+  let rng = Support.Prng.create 5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound <= 0") (fun () ->
+      ignore (Support.Prng.int rng 0))
+
+let test_prng_int_range () =
+  let rng = Support.Prng.create 6 in
+  for _ = 1 to 1000 do
+    let v = Support.Prng.int_range rng (-5) 5 in
+    Alcotest.(check bool) "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_float_bounds () =
+  let rng = Support.Prng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Support.Prng.float rng 2.5 in
+    Alcotest.(check bool) "0 <= v < 2.5" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_gaussian_moments () =
+  let rng = Support.Prng.create 10 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Support.Prng.gaussian rng in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (abs_float mean < 0.05);
+  Alcotest.(check bool) "variance near 1" true (abs_float (var -. 1.0) < 0.1)
+
+let test_prng_shuffle_permutation () =
+  let rng = Support.Prng.create 11 in
+  let a = Array.init 50 Fun.id in
+  Support.Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_pqueue_ordering () =
+  let q = Support.Pqueue.create () in
+  List.iter (fun p -> Support.Pqueue.push q p p) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let out = ref [] in
+  let rec drain () =
+    match Support.Pqueue.pop q with
+    | Some (p, _) ->
+        out := p :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.0))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ]
+    (List.rev !out)
+
+let test_pqueue_fifo_ties () =
+  let q = Support.Pqueue.create () in
+  List.iter (fun v -> Support.Pqueue.push q 1.0 v) [ "a"; "b"; "c" ];
+  let pop () = snd (Option.get (Support.Pqueue.pop q)) in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "insertion order on ties" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_pqueue_peek_and_length () =
+  let q = Support.Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Support.Pqueue.is_empty q);
+  Support.Pqueue.push q 2.0 "x";
+  Support.Pqueue.push q 1.0 "y";
+  Alcotest.(check int) "length" 2 (Support.Pqueue.length q);
+  (match Support.Pqueue.peek q with
+  | Some (p, v) ->
+      Alcotest.(check (float 0.0)) "peek priority" 1.0 p;
+      Alcotest.(check string) "peek value" "y" v
+  | None -> Alcotest.fail "peek on non-empty");
+  Alcotest.(check int) "peek does not remove" 2 (Support.Pqueue.length q)
+
+let test_pqueue_clear () =
+  let q = Support.Pqueue.create () in
+  Support.Pqueue.push q 1.0 1;
+  Support.Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Support.Pqueue.is_empty q);
+  Alcotest.(check bool) "pop empty" true (Support.Pqueue.pop q = None)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 1000.0) small_int))
+    (fun entries ->
+      let q = Support.Pqueue.create () in
+      List.iter (fun (p, v) -> Support.Pqueue.push q p v) entries;
+      let rec drain acc =
+        match Support.Pqueue.pop q with
+        | Some (p, _) -> drain (p :: acc)
+        | None -> List.rev acc
+      in
+      let prios = drain [] in
+      List.sort compare prios = prios)
+
+let prop_pqueue_preserves_multiset =
+  QCheck.Test.make ~name:"pqueue pops exactly what was pushed" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 100.0) small_int))
+    (fun entries ->
+      let q = Support.Pqueue.create () in
+      List.iter (fun (p, v) -> Support.Pqueue.push q p v) entries;
+      let rec drain acc =
+        match Support.Pqueue.pop q with
+        | Some (_, v) -> drain (v :: acc)
+        | None -> acc
+      in
+      let popped = List.sort compare (drain []) in
+      let pushed = List.sort compare (List.map snd entries) in
+      popped = pushed)
+
+
+(* --- busy-interval reservations --- *)
+
+let test_intervals_empty () =
+  Alcotest.(check (float 0.0)) "first fit on empty" 3.0
+    (Support.Intervals.first_fit Support.Intervals.empty ~earliest:3.0 ~duration:2.0)
+
+let test_intervals_gap_fill () =
+  (* busy [0,2) and [5,7): a 2-long request at earliest 0 fits at 2 *)
+  let _, occ = Support.Intervals.reserve Support.Intervals.empty ~earliest:0.0 ~duration:2.0 in
+  let _, occ = Support.Intervals.reserve occ ~earliest:5.0 ~duration:2.0 in
+  let start = Support.Intervals.first_fit occ ~earliest:0.0 ~duration:2.0 in
+  Alcotest.(check (float 1e-12)) "backfills the gap" 2.0 start;
+  (* a 4-long request does not fit in the 3-long gap *)
+  let start = Support.Intervals.first_fit occ ~earliest:0.0 ~duration:4.0 in
+  Alcotest.(check (float 1e-12)) "skips past" 7.0 start
+
+let test_intervals_total () =
+  let _, occ = Support.Intervals.reserve Support.Intervals.empty ~earliest:1.0 ~duration:2.0 in
+  let _, occ = Support.Intervals.reserve occ ~earliest:10.0 ~duration:0.5 in
+  Alcotest.(check (float 1e-12)) "total" 2.5 (Support.Intervals.total occ)
+
+let prop_intervals_stay_valid =
+  QCheck.Test.make ~name:"reservations stay sorted and disjoint" ~count:200
+    QCheck.(small_list (pair (float_bound_inclusive 50.0) (float_bound_inclusive 5.0)))
+    (fun requests ->
+      let occ =
+        List.fold_left
+          (fun occ (earliest, duration) ->
+            let duration = duration +. 0.01 in
+            snd (Support.Intervals.reserve occ ~earliest ~duration))
+          Support.Intervals.empty requests
+      in
+      Support.Intervals.valid occ)
+
+let prop_intervals_no_overlap_with_request =
+  QCheck.Test.make ~name:"granted slot never overlaps prior reservations" ~count:200
+    QCheck.(pair (small_list (pair (float_bound_inclusive 50.0) (float_bound_inclusive 5.0)))
+             (pair (float_bound_inclusive 50.0) (float_bound_inclusive 5.0)))
+    (fun (requests, (earliest, duration)) ->
+      let duration = duration +. 0.01 in
+      let occ =
+        List.fold_left
+          (fun occ (e, d) -> snd (Support.Intervals.reserve occ ~earliest:e ~duration:(d +. 0.01)))
+          Support.Intervals.empty requests
+      in
+      let start = Support.Intervals.first_fit occ ~earliest ~duration in
+      start >= earliest
+      && List.for_all
+           (fun (s, e) -> start +. duration <= s +. 1e-9 || start >= e -. 1e-9)
+           occ)
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int rejects bound <= 0" `Quick test_prng_int_rejects_nonpositive;
+          Alcotest.test_case "int_range" `Quick test_prng_int_range;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "gaussian moments" `Slow test_prng_gaussian_moments;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_permutation;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "peek and length" `Quick test_pqueue_peek_and_length;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+          QCheck_alcotest.to_alcotest prop_pqueue_preserves_multiset;
+        ] );
+      ( "intervals",
+        [
+          Alcotest.test_case "empty" `Quick test_intervals_empty;
+          Alcotest.test_case "gap fill" `Quick test_intervals_gap_fill;
+          Alcotest.test_case "total" `Quick test_intervals_total;
+          QCheck_alcotest.to_alcotest prop_intervals_stay_valid;
+          QCheck_alcotest.to_alcotest prop_intervals_no_overlap_with_request;
+        ] );
+    ]

@@ -1,0 +1,215 @@
+(* Tests for the SynDEx-style mapper: DAG derivation, HEFT scheduling,
+   fixed placements, schedule validation and deadlock freedom. *)
+
+module G = Procnet.Graph
+module V = Skel.Value
+
+let tracking_like_graph ?(nworkers = 4) () =
+  Procnet.Expand.expand_stage
+    (Skel.Ir.Itermem
+       {
+         input = "in";
+         loop =
+           Skel.Ir.Pipe
+             [
+               Skel.Ir.Seq "pre";
+               Skel.Ir.Df { nworkers; comp = "c"; acc = "a"; init = V.Int 0 };
+               Skel.Ir.Seq "post";
+             ];
+         output = "out";
+         init = V.Int 0;
+       })
+
+let cost = Syndex.Cost.make ()
+
+let test_dag_splits_masters_and_mem () =
+  let g = tracking_like_graph () in
+  let dag = Syndex.Dag.of_graph cost g in
+  let parts =
+    Array.to_list dag.Syndex.Dag.ops |> List.map (fun op -> op.Syndex.Dag.part)
+  in
+  let count p = List.length (List.filter (( = ) p) parts) in
+  Alcotest.(check int) "one dispatch" 1 (count Syndex.Dag.Dispatch);
+  Alcotest.(check int) "one collect" 1 (count Syndex.Dag.Collect);
+  Alcotest.(check int) "one emit" 1 (count Syndex.Dag.Emit);
+  Alcotest.(check int) "one store" 1 (count Syndex.Dag.Store);
+  Alcotest.(check int) "colocation pairs" 2 (List.length dag.Syndex.Dag.colocated)
+
+let test_dag_topological_order () =
+  let g = tracking_like_graph () in
+  let dag = Syndex.Dag.of_graph cost g in
+  let order = Syndex.Dag.topological_order dag in
+  Alcotest.(check int) "covers all ops" (Array.length dag.Syndex.Dag.ops)
+    (List.length order);
+  (* position map respects every dependency *)
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i op -> Hashtbl.replace pos op i) order;
+  List.iter
+    (fun (d : Syndex.Dag.dep) ->
+      Alcotest.(check bool) "edge forward" true
+        (Hashtbl.find pos d.Syndex.Dag.src_op < Hashtbl.find pos d.Syndex.Dag.dst_op))
+    dag.Syndex.Dag.deps
+
+let test_heft_schedule_validates () =
+  let g = tracking_like_graph () in
+  List.iter
+    (fun arch ->
+      let s = Syndex.Heft.map cost arch g in
+      (match Syndex.Schedule.validate s with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "invalid schedule on %s: %s" (Archi.name arch) m);
+      Alcotest.(check bool)
+        (Printf.sprintf "deadlock-free on %s" (Archi.name arch))
+        true (Syndex.Schedule.deadlock_free s);
+      Alcotest.(check bool) "positive makespan" true (s.Syndex.Schedule.makespan > 0.0))
+    [ Archi.ring 1; Archi.ring 4; Archi.ring 8; Archi.star 5; Archi.grid 2 3;
+      Archi.fully_connected 6 ]
+
+let test_heft_colocation_respected () =
+  let g = tracking_like_graph () in
+  let s = Syndex.Heft.map cost (Archi.ring 6) g in
+  (* all ops of a node share its placed processor (validate checks this,
+     but assert directly for masters). *)
+  List.iter
+    (fun (op : Syndex.Schedule.op_slot) ->
+      Alcotest.(check int) "op on placed proc"
+        s.Syndex.Schedule.placement.(op.Syndex.Schedule.node)
+        op.Syndex.Schedule.proc)
+    s.Syndex.Schedule.ops
+
+let test_canonical_placement () =
+  let g = tracking_like_graph ~nworkers:4 () in
+  let arch = Archi.ring 5 in
+  let placement = Syndex.Place.canonical g arch in
+  Array.iter
+    (fun (nd : G.node) ->
+      match nd.G.kind with
+      | G.DfWorker _ ->
+          Alcotest.(check bool) "worker spread" true (placement.(nd.G.id) >= 0)
+      | G.DfMaster _ | G.Mem _ | G.Join | G.Fork | G.Input _ | G.Output _ ->
+          Alcotest.(check int) "control on P0" 0 placement.(nd.G.id)
+      | _ -> ())
+    (G.nodes g);
+  (* the four workers land on P1..P4, one each *)
+  let worker_procs =
+    Array.to_list (G.nodes g)
+    |> List.filter_map (fun (nd : G.node) ->
+           match nd.G.kind with G.DfWorker _ -> Some placement.(nd.G.id) | _ -> None)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "fig-1 layout" [ 1; 2; 3; 4 ] worker_procs
+
+let test_of_placement_validates () =
+  let g = tracking_like_graph () in
+  let arch = Archi.ring 5 in
+  List.iter
+    (fun placement ->
+      let s = Syndex.Place.of_placement cost arch g placement in
+      (match Syndex.Schedule.validate s with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "invalid: %s" m);
+      Alcotest.(check bool) "deadlock-free" true (Syndex.Schedule.deadlock_free s))
+    [ Syndex.Place.canonical g arch; Syndex.Place.round_robin g arch ]
+
+let test_of_placement_rejects_bad_input () =
+  let g = tracking_like_graph () in
+  let arch = Archi.ring 3 in
+  Alcotest.(check bool) "wrong length" true
+    (try ignore (Syndex.Place.of_placement cost arch g [| 0 |]); false
+     with Invalid_argument _ -> true);
+  let p = Array.make (G.nnodes g) 99 in
+  Alcotest.(check bool) "missing processor" true
+    (try ignore (Syndex.Place.of_placement cost arch g p); false
+     with Invalid_argument _ -> true)
+
+let test_single_processor_has_no_comms () =
+  let g = tracking_like_graph () in
+  let s = Syndex.Heft.map cost (Archi.ring 1) g in
+  Alcotest.(check int) "no communications" 0 (List.length s.Syndex.Schedule.comms)
+
+let test_heft_beats_or_matches_single_proc () =
+  (* With parallel work available, more processors should not predict a
+     (much) longer makespan than one processor. *)
+  let fn_cycles name = if name = "c" then Some 200_000.0 else None in
+  let heavy = Syndex.Cost.make ~fn_cycles () in
+  let g = tracking_like_graph ~nworkers:6 () in
+  let m1 = (Syndex.Heft.map heavy (Archi.ring 1) g).Syndex.Schedule.makespan in
+  let m8 = (Syndex.Heft.map heavy (Archi.ring 8) g).Syndex.Schedule.makespan in
+  Alcotest.(check bool) "parallel is predicted faster" true (m8 < m1)
+
+let test_link_orders_cover_comms () =
+  let g = tracking_like_graph () in
+  let s = Syndex.Heft.map cost (Archi.ring 8) g in
+  let per_link = Syndex.Schedule.link_orders s in
+  let total_hops =
+    List.fold_left (fun acc (_, comms) -> acc + List.length comms) 0 per_link
+  in
+  let expected_hops =
+    List.fold_left
+      (fun acc (c : Syndex.Schedule.comm_slot) ->
+        acc + List.length c.Syndex.Schedule.route - 1)
+      0 s.Syndex.Schedule.comms
+  in
+  Alcotest.(check int) "every hop appears once" expected_hops total_hops
+
+let test_cost_model_defaults () =
+  let model = Syndex.Cost.make ~control_cycles:7.0 ~default_fn_cycles:9.0 () in
+  let g = tracking_like_graph () in
+  Array.iter
+    (fun (nd : G.node) ->
+      let c = model.Syndex.Cost.node_cycles nd in
+      match nd.G.kind with
+      | G.Join | G.Fork | G.Mem _ -> Alcotest.(check (float 0.0)) "control" 7.0 c
+      | _ -> Alcotest.(check (float 0.0)) "function" 9.0 c)
+    (G.nodes g)
+
+let test_node_function () =
+  Alcotest.(check (option string)) "worker fn" (Some "c")
+    (Syndex.Cost.node_function { G.id = 0; kind = G.DfWorker { comp = "c" }; label = "" });
+  Alcotest.(check (option string)) "join has none" None
+    (Syndex.Cost.node_function { G.id = 0; kind = G.Join; label = "" })
+
+let prop_heft_always_valid =
+  QCheck.Test.make ~name:"HEFT schedules validate on random configs" ~count:60
+    QCheck.(triple (int_range 1 8) (int_range 1 8) (int_range 1 10))
+    (fun (nworkers, nparts, nprocs) ->
+      let g =
+        Procnet.Expand.expand_stage
+          (Skel.Ir.Pipe
+             [
+               Skel.Ir.Scm { nparts; split = "s"; compute = "c"; merge = "m" };
+               Skel.Ir.Df { nworkers; comp = "c2"; acc = "a"; init = V.Int 0 };
+             ])
+      in
+      let s = Syndex.Heft.map cost (Archi.ring nprocs) g in
+      Result.is_ok (Syndex.Schedule.validate s) && Syndex.Schedule.deadlock_free s)
+
+let () =
+  Alcotest.run "syndex"
+    [
+      ( "dag",
+        [
+          Alcotest.test_case "splits masters and mem" `Quick test_dag_splits_masters_and_mem;
+          Alcotest.test_case "topological order" `Quick test_dag_topological_order;
+        ] );
+      ( "heft",
+        [
+          Alcotest.test_case "schedules validate" `Quick test_heft_schedule_validates;
+          Alcotest.test_case "colocation respected" `Quick test_heft_colocation_respected;
+          Alcotest.test_case "single proc no comms" `Quick test_single_processor_has_no_comms;
+          Alcotest.test_case "parallel predicted faster" `Quick test_heft_beats_or_matches_single_proc;
+          QCheck_alcotest.to_alcotest prop_heft_always_valid;
+        ] );
+      ( "placements",
+        [
+          Alcotest.test_case "canonical layout" `Quick test_canonical_placement;
+          Alcotest.test_case "of_placement validates" `Quick test_of_placement_validates;
+          Alcotest.test_case "of_placement rejects bad input" `Quick test_of_placement_rejects_bad_input;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "link orders cover comms" `Quick test_link_orders_cover_comms;
+          Alcotest.test_case "cost defaults" `Quick test_cost_model_defaults;
+          Alcotest.test_case "node_function" `Quick test_node_function;
+        ] );
+    ]

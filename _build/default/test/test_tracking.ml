@@ -1,0 +1,331 @@
+(* Tests for the vehicle-tracking application: detection, prediction,
+   windows, value encodings, and the full pipeline against the synthetic
+   ground truth. *)
+
+module V = Skel.Value
+module S = Vision.Scene
+
+let small_scene =
+  { S.default_params with S.width = 256; height = 256; nvehicles = 2 }
+
+let config =
+  { Tracking.Funcs.default_config with Tracking.Funcs.scene = small_scene; nproc = 4 }
+
+let test_mark_roundtrip () =
+  let m =
+    { Tracking.Mark.x = 1.5; y = 2.5; area = 12; min_x = 0; min_y = 1; max_x = 3; max_y = 4 }
+  in
+  Alcotest.(check bool) "roundtrip" true
+    (Tracking.Mark.equal m (Tracking.Mark.of_value (Tracking.Mark.to_value m)))
+
+let test_state_roundtrip () =
+  let st =
+    {
+      Tracking.Track_state.mode = Tracking.Track_state.Tracking;
+      tracks =
+        [
+          {
+            Tracking.Track_state.marks =
+              [
+                { Tracking.Mark.x = 1.0; y = 2.0; area = 9; min_x = 0; min_y = 0; max_x = 2; max_y = 2 };
+              ];
+            vx = 0.5;
+            vy = -0.5;
+          };
+        ];
+      frame = 3;
+    }
+  in
+  Alcotest.(check bool) "roundtrip" true
+    (Tracking.Track_state.equal st
+       (Tracking.Track_state.of_value (Tracking.Track_state.to_value st)))
+
+let test_state_rejects_bad_mode () =
+  let v =
+    V.Record [ ("mode", V.Str "wat"); ("tracks", V.List []); ("frame", V.Int 0) ]
+  in
+  Alcotest.(check bool) "bad mode" true
+    (try ignore (Tracking.Track_state.of_value v); false with V.Type_error _ -> true)
+
+let test_detect_finds_marks () =
+  let img = S.frame small_scene 4 in
+  let marks = Tracking.Detector.detect ~origin:(0, 0) img in
+  Alcotest.(check int) "6 marks for 2 vehicles" 6 (List.length marks);
+  (* each detected mark is near a ground-truth centre *)
+  let truth = S.ground_truth_marks small_scene 4 in
+  List.iter
+    (fun (m : Tracking.Mark.t) ->
+      let close =
+        List.exists
+          (fun (tx, ty) ->
+            sqrt (((m.Tracking.Mark.x -. tx) ** 2.0) +. ((m.Tracking.Mark.y -. ty) ** 2.0))
+            < 3.0)
+          truth
+      in
+      Alcotest.(check bool) "near truth" true close)
+    marks
+
+let test_detect_in_window_offsets () =
+  let img = S.frame small_scene 4 in
+  let all = Tracking.Detector.detect ~origin:(0, 0) img in
+  let m = List.hd all in
+  (* extract a window around the mark and detect inside it *)
+  let win =
+    Vision.Window.make
+      ~x:(m.Tracking.Mark.min_x - 5)
+      ~y:(m.Tracking.Mark.min_y - 5)
+      ~w:(Tracking.Mark.width m + 10)
+      ~h:(Tracking.Mark.height m + 10)
+  in
+  let sub = Vision.Window.extract img win in
+  let found =
+    Tracking.Detector.detect
+      ~origin:(win.Vision.Window.x, win.Vision.Window.y)
+      sub
+  in
+  Alcotest.(check bool) "found in window" true (List.length found >= 1);
+  let f = List.hd found in
+  Alcotest.(check (float 1.0)) "same absolute x" m.Tracking.Mark.x f.Tracking.Mark.x
+
+let test_cluster_groups_by_vehicle () =
+  let img = S.frame small_scene 10 in
+  let marks = Tracking.Detector.detect ~origin:(0, 0) img in
+  let groups = Tracking.Predictor.cluster marks in
+  let full = List.filter (fun g -> List.length g = 3) groups in
+  Alcotest.(check int) "2 full vehicles" 2 (List.length full)
+
+let test_update_modes () =
+  let init = Tracking.Track_state.initial in
+  (* no marks: stays in reinit *)
+  let st = Tracking.Predictor.update init [] in
+  Alcotest.(check bool) "reinit on no marks" true
+    (st.Tracking.Track_state.mode = Tracking.Track_state.Reinit);
+  (* a full vehicle: switches to tracking *)
+  let img = S.frame small_scene 2 in
+  let marks = Tracking.Detector.detect ~origin:(0, 0) img in
+  let st = Tracking.Predictor.update init marks in
+  Alcotest.(check bool) "tracking on full vehicle" true
+    (st.Tracking.Track_state.mode = Tracking.Track_state.Tracking);
+  Alcotest.(check int) "two tracks" 2 (List.length st.Tracking.Track_state.tracks);
+  Alcotest.(check int) "frame advanced" 1 st.Tracking.Track_state.frame
+
+let test_update_estimates_velocity () =
+  let mk x =
+    { Tracking.Mark.x; y = 50.0; area = 20; min_x = int_of_float x - 2; min_y = 48;
+      max_x = int_of_float x + 2; max_y = 52 }
+  in
+  let group_at x = [ mk x; mk (x +. 20.0); mk (x +. 10.0) ] in
+  let st1 = Tracking.Predictor.update Tracking.Track_state.initial (group_at 100.0) in
+  let st2 = Tracking.Predictor.update st1 (group_at 105.0) in
+  match st2.Tracking.Track_state.tracks with
+  | [ tr ] -> Alcotest.(check (float 0.01)) "vx" 5.0 tr.Tracking.Track_state.vx
+  | _ -> Alcotest.fail "expected one track"
+
+let test_windows_reinit_tiles () =
+  let wins =
+    Tracking.Predictor.windows_for ~nproc:4 ~width:256 ~height:256
+      Tracking.Track_state.initial
+  in
+  Alcotest.(check int) "nproc tiles" 4 (List.length wins)
+
+let test_windows_tracking_covers_marks () =
+  let img = S.frame small_scene 6 in
+  let marks = Tracking.Detector.detect ~origin:(0, 0) img in
+  let st = Tracking.Predictor.update Tracking.Track_state.initial marks in
+  let wins = Tracking.Predictor.windows_for ~nproc:4 ~width:256 ~height:256 st in
+  Alcotest.(check int) "3 windows per vehicle" 6 (List.length wins);
+  (* the next frame's marks fall inside the predicted windows *)
+  let next = Tracking.Detector.detect ~origin:(0, 0) (S.frame small_scene 7) in
+  List.iter
+    (fun (m : Tracking.Mark.t) ->
+      let covered =
+        List.exists
+          (fun w ->
+            Vision.Window.contains w
+              (int_of_float m.Tracking.Mark.x)
+              (int_of_float m.Tracking.Mark.y))
+          wins
+      in
+      Alcotest.(check bool) "next marks covered" true covered)
+    next
+
+let test_full_pipeline_tracks_vehicles () =
+  let frames = 6 in
+  let table = Tracking.Funcs.table config in
+  let prog = Tracking.Funcs.ir ~frames config in
+  let input = Tracking.Funcs.input_value config in
+  let result = Skel.Sem.run table prog input in
+  match result with
+  | V.Tuple [ state_v; V.List outputs ] ->
+      let final = Tracking.Track_state.of_value state_v in
+      Alcotest.(check bool) "ends in tracking mode" true
+        (final.Tracking.Track_state.mode = Tracking.Track_state.Tracking);
+      (* after the first (reinit) frame, all 6 marks are found every frame *)
+      List.iteri
+        (fun i out ->
+          let n = List.length (V.to_list out) in
+          if i > 0 then Alcotest.(check int) (Printf.sprintf "frame %d marks" i) 6 n)
+        outputs
+  | v -> Alcotest.failf "unexpected result %s" (V.to_string v)
+
+let test_pipeline_parallel_equals_sequential () =
+  let frames = 4 in
+  let prog = Tracking.Funcs.ir ~frames config in
+  let input = Tracking.Funcs.input_value config in
+  let seq = Skel.Sem.run (Tracking.Funcs.table config) prog input in
+  let table = Tracking.Funcs.table config in
+  let g = Procnet.Expand.expand table prog in
+  let arch = Archi.ring 5 in
+  let r =
+    Executive.run ~table ~arch
+      ~placement:(Syndex.Place.canonical g arch)
+      ~graph:g ~frames ~input ()
+  in
+  Alcotest.(check bool) "equal" true (V.equal seq r.Executive.value)
+
+let test_occlusion_forces_reinit () =
+  let occ_scene = { small_scene with S.nvehicles = 1; occlusion_period = 4 } in
+  let occ_config = { config with Tracking.Funcs.scene = occ_scene } in
+  let table = Tracking.Funcs.table occ_config in
+  let prog = Tracking.Funcs.ir ~frames:8 occ_config in
+  match Skel.Sem.run table prog (Tracking.Funcs.input_value occ_config) with
+  | V.Tuple [ _; V.List outputs ] ->
+      (* While occluded (frames where t mod 4 < ... per scene rule the
+         vehicle hides), no marks are visible, so some frames yield zero
+         marks. *)
+      let empties =
+        List.length (List.filter (fun o -> V.to_list o = []) outputs)
+      in
+      Alcotest.(check bool) "some frames lose the vehicle" true (empties > 0)
+  | v -> Alcotest.failf "unexpected result %s" (V.to_string v)
+
+let test_source_compiles_and_matches_embedded () =
+  let frames = 3 in
+  let table1 = Tracking.Funcs.table config in
+  let compiled =
+    Skipper_lib.Pipeline.compile_source ~frames ~table:table1
+      (Tracking.Funcs.source config)
+  in
+  let via_source =
+    Skipper_lib.Pipeline.emulate compiled (Option.get compiled.Skipper_lib.Pipeline.input)
+  in
+  let via_embedded =
+    Skel.Sem.run (Tracking.Funcs.table config)
+      (Tracking.Funcs.ir ~frames config)
+      (Tracking.Funcs.input_value config)
+  in
+  Alcotest.(check bool) "front-end equals embedded" true
+    (V.equal via_source via_embedded)
+
+let test_cost_models_scale_with_area () =
+  let table = Tracking.Funcs.table config in
+  let small_item =
+    V.Record [ ("x", V.Int 0); ("y", V.Int 0); ("pixels", V.Image (Vision.Image.create 10 10)) ]
+  in
+  let big_item =
+    V.Record [ ("x", V.Int 0); ("y", V.Int 0); ("pixels", V.Image (Vision.Image.create 100 100)) ]
+  in
+  Alcotest.(check bool) "detect cost grows" true
+    (Skel.Funtable.cost table "detect_mark" big_item
+    > Skel.Funtable.cost table "detect_mark" small_item)
+
+let prop_detection_robust_across_frames =
+  QCheck.Test.make ~name:"marks detected on any frame" ~count:40
+    (QCheck.int_bound 200) (fun t ->
+      (* Two vehicles' marks can momentarily overlap into one component on
+         the small 256x256 scene (frames ~84-92), so 5 detections are also
+         legitimate. *)
+      let marks = Tracking.Detector.detect ~origin:(0, 0) (S.frame small_scene t) in
+      let n = List.length marks in
+      n = 5 || n = 6)
+
+
+let test_three_vehicles () =
+  let scene3 = { small_scene with S.nvehicles = 3 } in
+  let cfg3 = { config with Tracking.Funcs.scene = scene3 } in
+  let table = Tracking.Funcs.table cfg3 in
+  let prog = Tracking.Funcs.ir ~frames:3 cfg3 in
+  match Skel.Sem.run table prog (Tracking.Funcs.input_value cfg3) with
+  | V.Tuple [ state_v; V.List outputs ] ->
+      let final = Tracking.Track_state.of_value state_v in
+      Alcotest.(check int) "three tracks" 3
+        (List.length final.Tracking.Track_state.tracks);
+      (* nine marks once locked on *)
+      (match List.rev outputs with
+      | last :: _ -> Alcotest.(check int) "nine marks" 9 (List.length (V.to_list last))
+      | [] -> Alcotest.fail "no outputs")
+  | v -> Alcotest.failf "unexpected %s" (V.to_string v)
+
+let test_occlusion_recovery () =
+  (* The vehicle disappears then reappears: the tracker must fall back to
+     reinitialisation and then lock on again. *)
+  let occ_scene = { small_scene with S.nvehicles = 1; occlusion_period = 6 } in
+  let scene_frames = 12 in
+  let state = ref Tracking.Track_state.initial in
+  let modes = ref [] in
+  for i = 0 to scene_frames - 1 do
+    let img = Vision.Scene.frame occ_scene i in
+    let windows =
+      Tracking.Predictor.windows_for ~nproc:4 ~width:256 ~height:256 !state
+    in
+    let marks =
+      List.concat_map
+        (fun w ->
+          Tracking.Detector.detect
+            ~origin:(w.Vision.Window.x, w.Vision.Window.y)
+            (Vision.Window.extract img w))
+        windows
+    in
+    state := Tracking.Predictor.update !state marks;
+    modes := !state.Tracking.Track_state.mode :: !modes
+  done;
+  let modes = List.rev !modes in
+  Alcotest.(check bool) "loses the vehicle at some point" true
+    (List.exists (( = ) Tracking.Track_state.Reinit) modes);
+  Alcotest.(check bool) "re-acquires it" true
+    (match List.rev modes with
+    | last :: _ -> last = Tracking.Track_state.Tracking
+    | [] -> false);
+  (* and specifically: a Reinit mode is followed later by Tracking *)
+  let rec recovered = function
+    | Tracking.Track_state.Reinit :: rest ->
+        List.exists (( = ) Tracking.Track_state.Tracking) rest
+    | _ :: rest -> recovered rest
+    | [] -> false
+  in
+  Alcotest.(check bool) "reinit then tracking" true (recovered modes)
+
+let () =
+  Alcotest.run "tracking"
+    [
+      ( "encodings",
+        [
+          Alcotest.test_case "mark roundtrip" `Quick test_mark_roundtrip;
+          Alcotest.test_case "state roundtrip" `Quick test_state_roundtrip;
+          Alcotest.test_case "bad mode rejected" `Quick test_state_rejects_bad_mode;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "finds marks" `Quick test_detect_finds_marks;
+          Alcotest.test_case "window offsets" `Quick test_detect_in_window_offsets;
+          QCheck_alcotest.to_alcotest prop_detection_robust_across_frames;
+        ] );
+      ( "prediction",
+        [
+          Alcotest.test_case "cluster groups by vehicle" `Quick test_cluster_groups_by_vehicle;
+          Alcotest.test_case "mode transitions" `Quick test_update_modes;
+          Alcotest.test_case "velocity estimation" `Quick test_update_estimates_velocity;
+          Alcotest.test_case "reinit tiles" `Quick test_windows_reinit_tiles;
+          Alcotest.test_case "tracking windows cover next frame" `Quick test_windows_tracking_covers_marks;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "tracks vehicles" `Quick test_full_pipeline_tracks_vehicles;
+          Alcotest.test_case "parallel equals sequential" `Quick test_pipeline_parallel_equals_sequential;
+          Alcotest.test_case "occlusion forces reinit" `Quick test_occlusion_forces_reinit;
+          Alcotest.test_case "three vehicles" `Quick test_three_vehicles;
+          Alcotest.test_case "occlusion recovery" `Quick test_occlusion_recovery;
+          Alcotest.test_case "source matches embedded" `Quick test_source_compiles_and_matches_embedded;
+          Alcotest.test_case "cost models scale" `Quick test_cost_models_scale_with_area;
+        ] );
+    ]

@@ -1,0 +1,303 @@
+(* Tests for the inter-skeleton transformational rules (paper §6's proposed
+   follow-up): structural rewrites, semantics preservation, and executive
+   impact. *)
+
+module V = Skel.Value
+module Ir = Skel.Ir
+module T = Skel.Transform
+
+let value_testable = Alcotest.testable V.pp V.equal
+
+let table () =
+  Skel.Funtable.of_list
+    [
+      ("inc", 1, (fun v -> V.Int (V.to_int v + 1)), fun _ -> 1000.0);
+      ("dbl", 1, (fun v -> V.Int (2 * V.to_int v)), fun _ -> 2000.0);
+      ( "add",
+        2,
+        (fun v ->
+          let a, b = V.to_pair v in
+          V.Int (V.to_int a + V.to_int b)),
+        fun _ -> 100.0 );
+      ( "split1",
+        2,
+        (fun v ->
+          match v with
+          | V.Tuple [ V.Int n; x ] -> V.List (List.init n (fun _ -> x))
+          | _ -> raise (V.Type_error "split1")),
+        fun _ -> 100.0 );
+      ( "merge_sum",
+        1,
+        (fun v -> V.Int (List.fold_left (fun a x -> a + V.to_int x) 0 (V.to_list v))),
+        fun _ -> 100.0 );
+      ( "divide",
+        1,
+        (fun v ->
+          let n = V.to_int v in
+          if n > 3 then V.Tuple [ V.List [ V.Int (n - 1); V.Int (n - 2) ]; V.Int 0 ]
+          else V.Tuple [ V.List []; V.Int n ]),
+        fun _ -> 500.0 );
+    ]
+
+let test_flatten_nested_pipes () =
+  let nested =
+    Ir.Pipe [ Ir.Seq "a"; Ir.Pipe [ Ir.Seq "b"; Ir.Pipe [ Ir.Seq "c" ] ]; Ir.Seq "d" ]
+  in
+  match T.flatten_pipes nested with
+  | Ir.Pipe [ Ir.Seq "a"; Ir.Seq "b"; Ir.Seq "c"; Ir.Seq "d" ] -> ()
+  | other -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Ir.pp other)
+
+let test_flatten_singleton () =
+  match T.flatten_pipes (Ir.Pipe [ Ir.Pipe [ Ir.Seq "x" ] ]) with
+  | Ir.Seq "x" -> ()
+  | other -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Ir.pp other)
+
+let test_flatten_inside_itermem () =
+  let prog =
+    Ir.Itermem
+      {
+        input = "i";
+        loop = Ir.Pipe [ Ir.Pipe [ Ir.Seq "a" ]; Ir.Seq "b" ];
+        output = "o";
+        init = V.Unit;
+      }
+  in
+  match T.flatten_pipes prog with
+  | Ir.Itermem { loop = Ir.Pipe [ Ir.Seq "a"; Ir.Seq "b" ]; _ } -> ()
+  | other -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Ir.pp other)
+
+let test_fuse_seq_preserves_semantics () =
+  let t = table () in
+  let prog = Ir.program "p" (Ir.Pipe [ Ir.Seq "inc"; Ir.Seq "dbl"; Ir.Seq "inc" ]) in
+  let before = Skel.Sem.run t prog (V.Int 5) in
+  let prog', applied = T.normalize t prog in
+  Alcotest.(check value_testable) "same result" before
+    (Skel.Sem.run t prog' (V.Int 5));
+  Alcotest.(check value_testable) "which is 13" (V.Int 13) before;
+  (* three seqs fuse into one *)
+  (match prog'.Ir.body with
+  | Ir.Seq _ -> ()
+  | other -> Alcotest.failf "expected a single Seq, got %s" (Format.asprintf "%a" Ir.pp other));
+  Alcotest.(check bool) "fuse rule reported" true
+    (List.exists (fun a -> a.T.rule = "fuse-seq" && a.T.count >= 2) applied)
+
+let test_fused_cost_is_summed () =
+  let t = table () in
+  let prog = Ir.program "p" (Ir.Pipe [ Ir.Seq "inc"; Ir.Seq "dbl" ]) in
+  let prog', _ = T.normalize t prog in
+  match prog'.Ir.body with
+  | Ir.Seq fused ->
+      Alcotest.(check (float 0.001)) "1000 + 2000" 3000.0
+        (Skel.Funtable.cost t fused (V.Int 1))
+  | _ -> Alcotest.fail "expected fusion"
+
+let test_serialise_df () =
+  let t = table () in
+  let prog =
+    Ir.program "p" (Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0 })
+  in
+  let input = V.List [ V.Int 1; V.Int 2; V.Int 3 ] in
+  let before = Skel.Sem.run t prog input in
+  let prog', applied = T.normalize t prog in
+  (match prog'.Ir.body with
+  | Ir.Seq _ -> ()
+  | other -> Alcotest.failf "expected Seq, got %s" (Format.asprintf "%a" Ir.pp other));
+  Alcotest.(check value_testable) "same result" before (Skel.Sem.run t prog' input);
+  Alcotest.(check bool) "rule reported" true
+    (List.exists (fun a -> a.T.rule = "serialise-df") applied)
+
+let test_serialise_tf () =
+  let t = table () in
+  let prog =
+    Ir.program "p" (Ir.Tf { nworkers = 1; work = "divide"; acc = "add"; init = V.Int 0 })
+  in
+  let input = V.List [ V.Int 9 ] in
+  let before = Skel.Sem.run t prog input in
+  let prog', _ = T.normalize t prog in
+  Alcotest.(check value_testable) "same result" before (Skel.Sem.run t prog' input)
+
+let test_serialise_scm () =
+  let t = table () in
+  let prog =
+    Ir.program "p"
+      (Ir.Scm { nparts = 1; split = "split1"; compute = "dbl"; merge = "merge_sum" })
+  in
+  let before = Skel.Sem.run t prog (V.Int 7) in
+  let prog', _ = T.normalize t prog in
+  (match prog'.Ir.body with
+  | Ir.Seq _ -> ()
+  | _ -> Alcotest.fail "expected serialisation");
+  Alcotest.(check value_testable) "same result" before (Skel.Sem.run t prog' (V.Int 7))
+
+let test_multi_worker_farms_untouched () =
+  let t = table () in
+  let prog =
+    Ir.program "p" (Ir.Df { nworkers = 4; comp = "dbl"; acc = "add"; init = V.Int 0 })
+  in
+  let prog', applied = T.normalize t prog in
+  Alcotest.(check bool) "df unchanged" true (prog'.Ir.body = prog.Ir.body);
+  Alcotest.(check int) "nothing applied" 0 (List.length applied)
+
+let test_normalized_program_validates () =
+  let t = table () in
+  let prog =
+    Ir.program ~frames:2 "p"
+      (Ir.Itermem
+         {
+           input = "inc";
+           loop =
+             Ir.Pipe
+               [
+                 Ir.Seq "inc";
+                 Ir.Pipe [ Ir.Seq "dbl" ];
+                 Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0 };
+               ];
+           output = "inc";
+           init = V.Int 0;
+         })
+  in
+  let prog', _ = T.normalize t prog in
+  (match Ir.validate t prog' with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "normalized program invalid: %s" m);
+  (* and it still expands + runs on the executive *)
+  ignore (Procnet.Expand.expand t prog')
+
+let test_normalization_reduces_processes () =
+  let t = table () in
+  let prog =
+    Ir.program "p"
+      (Ir.Pipe
+         [
+           Ir.Seq "inc";
+           Ir.Seq "dbl";
+           Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0 };
+         ])
+  in
+  let before = Procnet.Graph.nnodes (Procnet.Expand.expand t prog) in
+  let prog', _ = T.normalize t prog in
+  let after = Procnet.Graph.nnodes (Procnet.Expand.expand t prog') in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d processes -> %d" before after)
+    true (after < before);
+  Alcotest.(check int) "single fused process" 1 after
+
+let test_executive_agrees_after_normalization () =
+  let input = V.List (List.init 9 (fun i -> V.Int i)) in
+  let t1 = table () in
+  let prog =
+    Ir.program "p"
+      (Ir.Pipe
+         [ Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0 } ])
+  in
+  let seq = Skel.Sem.run t1 prog input in
+  let t2 = table () in
+  let prog', _ = T.normalize t2 prog in
+  let g = Procnet.Expand.expand t2 prog' in
+  let arch = Archi.ring 2 in
+  let r =
+    Executive.run ~table:t2 ~arch
+      ~placement:(Syndex.Place.canonical g arch)
+      ~graph:g ~frames:1 ~input ()
+  in
+  Alcotest.(check value_testable) "agree" seq r.Executive.value
+
+(* Random skeletal pipelines: normalization never changes the semantics. *)
+let stage_gen =
+  QCheck.Gen.(
+    let leaf =
+      oneof
+        [
+          return (Ir.Seq "inc");
+          return (Ir.Seq "dbl");
+          map
+            (fun n -> Ir.Df { nworkers = 1 + n; comp = "dbl"; acc = "add"; init = V.Int 0 })
+            (int_bound 2);
+        ]
+    in
+    let rec build depth =
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            (1, map (fun stages -> Ir.Pipe stages) (list_size (int_range 1 3) (build (depth - 1))));
+          ]
+    in
+    build 3)
+
+let arbitrary_stage =
+  QCheck.make stage_gen ~print:(fun s -> Format.asprintf "%a" Ir.pp s)
+
+let prop_normalize_preserves_semantics =
+  QCheck.Test.make ~name:"normalization preserves declarative semantics" ~count:100
+    (QCheck.pair arbitrary_stage (QCheck.small_list QCheck.small_signed_int))
+    (fun (stage, xs) ->
+      (* Input must be a list iff the first stage is a farm; use a list and
+         wrap Seqs to accept lists via df so types line up: instead, wrap the
+         stage in a df-compatible harness by always feeding a list through a
+         leading 1-worker farm when the stage starts with Df. Simpler: feed
+         a list and skip programs whose first stage is a Seq. *)
+      let starts_with_seq =
+        let rec first = function
+          | Ir.Seq _ -> true
+          | Ir.Pipe (s :: _) -> first s
+          | Ir.Pipe [] -> true
+          | _ -> false
+        in
+        first stage
+      in
+      let input =
+        if starts_with_seq then V.Int 3 else V.List (List.map (fun x -> V.Int x) xs)
+      in
+      (* A Df mid-pipeline needs a list; only keep programs where farms are
+         first (or absent). *)
+      let well_formed =
+        let rec shape_ok ~first = function
+          | Ir.Seq _ -> true
+          | Ir.Df _ -> first
+          | Ir.Pipe stages -> (
+              match stages with
+              | [] -> true
+              | s :: rest ->
+                  shape_ok ~first s
+                  && List.for_all (fun s -> shape_ok ~first:false s) rest
+                  && List.for_all (function Ir.Df _ -> false | _ -> true) rest)
+          | _ -> false
+        in
+        shape_ok ~first:true stage
+      in
+      QCheck.assume well_formed;
+      let t1 = table () in
+      let prog = Ir.program "q" stage in
+      let before = Skel.Sem.run t1 prog input in
+      let t2 = table () in
+      let prog', _ = T.normalize t2 prog in
+      V.equal before (Skel.Sem.run t2 prog' input))
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "flatten nested pipes" `Quick test_flatten_nested_pipes;
+          Alcotest.test_case "flatten singleton" `Quick test_flatten_singleton;
+          Alcotest.test_case "flatten inside itermem" `Quick test_flatten_inside_itermem;
+          Alcotest.test_case "multi-worker farms untouched" `Quick test_multi_worker_farms_untouched;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "fuse-seq semantics" `Quick test_fuse_seq_preserves_semantics;
+          Alcotest.test_case "fused cost summed" `Quick test_fused_cost_is_summed;
+          Alcotest.test_case "serialise df" `Quick test_serialise_df;
+          Alcotest.test_case "serialise tf" `Quick test_serialise_tf;
+          Alcotest.test_case "serialise scm" `Quick test_serialise_scm;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "normalized program validates" `Quick test_normalized_program_validates;
+          Alcotest.test_case "fewer processes" `Quick test_normalization_reduces_processes;
+          Alcotest.test_case "executive agrees" `Quick test_executive_agrees_after_normalization;
+          QCheck_alcotest.to_alcotest prop_normalize_preserves_semantics;
+        ] );
+    ]
