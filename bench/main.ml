@@ -102,7 +102,39 @@ let e2 () =
       if p = 1 then base := r.reinit_ms;
       Printf.printf "%6d %16.1f %16.1f %14.2f\n" p r.steady_ms r.reinit_ms
         (!base /. r.reinit_ms))
-    [ 1; 2; 4; 8; 12; 16 ]
+    [ 1; 2; 4; 8; 12; 16 ];
+  (* The "almost instantaneous" claim itself: with the memoizing pass
+     manager, producing a variant for another processor count re-runs only
+     the mapping — every front-end artifact is a cache hit. *)
+  let config = Tracking.Funcs.default_config in
+  let table = Tracking.Funcs.table config in
+  let src = Tracking.Funcs.source config in
+  let cache = Skipper_lib.Passes.create_cache () in
+  Printf.printf
+    "\nfront-end cost per processor-count variant (memoized pass manager):\n";
+  Printf.printf "%6s %20s %18s\n" "procs" "compile+map (ms)" "front end";
+  List.iter
+    (fun p ->
+      let t0 = Unix.gettimeofday () in
+      let c = Skipper_lib.Pipeline.compile_source ~frames:12 ~cache ~table src in
+      let _sched = Skipper_lib.Pipeline.map c (Archi.ring p) in
+      let dt = ms (Unix.gettimeofday () -. t0) in
+      let frontend_passes =
+        [ "parse"; "typecheck"; "extract"; "transform"; "expand" ]
+      in
+      let cached =
+        List.for_all
+          (fun r ->
+            (not (List.mem r.Skipper_lib.Stage.pass frontend_passes))
+            || r.Skipper_lib.Stage.cached)
+          (Skipper_lib.Pipeline.reports c)
+      in
+      Printf.printf "%6d %20.3f %18s\n" p dt
+        (if cached then "memoized" else "compiled"))
+    [ 1; 2; 4; 8; 12; 16 ];
+  let hits, misses = Skipper_lib.Passes.cache_stats cache in
+  Printf.printf "  artifact cache: %d hits, %d misses (front end ran once)\n"
+    hits misses
 
 (* ------------------------------------------------------------------ *)
 (* E3: skeleton-generated executive vs hand-crafted parallel version   *)
@@ -362,58 +394,40 @@ let e8 () =
 
 let e9 () =
   header "E9" "toolchain traversal and emulation/executive equivalence (paper Fig. 2)";
+  (* The whole Fig. 2 path now runs through the staged pass manager; the
+     per-stage table below is sourced from the Stage.report records the
+     passes produce, not from ad-hoc timers. *)
   let config = Tracking.Funcs.default_config in
   let table = Tracking.Funcs.table config in
   let src = Tracking.Funcs.source config in
-  let time label f =
-    let t0 = Unix.gettimeofday () in
-    let v = f () in
-    Printf.printf "%-34s %8.1f ms (host)\n" label (ms (Unix.gettimeofday () -. t0));
-    v
-  in
-  let ast = time "parse" (fun () -> Minicaml.Parser.program src) in
-  let _ =
-    time "polymorphic type-check" (fun () ->
-        Minicaml.Infer.infer_program Minicaml.Infer.initial_env ast)
-  in
-  let ex =
-    time "skeleton extraction" (fun () -> Minicaml.Extract.extract ~frames:5 table ast)
-  in
-  let g =
-    time "skeleton expansion" (fun () ->
-        Procnet.Expand.expand table ex.Minicaml.Extract.program)
+  let cache = Skipper_lib.Passes.create_cache () in
+  let compiled =
+    Skipper_lib.Pipeline.compile_source ~frames:5 ~cache ~table src
   in
   let arch = Archi.ring 8 in
   let sched =
-    time "mapping (adequation)" (fun () -> Syndex.Heft.map (Syndex.Cost.make ()) arch g)
+    Skipper_lib.Pipeline.map ~strategy:Skipper_lib.Pipeline.Heft compiled arch
   in
-  let macro =
-    time "macro-code emission" (fun () ->
-        Executive.Macro.emit g ~placement:sched.Syndex.Schedule.placement ~arch)
-  in
-  let input = Option.get ex.Minicaml.Extract.input in
-  let seq =
-    time "sequential emulation (5 frames)" (fun () ->
-        Skel.Sem.run table ex.Minicaml.Extract.program input)
-  in
-  let r =
-    time "simulated parallel run (5 frames)" (fun () ->
-        let table2 = Tracking.Funcs.table config in
-        let ex2 =
-          Minicaml.Extract.extract ~frames:5 table2 (Minicaml.Parser.program src)
-        in
-        let g2 = Procnet.Expand.expand table2 ex2.Minicaml.Extract.program in
-        Executive.run ~table:table2 ~arch
-          ~placement:(Syndex.Place.canonical g2 arch)
-          ~graph:g2 ~frames:5 ~input ())
-  in
+  let macro = Skipper_lib.Pipeline.macro_code compiled sched in
+  let input = Option.get compiled.Skipper_lib.Pipeline.input in
+  let seq = Skipper_lib.Pipeline.emulate compiled input in
+  let r = Skipper_lib.Pipeline.execute ~input compiled arch in
+  Format.printf "%a" Skipper_lib.Pipeline.pp_timings compiled;
   Printf.printf "macro-code size: %d lines\n"
     (List.length (String.split_on_char '\n' macro));
-  Printf.printf "process graph: %d processes, %d channels\n" (Procnet.Graph.nnodes g)
-    (List.length (Procnet.Graph.edges g));
+  Printf.printf "process graph: %d processes, %d channels\n"
+    (Procnet.Graph.nnodes compiled.Skipper_lib.Pipeline.graph)
+    (Procnet.Graph.nedges compiled.Skipper_lib.Pipeline.graph);
   Printf.printf "schedule deadlock-free: %b\n" (Syndex.Schedule.deadlock_free sched);
   Printf.printf "emulation == distributed executive: %b\n"
-    (V.equal seq r.Executive.value)
+    (V.equal seq r.Executive.value);
+  (* Recompiling the same program is free: every front-end pass memoizes. *)
+  let t0 = Unix.gettimeofday () in
+  let _again = Skipper_lib.Pipeline.compile_source ~frames:5 ~cache ~table src in
+  let hits, misses = Skipper_lib.Passes.cache_stats cache in
+  Printf.printf "warm recompile: %.3f ms (cache: %d hits, %d misses)\n"
+    (ms (Unix.gettimeofday () -. t0))
+    hits misses
 
 
 (* ------------------------------------------------------------------ *)

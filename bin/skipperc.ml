@@ -5,7 +5,9 @@
    emulation or a distributed executive. Sequential functions here come from
    built-in application function tables selected with --app (the container
    has no C compiler, and the functions are OCaml against the vision
-   substrate). *)
+   substrate). Compilation goes through the staged pass manager
+   (Skipper_lib.Passes); --timings prints the per-stage report and
+   --dump-stage prints one stage's artifact. *)
 
 let app_table = function
   | "tracking" -> Tracking.Funcs.table Tracking.Funcs.default_config
@@ -52,6 +54,13 @@ let read_file path = In_channel.with_open_bin path In_channel.input_all
 let compile ~app ~frames ?(optimize = false) path =
   let table = app_table app in
   Skipper_lib.Pipeline.compile_source ~frames ~optimize ~table (read_file path)
+
+let print_timings c = Format.printf "%a" Skipper_lib.Pipeline.pp_timings c
+
+let dump_stage ?arch ?strategy ?input c stage =
+  match Skipper_lib.Pipeline.dump_stage ?arch ?strategy ?input c stage with
+  | Ok text -> print_string text
+  | Error msg -> failwith msg
 
 let wrap f =
   try f (); 0 with
@@ -105,63 +114,93 @@ let fps_arg =
     & opt (some float) None
     & info [ "fps" ] ~docv:"HZ" ~doc:"Pace the input source at HZ frames per second.")
 
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:"Print the per-stage pass-manager report (wall time, artifact \
+              size, cache status) after the command.")
+
+let dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-stage" ] ~docv:"STAGE"
+        ~doc:"Print the named stage's artifact instead of the normal output \
+              (parse, typecheck, extract, transform, expand, cost, map, \
+              emit, simulate).")
+
 let check_cmd =
   let run file =
     wrap (fun () ->
         let src = read_file file in
-        let ast = Minicaml.Parser.program src in
-        Minicaml.Types.reset_counter ();
-        let _, schemes = Minicaml.Infer.infer_program Minicaml.Infer.initial_env ast in
-        List.iter
-          (fun (n, s) -> Printf.printf "val %s : %s\n" n (Minicaml.Types.scheme_to_string s))
-          schemes)
+        match Minicaml.Stages.parse src with
+        | Error msg -> failwith msg
+        | Ok ast -> (
+            match Minicaml.Stages.typecheck ast with
+            | Error msg -> failwith msg
+            | Ok schemes ->
+                List.iter
+                  (fun (n, s) -> Printf.printf "val %s : %s\n" n s)
+                  schemes))
   in
   Cmd.v (Cmd.info "check" ~doc:"Parse and type-check a specification.")
     Term.(const run $ file_arg)
 
 let graph_cmd =
-  let run app frames file =
+  let run app frames timings dump file =
     wrap (fun () ->
         let c = compile ~app ~frames file in
-        print_string (Skipper_lib.Pipeline.graph_dot c))
+        (match dump with
+        | Some stage -> dump_stage c stage
+        | None -> print_string (Skipper_lib.Pipeline.graph_dot c));
+        if timings then print_timings c)
   in
   Cmd.v
     (Cmd.info "graph" ~doc:"Print the expanded process network in DOT format.")
-    Term.(const run $ app_arg $ frames_arg $ file_arg)
+    Term.(const run $ app_arg $ frames_arg $ timings_arg $ dump_arg $ file_arg)
 
 let map_cmd =
-  let run app frames procs topo strat file =
+  let run app frames procs topo strat timings dump file =
     wrap (fun () ->
         let c = compile ~app ~frames file in
         let arch = topology topo procs in
-        let sched =
-          Skipper_lib.Pipeline.map ~strategy:(strategy_of strat) c arch
-        in
-        Format.printf "%a@." Syndex.Schedule.pp_summary sched;
-        (match Syndex.Schedule.validate sched with
-        | Ok () -> print_endline "schedule: valid"
-        | Error m -> Printf.printf "schedule: INVALID (%s)\n" m);
-        Printf.printf "deadlock-free: %b\n" (Syndex.Schedule.deadlock_free sched);
-        print_string (Syndex.Schedule.gantt sched))
+        let strategy = strategy_of strat in
+        (match dump with
+        | Some stage -> dump_stage ~arch ~strategy c stage
+        | None ->
+            let sched = Skipper_lib.Pipeline.map ~strategy c arch in
+            Format.printf "%a@." Syndex.Schedule.pp_summary sched;
+            (match Syndex.Schedule.validate sched with
+            | Ok () -> print_endline "schedule: valid"
+            | Error m -> Printf.printf "schedule: INVALID (%s)\n" m);
+            Printf.printf "deadlock-free: %b\n" (Syndex.Schedule.deadlock_free sched);
+            print_string (Syndex.Schedule.gantt sched));
+        if timings then print_timings c)
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Map the process network onto an architecture (SynDEx step).")
-    Term.(const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ strategy_arg $ file_arg)
+    Term.(
+      const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ strategy_arg
+      $ timings_arg $ dump_arg $ file_arg)
 
 let macro_cmd =
-  let run app frames procs topo strat file =
+  let run app frames procs topo strat timings file =
     wrap (fun () ->
         let c = compile ~app ~frames file in
         let arch = topology topo procs in
         let sched = Skipper_lib.Pipeline.map ~strategy:(strategy_of strat) c arch in
-        print_string (Skipper_lib.Pipeline.macro_code c sched))
+        print_string (Skipper_lib.Pipeline.macro_code c sched);
+        if timings then print_timings c)
   in
   Cmd.v
     (Cmd.info "macro" ~doc:"Emit the m4 macro-code of the distributed executive.")
-    Term.(const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ strategy_arg $ file_arg)
+    Term.(
+      const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ strategy_arg
+      $ timings_arg $ file_arg)
 
 let emulate_cmd =
-  let run app frames file =
+  let run app frames timings file =
     wrap (fun () ->
         let c = compile ~app ~frames file in
         let input =
@@ -176,53 +215,63 @@ let emulate_cmd =
         Printf.printf "%s\n" (Skel.Value.to_string v);
         Printf.printf
           "estimated single-processor time: %.1f ms (%.0f cycles at 20 MHz)\n"
-          (cycles *. 5e-8 *. 1e3) cycles)
+          (cycles *. 5e-8 *. 1e3) cycles;
+        if timings then print_timings c)
   in
   Cmd.v
     (Cmd.info "emulate" ~doc:"Run the sequential emulation (workstation path).")
-    Term.(const run $ app_arg $ frames_arg $ file_arg)
+    Term.(const run $ app_arg $ frames_arg $ timings_arg $ file_arg)
 
 let run_cmd =
-  let run app frames procs topo strat fps optimize file =
+  let run app frames procs topo strat fps optimize timings dump file =
     wrap (fun () ->
         let c = compile ~app ~frames ~optimize file in
         let arch = topology topo procs in
-        let input_period = Option.map (fun f -> 1.0 /. f) fps in
-        let r =
-          Skipper_lib.Pipeline.execute ?input_period
-            ~strategy:(strategy_of strat)
-            ?input:(default_input app) c arch
-        in
-        Printf.printf "result: %s\n" (Skel.Value.to_string r.Executive.value);
-        List.iteri
-          (fun i l -> Printf.printf "frame %3d latency %8.2f ms\n" i (l *. 1e3))
-          r.Executive.latencies;
-        Printf.printf "messages: %d, bytes: %d\n" r.Executive.stats.Machine.Sim.messages
-          r.Executive.stats.Machine.Sim.bytes)
+        let strategy = strategy_of strat in
+        (match dump with
+        | Some stage ->
+            dump_stage ~arch ~strategy ?input:(default_input app) c stage
+        | None ->
+            let input_period = Option.map (fun f -> 1.0 /. f) fps in
+            let r =
+              Skipper_lib.Pipeline.execute ?input_period ~strategy
+                ?input:(default_input app) c arch
+            in
+            Printf.printf "result: %s\n" (Skel.Value.to_string r.Executive.value);
+            List.iteri
+              (fun i l -> Printf.printf "frame %3d latency %8.2f ms\n" i (l *. 1e3))
+              r.Executive.latencies;
+            Printf.printf "messages: %d, bytes: %d\n"
+              r.Executive.stats.Machine.Sim.messages
+              r.Executive.stats.Machine.Sim.bytes);
+        if timings then print_timings c)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, map and execute on the simulated MIMD-DM machine.")
     Term.(
       const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ strategy_arg $ fps_arg
-      $ optimize_arg $ file_arg)
+      $ optimize_arg $ timings_arg $ dump_arg $ file_arg)
 
 let equiv_cmd =
-  let run app frames procs topo file =
+  let run app frames procs topo timings file =
     wrap (fun () ->
         let c = compile ~app ~frames file in
         let arch = topology topo procs in
-        match
-          Skipper_lib.Pipeline.check_equivalence ?input:(default_input app) c arch
-        with
+        (match
+           Skipper_lib.Pipeline.check_equivalence ?input:(default_input app) c arch
+         with
         | Ok v ->
             Printf.printf "sequential emulation and distributed executive agree\n";
             Printf.printf "result: %s\n" (Skel.Value.to_string v)
-        | Error msg -> failwith msg)
+        | Error msg -> failwith msg);
+        if timings then print_timings c)
   in
   Cmd.v
     (Cmd.info "equiv"
        ~doc:"Check that emulation and the parallel executive produce equal results.")
-    Term.(const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ file_arg)
+    Term.(
+      const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ timings_arg
+      $ file_arg)
 
 let repl_cmd =
   let run app =

@@ -44,4 +44,8 @@ let () =
     (result.Executive.first_latency *. 1e3)
     result.Executive.stats.Machine.Sim.messages
     result.Executive.stats.Machine.Sim.bytes;
+
+  (* 6. Every stage the pass manager ran, with wall time and artifact size
+        (the same report `skipperc --timings` prints). *)
+  Format.printf "%a" Skipper_lib.Pipeline.pp_timings compiled;
   print_endline "quickstart: OK"

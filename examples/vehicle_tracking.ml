@@ -62,4 +62,9 @@ let () =
       (Option.get compiled2.Skipper_lib.Pipeline.input)
   in
   Printf.printf "emulation agrees with executive: %b\n"
-    (Skel.Value.equal emulated result.Executive.value)
+    (Skel.Value.equal emulated result.Executive.value);
+
+  (* Per-stage cost of everything the pass manager ran for this program:
+     the front-end passes once, then cost/map/simulate for the target. *)
+  print_endline "--- pipeline stages ---";
+  Format.printf "%a" Skipper_lib.Pipeline.pp_timings compiled

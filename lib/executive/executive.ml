@@ -291,3 +291,11 @@ let run_schedule ?trace ?input_period ~table ~schedule ~frames ~input () =
   run ?trace ?input_period ~table ~arch:schedule.Syndex.Schedule.arch
     ~placement:schedule.Syndex.Schedule.placement
     ~graph:schedule.Syndex.Schedule.graph ~frames ~input ()
+
+let summary r =
+  Printf.sprintf
+    "value: %s\nframes: %d\nfirst latency: %.2f ms, steady period: %.2f ms\nmessages: %d, bytes: %d"
+    (Skel.Value.to_string r.value)
+    (List.length r.outputs)
+    (r.first_latency *. 1e3) (r.period *. 1e3)
+    r.stats.Machine.Sim.messages r.stats.Machine.Sim.bytes

@@ -80,3 +80,7 @@ val run_schedule :
   unit ->
   result
 (** Convenience wrapper taking the placement from a static schedule. *)
+
+val summary : result -> string
+(** Multi-line digest of a run: value, frame count, latency/period, message
+    traffic. Used by the pass manager's [simulate] artifact rendering. *)

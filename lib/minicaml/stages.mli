@@ -1,0 +1,26 @@
+(** Result-typed entry points for the front-end stages.
+
+    The parser, type-checker and extractor each signal failure with their
+    own located exception; every driver (the {!Skipper_lib.Pipeline} pass
+    manager, [skipperc check], the REPL) used to re-implement the same
+    catch-and-render glue. These wrappers centralise it: each stage returns
+    [Ok artifact] or [Error message] with the location already rendered into
+    the message, and resets whatever per-run state the stage keeps (the
+    type-variable counter). *)
+
+val parse : string -> (Ast.program, string) result
+(** Lex and parse a specification source. *)
+
+val typecheck : Ast.program -> ((string * string) list, string) result
+(** Infer the top-level schemes under the initial (skeleton) environment;
+    returns [(name, rendered_scheme)] pairs in binding order. Resets the
+    type-variable counter so scheme names are deterministic per run. *)
+
+val extract :
+  ?frames:int ->
+  ?name:string ->
+  Skel.Funtable.t ->
+  Ast.program ->
+  (Extract.extraction, string) result
+(** Skeleton-instance extraction; registers wrapper functions into the
+    table as a side effect (see {!Extract.extract}). *)

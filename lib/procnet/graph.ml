@@ -31,6 +31,7 @@ let name t = t.gname
 let nodes t = t.gnodes
 let nnodes t = Array.length t.gnodes
 let edges t = t.gedges
+let nedges t = List.length t.gedges
 let node t i = t.gnodes.(i)
 let entry t = t.gentry
 let exit_node t = t.gexit

@@ -46,6 +46,7 @@ val name : t -> string
 val nodes : t -> node array
 val nnodes : t -> int
 val edges : t -> edge list
+val nedges : t -> int
 val node : t -> int -> node
 val entry : t -> int
 (** Node receiving the program's input value (or frame ticks). *)

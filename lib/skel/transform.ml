@@ -157,3 +157,9 @@ let normalize table prog =
     @ List.map (fun (rule, count) -> { rule; count }) (List.rev !counters)
   in
   ({ prog with Ir.body }, applied)
+
+let applied_summary = function
+  | [] -> "no rules applied"
+  | applied ->
+      String.concat ", "
+        (List.map (fun { rule; count } -> Printf.sprintf "%s x%d" rule count) applied)

@@ -1,0 +1,330 @@
+type strategy = Heft | Canonical | Round_robin
+
+exception Pass_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Pass_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Memoization cache                                                   *)
+
+type cache = {
+  entries : (string, Stage.artifact) Hashtbl.t;
+  mutable tables : (Skel.Funtable.t * int) list;
+      (* physical identities: a cached artifact may reference functions the
+         producing pass registered into its table, so artifacts are only
+         reused with the very table they were built against *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create_cache () =
+  { entries = Hashtbl.create 64; tables = []; hits = 0; misses = 0 }
+
+let cache_stats c = (c.hits, c.misses)
+
+let reset_cache_stats c =
+  c.hits <- 0;
+  c.misses <- 0
+
+let table_token cache table =
+  match List.find_opt (fun (t, _) -> t == table) cache.tables with
+  | Some (_, id) -> id
+  | None ->
+      let id = List.length cache.tables in
+      cache.tables <- (table, id) :: cache.tables;
+      id
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                             *)
+
+type ctx = {
+  table : Skel.Funtable.t;
+  frames : int;
+  optimize : bool;
+  arch : Archi.t option;
+  strategy : strategy;
+  cost_model : Syndex.Cost.t option;
+  input : Skel.Value.t option;
+  input_period : float option;
+  trace : bool;
+  cache : cache option;
+  mutable key : string;  (* running content hash; "" until the first pass *)
+  reports : Stage.report list ref;  (* newest first; shared with retargets *)
+}
+
+let make_ctx ?cache ?(frames = 1) ?(optimize = false) table =
+  {
+    table;
+    frames;
+    optimize;
+    arch = None;
+    strategy = Canonical;
+    cost_model = None;
+    input = None;
+    input_period = None;
+    trace = false;
+    cache;
+    key = "";
+    reports = ref [];
+  }
+
+let retarget ?cost ?input ?input_period ?(trace = false) ~strategy ctx arch =
+  {
+    ctx with
+    arch = Some arch;
+    strategy;
+    cost_model = cost;
+    input = (match input with Some _ -> input | None -> ctx.input);
+    input_period;
+    trace;
+  }
+
+let reports ctx = List.rev !(ctx.reports)
+
+(* ------------------------------------------------------------------ *)
+(* Passes                                                              *)
+
+type pass = {
+  name : string;
+  cacheable : bool;
+  token : ctx -> string;  (* the options this pass reads, for the key *)
+  apply : ctx -> Stage.artifact -> Stage.artifact * string;
+}
+
+let pass_name p = p.name
+let no_token _ = ""
+
+let mismatch pass art =
+  error "pass %s: unexpected %s artifact" pass (Stage.kind art)
+
+let lift = function Ok v -> v | Error msg -> error "%s" msg
+
+let parse =
+  {
+    name = "parse";
+    cacheable = true;
+    token = no_token;
+    apply =
+      (fun _ctx -> function
+        | Stage.Source src -> (Stage.Ast (lift (Minicaml.Stages.parse src)), "")
+        | art -> mismatch "parse" art);
+  }
+
+let typecheck =
+  {
+    name = "typecheck";
+    cacheable = true;
+    token = no_token;
+    apply =
+      (fun _ctx -> function
+        | Stage.Ast ast ->
+            let schemes = lift (Minicaml.Stages.typecheck ast) in
+            (Stage.Typed (ast, schemes), "")
+        | art -> mismatch "typecheck" art);
+  }
+
+let extract =
+  {
+    name = "extract";
+    cacheable = true;
+    token = (fun ctx -> string_of_int ctx.frames);
+    apply =
+      (fun ctx -> function
+        | Stage.Typed (ast, _) | Stage.Ast ast ->
+            let ex =
+              lift (Minicaml.Stages.extract ~frames:ctx.frames ctx.table ast)
+            in
+            ( Stage.Ir (ex.Minicaml.Extract.program, ex.Minicaml.Extract.input),
+              "" )
+        | art -> mismatch "extract" art);
+  }
+
+let transform =
+  {
+    name = "transform";
+    cacheable = true;
+    token = (fun ctx -> string_of_bool ctx.optimize);
+    apply =
+      (fun ctx -> function
+        | Stage.Ir (prog, input) ->
+            if not ctx.optimize then (Stage.Ir (prog, input), "disabled")
+            else
+              let prog', applied = Skel.Transform.normalize ctx.table prog in
+              (Stage.Ir (prog', input), Skel.Transform.applied_summary applied)
+        | art -> mismatch "transform" art);
+  }
+
+let expand =
+  {
+    name = "expand";
+    cacheable = true;
+    token = no_token;
+    apply =
+      (fun ctx -> function
+        | Stage.Ir (prog, _) -> (
+            try (Stage.Graph (Procnet.Expand.expand ctx.table prog), "")
+            with Procnet.Expand.Expansion_error msg -> error "expansion: %s" msg)
+        | art -> mismatch "expand" art);
+  }
+
+let cost =
+  {
+    name = "cost";
+    cacheable = false;
+    token = no_token;
+    apply =
+      (fun ctx -> function
+        | Stage.Graph g ->
+            let model, detail =
+              match ctx.cost_model with
+              | Some c -> (c, "user model")
+              | None -> (Syndex.Cost.make (), "default model")
+            in
+            (Stage.Costed (g, model), detail)
+        | art -> mismatch "cost" art);
+  }
+
+let the_arch pass ctx =
+  match ctx.arch with
+  | Some arch -> arch
+  | None -> error "pass %s: no target architecture (retarget the context)" pass
+
+let map =
+  {
+    name = "map";
+    cacheable = false;
+    token =
+      (fun ctx ->
+        let strat =
+          match ctx.strategy with
+          | Heft -> "heft"
+          | Canonical -> "canonical"
+          | Round_robin -> "roundrobin"
+        in
+        match ctx.arch with
+        | Some arch ->
+            Printf.sprintf "%s/%d/%s" (Archi.name arch) (Archi.nprocs arch) strat
+        | None -> strat);
+    apply =
+      (fun ctx -> function
+        | Stage.Costed (g, model) ->
+            let arch = the_arch "map" ctx in
+            let schedule =
+              match ctx.strategy with
+              | Heft -> Syndex.Heft.map model arch g
+              | Canonical ->
+                  Syndex.Place.of_placement model arch g
+                    (Syndex.Place.canonical g arch)
+              | Round_robin ->
+                  Syndex.Place.of_placement model arch g
+                    (Syndex.Place.round_robin g arch)
+            in
+            (Stage.Schedule schedule, Archi.name arch)
+        | art -> mismatch "map" art);
+  }
+
+let emit =
+  {
+    name = "emit";
+    cacheable = false;
+    token = no_token;
+    apply =
+      (fun _ctx -> function
+        | Stage.Schedule s ->
+            ( Stage.Macro
+                (Executive.Macro.emit s.Syndex.Schedule.graph
+                   ~placement:s.Syndex.Schedule.placement
+                   ~arch:s.Syndex.Schedule.arch),
+              "" )
+        | art -> mismatch "emit" art);
+  }
+
+let simulate =
+  {
+    name = "simulate";
+    cacheable = false;
+    token = no_token;
+    apply =
+      (fun ctx -> function
+        | Stage.Schedule s ->
+            let input =
+              match ctx.input with
+              | Some v -> v
+              | None -> error "pass simulate: no input value"
+            in
+            let r =
+              Executive.run ~trace:ctx.trace ?input_period:ctx.input_period
+                ~table:ctx.table ~arch:s.Syndex.Schedule.arch
+                ~placement:s.Syndex.Schedule.placement
+                ~graph:s.Syndex.Schedule.graph ~frames:ctx.frames ~input ()
+            in
+            (Stage.Result r, "")
+        | art -> mismatch "simulate" art);
+  }
+
+let frontend = [ parse; typecheck; extract; transform; expand ]
+let all = frontend @ [ cost; map; emit; simulate ]
+let find name = List.find_opt (fun p -> p.name = name) all
+let names = List.map (fun p -> p.name) all
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+
+let record ctx pass ~wall ~cached ~detail art =
+  let size, metric = Stage.size art in
+  ctx.reports :=
+    { Stage.pass = pass.name; wall; size; metric; cached; detail }
+    :: !(ctx.reports)
+
+let advance_key ctx pass art =
+  (* Seed the chain lazily with the entry artifact's digest and the table
+     identity, then extend per pass. *)
+  if ctx.key = "" then begin
+    let table_part =
+      match ctx.cache with
+      | Some cache -> string_of_int (table_token cache ctx.table)
+      | None -> "-"
+    in
+    ctx.key <- Stage.fingerprint art ^ "@" ^ table_part
+  end;
+  ctx.key <-
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x00" [ ctx.key; pass.name; pass.token ctx ]))
+
+let run_pass ctx pass art =
+  advance_key ctx pass art;
+  match ctx.cache with
+  | Some cache when pass.cacheable -> (
+      match Hashtbl.find_opt cache.entries ctx.key with
+      | Some out ->
+          cache.hits <- cache.hits + 1;
+          record ctx pass ~wall:0.0 ~cached:true ~detail:"memoized" out;
+          out
+      | None ->
+          cache.misses <- cache.misses + 1;
+          let t0 = Unix.gettimeofday () in
+          let out, detail = pass.apply ctx art in
+          let wall = Unix.gettimeofday () -. t0 in
+          Hashtbl.replace cache.entries ctx.key out;
+          record ctx pass ~wall ~cached:false ~detail out;
+          out)
+  | _ ->
+      let t0 = Unix.gettimeofday () in
+      let out, detail = pass.apply ctx art in
+      let wall = Unix.gettimeofday () -. t0 in
+      record ctx pass ~wall ~cached:false ~detail out;
+      out
+
+let run ctx passes art =
+  List.fold_left (fun a p -> run_pass ctx p a) art passes
+
+let run_trace ctx passes art =
+  let _, rev_outputs =
+    List.fold_left
+      (fun (a, acc) p ->
+        let out = run_pass ctx p a in
+        (out, out :: acc))
+      (art, []) passes
+  in
+  List.rev rev_outputs

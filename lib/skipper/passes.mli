@@ -1,0 +1,111 @@
+(** The staged pass manager behind {!Pipeline}.
+
+    Each Fig. 2 toolchain stage is a named {!pass} with a typed input/output
+    {!Stage.artifact}. A {!ctx} carries the compile options (function table,
+    frame count, optimisation flag) and the execution target (architecture,
+    mapping strategy, input); {!run_pass} threads an artifact through a
+    pass, timing it and appending a {!Stage.report}.
+
+    Front-end passes are memoized in an optional {!cache}: the key is a
+    running content hash seeded with the entry artifact's digest and the
+    table's identity, then extended per pass with the pass name and the
+    options that pass reads (frames for [extract], the optimise flag for
+    [transform], ...). Compiling the same source for several architectures
+    therefore runs parse/typecheck/extract/transform/expand exactly once —
+    the paper's §4 "almost instantaneous" variant builds. Target-dependent
+    passes (cost, map, emit, simulate) always run: cost models contain
+    closures and simulation is effectful, so they are not content-addressable. *)
+
+type strategy = Heft | Canonical | Round_robin
+
+exception Pass_error of string
+(** Rendered, located error message from any stage; re-exported by
+    {!Pipeline} as [Compile_error]. *)
+
+(** {1 Memoization cache} *)
+
+type cache
+
+val create_cache : unit -> cache
+val cache_stats : cache -> int * int
+(** [(hits, misses)] since creation or the last {!reset_cache_stats}. *)
+
+val reset_cache_stats : cache -> unit
+
+(** {1 Pass context} *)
+
+type ctx
+
+val make_ctx :
+  ?cache:cache ->
+  ?frames:int ->
+  ?optimize:bool ->
+  Skel.Funtable.t ->
+  ctx
+(** Front-end context: default [frames] 1, [optimize] false, no cache. *)
+
+val retarget :
+  ?cost:Syndex.Cost.t ->
+  ?input:Skel.Value.t ->
+  ?input_period:float ->
+  ?trace:bool ->
+  strategy:strategy ->
+  ctx ->
+  Archi.t ->
+  ctx
+(** Derives a back-end context for one (architecture, strategy) target.
+    The returned context shares the report list and cache with the parent,
+    so per-stage timings accumulate across compile + map + execute. *)
+
+val reports : ctx -> Stage.report list
+(** All reports recorded through this context (and its retargets), in
+    execution order. *)
+
+(** {1 Passes} *)
+
+type pass
+
+val pass_name : pass -> string
+
+val parse : pass  (** [Source] -> [Ast] *)
+
+val typecheck : pass  (** [Ast] -> [Typed] *)
+
+val extract : pass  (** [Typed] -> [Ir] (reads [frames]) *)
+
+val transform : pass
+(** [Ir] -> [Ir]; applies {!Skel.Transform.normalize} when [optimize] is
+    set, otherwise the identity (reported as ["disabled"]). *)
+
+val expand : pass  (** [Ir] -> [Graph] *)
+
+val cost : pass
+(** [Graph] -> [Costed]; uses the retargeted cost model or the default. *)
+
+val map : pass  (** [Costed] -> [Schedule] (needs a retargeted context) *)
+
+val emit : pass  (** [Schedule] -> [Macro] *)
+
+val simulate : pass
+(** [Schedule] -> [Result] (needs a retargeted context with an input). *)
+
+val frontend : pass list
+(** [parse; typecheck; extract; transform; expand] — the memoized prefix. *)
+
+val all : pass list
+(** Every pass in pipeline order (backend chain ends with [emit] then
+    [simulate]; drivers pick the suffix they need). *)
+
+val find : string -> pass option
+val names : string list
+
+(** {1 Running} *)
+
+val run_pass : ctx -> pass -> Stage.artifact -> Stage.artifact
+(** Raises [Pass_error] on a stage failure or an artifact-type mismatch. *)
+
+val run : ctx -> pass list -> Stage.artifact -> Stage.artifact
+
+val run_trace : ctx -> pass list -> Stage.artifact -> Stage.artifact list
+(** Like {!run} but returns every pass's output, aligned with the pass
+    list. *)

@@ -5,81 +5,87 @@ type compiled = {
   graph : Procnet.Graph.t;
   input : Skel.Value.t option;
   signatures : (string * string) list;
+  ctx : Passes.ctx;
+  stages : (string * Stage.artifact) list;
 }
 
-type strategy = Heft | Canonical | Round_robin
+type strategy = Passes.strategy = Heft | Canonical | Round_robin
 
-exception Compile_error of string
+exception Compile_error = Passes.Pass_error
 
 let error fmt = Printf.ksprintf (fun m -> raise (Compile_error m)) fmt
 
-let maybe_optimize optimize table program =
-  if optimize then fst (Skel.Transform.normalize table program) else program
+let stage_outputs passes artifacts =
+  List.combine (List.map Passes.pass_name passes) artifacts
 
-let compile_source ?(frames = 1) ?(optimize = false) ~table src =
-  let ast =
-    try Minicaml.Parser.program src with
-    | Minicaml.Parser.Parse_error (msg, loc) ->
-        error "parse error: %s (at %s)" msg
-          (Format.asprintf "%a" Minicaml.Ast.pp_loc loc)
-    | Minicaml.Lexer.Lex_error (msg, loc) ->
-        error "lexical error: %s (at %s)" msg
-          (Format.asprintf "%a" Minicaml.Ast.pp_loc loc)
-  in
+let find_stage compiled name = List.assoc_opt name compiled.stages
+
+let the_ir stages =
+  (* the last Ir artifact is the (possibly normalized) program; extraction's
+     input survives the transform pass *)
+  match
+    List.fold_left
+      (fun acc (_, art) ->
+        match art with Stage.Ir (p, i) -> Some (p, i) | _ -> acc)
+      None stages
+  with
+  | Some pi -> pi
+  | None -> assert false
+
+let the_graph stages =
+  match
+    List.find_map
+      (fun (_, art) -> match art with Stage.Graph g -> Some g | _ -> None)
+      stages
+  with
+  | Some g -> g
+  | None -> assert false
+
+let of_stages ~table ~ctx stages =
+  let program, input = the_ir stages in
   let signatures =
-    Minicaml.Types.reset_counter ();
-    match Minicaml.Infer.infer_program Minicaml.Infer.initial_env ast with
-    | _, schemes ->
-        List.map (fun (n, s) -> (n, Minicaml.Types.scheme_to_string s)) schemes
-    | exception Minicaml.Infer.Type_error (msg, loc) ->
-        error "type error: %s (at %s)" msg
-          (Format.asprintf "%a" Minicaml.Ast.pp_loc loc)
-  in
-  let extraction =
-    try Minicaml.Extract.extract ~frames table ast with
-    | Minicaml.Extract.Extract_error (msg, loc) ->
-        error "skeleton extraction: %s (at %s)" msg
-          (Format.asprintf "%a" Minicaml.Ast.pp_loc loc)
-  in
-  let program = maybe_optimize optimize table extraction.Minicaml.Extract.program in
-  let graph =
-    try Procnet.Expand.expand table program
-    with Procnet.Expand.Expansion_error msg -> error "expansion: %s" msg
+    match List.assoc_opt "typecheck" stages with
+    | Some (Stage.Typed (_, schemes)) -> schemes
+    | _ -> []
   in
   {
     name = program.Skel.Ir.name;
     table;
     program;
-    graph;
-    input = extraction.Minicaml.Extract.input;
+    graph = the_graph stages;
+    input;
     signatures;
+    ctx;
+    stages;
   }
 
-let compile_ir ?(optimize = false) ~table program =
+let compile_source ?(frames = 1) ?(optimize = false) ?cache ~table src =
+  let ctx = Passes.make_ctx ?cache ~frames ~optimize table in
+  let artifacts = Passes.run_trace ctx Passes.frontend (Stage.Source src) in
+  of_stages ~table ~ctx (stage_outputs Passes.frontend artifacts)
+
+let compile_ir ?(optimize = false) ?cache ~table program =
   (match Skel.Ir.validate table program with
   | Ok () -> ()
   | Error msg -> error "invalid program %s: %s" program.Skel.Ir.name msg);
-  let program = maybe_optimize optimize table program in
-  let graph =
-    try Procnet.Expand.expand table program
-    with Procnet.Expand.Expansion_error msg -> error "expansion: %s" msg
+  let ctx =
+    Passes.make_ctx ?cache ~frames:program.Skel.Ir.frames ~optimize table
   in
-  { name = program.Skel.Ir.name; table; program; graph; input = None; signatures = [] }
+  let passes = [ Passes.transform; Passes.expand ] in
+  let artifacts = Passes.run_trace ctx passes (Stage.Ir (program, None)) in
+  of_stages ~table ~ctx (stage_outputs passes artifacts)
 
 let emulate compiled input = Skel.Sem.run compiled.table compiled.program input
 
 let default_cost _compiled = Syndex.Cost.make ()
 
 let map ?(strategy = Canonical) ?cost compiled arch =
-  let cost = match cost with Some c -> c | None -> default_cost compiled in
-  match strategy with
-  | Heft -> Syndex.Heft.map cost arch compiled.graph
-  | Canonical ->
-      Syndex.Place.of_placement cost arch compiled.graph
-        (Syndex.Place.canonical compiled.graph arch)
-  | Round_robin ->
-      Syndex.Place.of_placement cost arch compiled.graph
-        (Syndex.Place.round_robin compiled.graph arch)
+  let ctx = Passes.retarget ?cost ~strategy compiled.ctx arch in
+  match
+    Passes.run ctx [ Passes.cost; Passes.map ] (Stage.Graph compiled.graph)
+  with
+  | Stage.Schedule s -> s
+  | _ -> assert false
 
 let resolve_input compiled input =
   match (input, compiled.input) with
@@ -88,12 +94,20 @@ let resolve_input compiled input =
   | None, None ->
       error "program %s needs an explicit input value" compiled.name
 
-let execute ?trace ?input_period ?strategy ?cost ?input compiled arch =
-  let schedule = map ?strategy ?cost compiled arch in
+let execute ?(trace = false) ?input_period ?(strategy = Canonical) ?cost ?input
+    compiled arch =
   let input = resolve_input compiled input in
-  Executive.run ?trace ?input_period ~table:compiled.table ~arch
-    ~placement:schedule.Syndex.Schedule.placement ~graph:compiled.graph
-    ~frames:compiled.program.Skel.Ir.frames ~input ()
+  let ctx =
+    Passes.retarget ?cost ~input ?input_period ~trace ~strategy compiled.ctx
+      arch
+  in
+  match
+    Passes.run ctx
+      [ Passes.cost; Passes.map; Passes.simulate ]
+      (Stage.Graph compiled.graph)
+  with
+  | Stage.Result r -> r
+  | _ -> assert false
 
 let check_equivalence ?input compiled arch =
   let input = resolve_input compiled input in
@@ -107,9 +121,61 @@ let check_equivalence ?input compiled arch =
          (Skel.Value.to_string result.Executive.value))
 
 let macro_code compiled schedule =
-  Executive.Macro.emit compiled.graph
-    ~placement:schedule.Syndex.Schedule.placement
-    ~arch:schedule.Syndex.Schedule.arch
+  let ctx =
+    Passes.retarget ~strategy:Canonical compiled.ctx
+      schedule.Syndex.Schedule.arch
+  in
+  match Passes.run_pass ctx Passes.emit (Stage.Schedule schedule) with
+  | Stage.Macro m -> m
+  | _ -> assert false
+
+let reports compiled = Passes.reports compiled.ctx
+let pp_timings ppf compiled = Stage.pp_report_table ppf (reports compiled)
+let timings_json compiled = Stage.reports_to_json (reports compiled)
+
+let dump_stage ?arch ?(strategy = Canonical) ?cost ?input compiled name =
+  match find_stage compiled name with
+  | Some art -> Ok (Stage.render art)
+  | None -> (
+      match (Passes.find name, arch) with
+      | None, _ ->
+          Error
+            (Printf.sprintf "unknown stage %S (stages: %s)" name
+               (String.concat ", " Passes.names))
+      | Some _, None ->
+          Error
+            (Printf.sprintf
+               "stage %s needs a target architecture (it was not run at \
+                compile time)"
+               name)
+      | Some _, Some arch -> (
+          let chain =
+            match name with
+            | "cost" -> [ Passes.cost ]
+            | "map" -> [ Passes.cost; Passes.map ]
+            | "emit" -> [ Passes.cost; Passes.map; Passes.emit ]
+            | "simulate" -> [ Passes.cost; Passes.map; Passes.simulate ]
+            | _ -> []
+          in
+          match chain with
+          | [] ->
+              Error
+                (Printf.sprintf
+                   "stage %s was not run for this program (front-end stages \
+                    are only recorded when compiling from source)"
+                   name)
+          | chain -> (
+              let input =
+                match name with
+                | "simulate" -> Some (resolve_input compiled input)
+                | _ -> input
+              in
+              let ctx =
+                Passes.retarget ?cost ?input ~strategy compiled.ctx arch
+              in
+              match Passes.run ctx chain (Stage.Graph compiled.graph) with
+              | art -> Ok (Stage.render art)
+              | exception Compile_error msg -> Error msg)))
 
 let graph_dot compiled = Procnet.Graph.to_dot compiled.graph
 

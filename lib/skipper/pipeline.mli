@@ -1,11 +1,13 @@
 (** The SKiPPER environment, end to end (paper Fig. 2).
 
-    Ties the components together: the custom Caml compiler front-end
-    (parsing, polymorphic type-checking, skeleton extraction), skeleton
-    expansion into a process network, SynDEx-style mapping onto an
-    architecture graph, macro-code emission, and the two execution paths —
-    sequential emulation on the "workstation" and the distributed executive
-    on the simulated MIMD-DM machine. *)
+    A thin façade over the staged pass manager ({!Passes}): compilation runs
+    the front-end passes (parse, typecheck, extract, transform, expand),
+    mapping and execution run the target passes (cost, map, emit, simulate).
+    Every pass is timed into a {!Stage.report} retrievable with {!reports} /
+    {!pp_timings}, and front-end artifacts are memoized when a
+    {!Passes.cache} is supplied — compiling one source for many
+    architectures pays the front end once (the paper's §4 "almost
+    instantaneous" processor-count variants). *)
 
 type compiled = {
   name : string;
@@ -15,23 +17,39 @@ type compiled = {
   input : Skel.Value.t option;  (** program input when the source fixes it *)
   signatures : (string * string) list;
       (** inferred type schemes of the top-level names (source path only) *)
+  ctx : Passes.ctx;  (** the pass context; accumulates stage reports *)
+  stages : (string * Stage.artifact) list;
+      (** every front-end pass's output, by pass name, in pipeline order *)
 }
 
-type strategy = Heft | Canonical | Round_robin
+type strategy = Passes.strategy = Heft | Canonical | Round_robin
 
 exception Compile_error of string
-(** Carries a rendered, located error message from any front-end stage. *)
+(** Carries a rendered, located error message from any stage (an alias of
+    {!Passes.Pass_error}). *)
 
 val compile_source :
-  ?frames:int -> ?optimize:bool -> table:Skel.Funtable.t -> string -> compiled
+  ?frames:int ->
+  ?optimize:bool ->
+  ?cache:Passes.cache ->
+  table:Skel.Funtable.t ->
+  string ->
+  compiled
 (** Parse, type-check (with the skeleton signatures in scope), extract the
     skeletal program, optionally normalise it with the transformational
     rules ({!Skel.Transform}, default off), and expand to a process network.
-    Wrapper glue functions are registered into [table]. *)
+    Wrapper glue functions are registered into [table]. With [cache], every
+    front-end artifact is memoized on (content hash, pass, options, table
+    identity). *)
 
 val compile_ir :
-  ?optimize:bool -> table:Skel.Funtable.t -> Skel.Ir.program -> compiled
-(** The embedded-API entry: validates and expands a hand-built program. *)
+  ?optimize:bool ->
+  ?cache:Passes.cache ->
+  table:Skel.Funtable.t ->
+  Skel.Ir.program ->
+  compiled
+(** The embedded-API entry: validates a hand-built program, then runs the
+    transform and expand passes. *)
 
 val emulate : compiled -> Skel.Value.t -> Skel.Value.t
 (** Sequential emulation via the declarative semantics ({!Skel.Sem}). *)
@@ -45,7 +63,7 @@ val map :
   Syndex.Schedule.t
 (** Produce the static schedule/placement (default strategy [Canonical],
     the paper's Fig. 1 layout; [Heft] enables the automatic adequation
-    heuristic). *)
+    heuristic). Runs the cost and map passes. *)
 
 val execute :
   ?trace:bool ->
@@ -56,8 +74,9 @@ val execute :
   compiled ->
   Archi.t ->
   Executive.result
-(** Map then run on the simulated machine. [input] overrides the compiled
-    input; raises [Compile_error] when neither is available. *)
+(** Map then run on the simulated machine (the cost, map and simulate
+    passes). [input] overrides the compiled input; raises [Compile_error]
+    when neither is available. *)
 
 val check_equivalence :
   ?input:Skel.Value.t -> compiled -> Archi.t -> (Skel.Value.t, string) result
@@ -66,5 +85,29 @@ val check_equivalence :
     specification and the distributed executive must agree. *)
 
 val macro_code : compiled -> Syndex.Schedule.t -> string
+(** The emit pass: per-processor m4 macro-code for a schedule. *)
+
+val reports : compiled -> Stage.report list
+(** Per-stage instrumentation, in execution order, accumulated across
+    compile / map / execute calls on this value. *)
+
+val pp_timings : Format.formatter -> compiled -> unit
+(** {!reports} as a fixed-width table. *)
+
+val timings_json : compiled -> string
+(** {!reports} as a JSON array. *)
+
+val dump_stage :
+  ?arch:Archi.t ->
+  ?strategy:strategy ->
+  ?cost:Syndex.Cost.t ->
+  ?input:Skel.Value.t ->
+  compiled ->
+  string ->
+  (string, string) result
+(** Render one stage's artifact by pass name. Front-end stages come from
+    the recorded compile artifacts; target stages ([cost], [map], [emit],
+    [simulate]) are (re)run against [arch]. *)
+
 val graph_dot : compiled -> string
 val pp_signatures : Format.formatter -> compiled -> unit

@@ -239,3 +239,6 @@ let pp_summary ppf t =
     (Procnet.Graph.name t.graph) (Archi.name t.arch)
     (Procnet.Graph.nnodes t.graph) nused nprocs (List.length t.comms)
     (t.makespan *. 1e3)
+
+let nops t = List.length t.ops
+let ncomms t = List.length t.comms

@@ -35,6 +35,12 @@ type t = {
   makespan : float;  (** predicted latency of one iteration, seconds *)
 }
 
+val nops : t -> int
+(** Number of scheduled operation slots (one per node per iteration). *)
+
+val ncomms : t -> int
+(** Number of scheduled communication slots. *)
+
 val validate : t -> (unit, string) result
 (** Checks that ops on one processor do not overlap, every op's processor
     matches the placement, every comm joins the placements of its edge's

@@ -1,0 +1,314 @@
+(* Tests for the staged pass manager: per-stage reports, artifact
+   memoization (hit/miss behaviour across architecture variants, source
+   edits and table identity), stage dumps, and a qcheck property that the
+   optimized (Skel.Transform) and unoptimized pipelines are
+   emulation-equivalent on random skeletal programs. *)
+
+module P = Skipper_lib.Pipeline
+module Passes = Skipper_lib.Passes
+module Stage = Skipper_lib.Stage
+module V = Skel.Value
+module Ir = Skel.Ir
+
+let value_testable = Alcotest.testable V.pp V.equal
+
+let simple_table () =
+  Skel.Funtable.of_list
+    [
+      ("sq", 1, (fun v -> V.Int (V.to_int v * V.to_int v)), fun _ -> 1000.0);
+      ( "plus",
+        2,
+        (fun v ->
+          let a, b = V.to_pair v in
+          V.Int (V.to_int a + V.to_int b)),
+        fun _ -> 100.0 );
+    ]
+
+let simple_src =
+  {|external sq : int -> int
+external plus : int -> int -> int
+let main = fun xs -> df 3 sq plus 0 xs|}
+
+let frontend_names = [ "parse"; "typecheck"; "extract"; "transform"; "expand" ]
+let nfrontend = List.length frontend_names
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+
+let test_reports_cover_frontend () =
+  let c = P.compile_source ~table:(simple_table ()) simple_src in
+  let reports = P.reports c in
+  Alcotest.(check (list string)) "one report per front-end pass" frontend_names
+    (List.map (fun r -> r.Stage.pass) reports);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "wall time non-negative" true (r.Stage.wall >= 0.0);
+      Alcotest.(check bool) "no cache in play" false r.Stage.cached;
+      Alcotest.(check bool) "sized" true (r.Stage.size > 0))
+    reports
+
+let test_reports_accumulate_across_calls () =
+  let c = P.compile_source ~table:(simple_table ()) simple_src in
+  let arch = Archi.ring 4 in
+  let _schedule = P.map c arch in
+  let _r = P.execute ~input:(V.List [ V.Int 1; V.Int 2 ]) c arch in
+  let names = List.map (fun r -> r.Stage.pass) (P.reports c) in
+  Alcotest.(check (list string)) "compile + map + execute stages"
+    (frontend_names @ [ "cost"; "map"; "cost"; "map"; "simulate" ])
+    names
+
+let test_timings_render () =
+  let c = P.compile_source ~table:(simple_table ()) simple_src in
+  let table = Format.asprintf "%a" P.pp_timings c in
+  List.iter
+    (fun pass ->
+      Alcotest.(check bool) ("table mentions " ^ pass) true
+        (Astring.String.is_infix ~affix:pass table))
+    frontend_names;
+  let json = P.timings_json c in
+  Alcotest.(check bool) "json array" true
+    (Astring.String.is_prefix ~affix:"[{" json);
+  Alcotest.(check bool) "json has wall_ms" true
+    (Astring.String.is_infix ~affix:{|"wall_ms"|} json)
+
+(* ------------------------------------------------------------------ *)
+(* Cache behaviour                                                     *)
+
+let test_variant_compiles_reuse_frontend () =
+  (* The acceptance scenario: compiling the E1 tracking program onto ring
+     sizes {1,2,4,8,12,16} performs parse/typecheck/extract/expand exactly
+     once; every variant after the first is pure cache hits. *)
+  let cache = Passes.create_cache () in
+  let config = Tracking.Funcs.default_config in
+  let table = Tracking.Funcs.table config in
+  let src = Tracking.Funcs.source config in
+  let rings = [ 1; 2; 4; 8; 12; 16 ] in
+  List.iter
+    (fun p ->
+      let c = P.compile_source ~frames:12 ~cache ~table src in
+      let schedule = P.map c (Archi.ring p) in
+      match Syndex.Schedule.validate schedule with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "ring-%d: invalid schedule: %s" p m)
+    rings;
+  let hits, misses = Passes.cache_stats cache in
+  Alcotest.(check int) "front end ran exactly once" nfrontend misses;
+  Alcotest.(check int) "every other variant memoized"
+    (nfrontend * (List.length rings - 1))
+    hits
+
+let test_edited_source_invalidates () =
+  let cache = Passes.create_cache () in
+  let table = simple_table () in
+  let _ = P.compile_source ~cache ~table simple_src in
+  let edited = simple_src ^ "\n" in
+  let _ = P.compile_source ~cache ~table edited in
+  let _, misses = Passes.cache_stats cache in
+  Alcotest.(check int) "both compiles ran the front end" (2 * nfrontend) misses
+
+let test_option_change_invalidates_downstream () =
+  let cache = Passes.create_cache () in
+  let table = simple_table () in
+  let _ = P.compile_source ~cache ~frames:1 ~table simple_src in
+  let _ = P.compile_source ~cache ~frames:2 ~table simple_src in
+  let hits, misses = Passes.cache_stats cache in
+  (* parse and typecheck do not read [frames]: reused. extract, transform
+     and expand sit after the option enters the key chain: re-run. *)
+  Alcotest.(check int) "parse+typecheck reused" 2 hits;
+  Alcotest.(check int) "extract onward re-ran" (nfrontend + 3) misses
+
+let test_fresh_table_invalidates () =
+  let cache = Passes.create_cache () in
+  let _ = P.compile_source ~cache ~table:(simple_table ()) simple_src in
+  let _ = P.compile_source ~cache ~table:(simple_table ()) simple_src in
+  let hits, misses = Passes.cache_stats cache in
+  Alcotest.(check int) "no sharing across tables" 0 hits;
+  Alcotest.(check int) "both compiles ran" (2 * nfrontend) misses
+
+let test_cached_compile_is_equivalent () =
+  let cache = Passes.create_cache () in
+  let table = simple_table () in
+  let input = V.List (List.init 7 (fun i -> V.Int i)) in
+  let c1 = P.compile_source ~cache ~table simple_src in
+  let c2 = P.compile_source ~cache ~table simple_src in
+  Alcotest.(check value_testable) "same emulation" (P.emulate c1 input)
+    (P.emulate c2 input);
+  Alcotest.(check bool) "second compile fully cached" true
+    (List.for_all (fun r -> r.Stage.cached) (P.reports c2));
+  match P.check_equivalence ~input c2 (Archi.ring 4) with
+  | Ok v -> Alcotest.(check value_testable) "sum of squares" (V.Int 91) v
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Stage dumps                                                         *)
+
+let test_dump_stages () =
+  let c = P.compile_source ~table:(simple_table ()) simple_src in
+  (match P.dump_stage c "typecheck" with
+  | Ok text ->
+      Alcotest.(check bool) "schemes listed" true
+        (Astring.String.is_infix ~affix:"val main :" text)
+  | Error m -> Alcotest.fail m);
+  (match P.dump_stage c "expand" with
+  | Ok text ->
+      Alcotest.(check bool) "dot graph" true
+        (Astring.String.is_prefix ~affix:"digraph" text)
+  | Error m -> Alcotest.fail m);
+  (match P.dump_stage ~arch:(Archi.ring 4) c "map" with
+  | Ok text ->
+      Alcotest.(check bool) "schedule summary" true
+        (Astring.String.is_infix ~affix:"schedule" text)
+  | Error m -> Alcotest.fail m);
+  (match P.dump_stage c "map" with
+  | Ok _ -> Alcotest.fail "map without an architecture should fail"
+  | Error m ->
+      Alcotest.(check bool) "asks for an architecture" true
+        (Astring.String.is_infix ~affix:"architecture" m));
+  match P.dump_stage c "nosuch" with
+  | Ok _ -> Alcotest.fail "unknown stage should fail"
+  | Error m ->
+      Alcotest.(check bool) "lists stages" true
+        (Astring.String.is_infix ~affix:"parse" m)
+
+(* ------------------------------------------------------------------ *)
+(* Optimized/unoptimized equivalence on random skeletal programs        *)
+
+let property_table () =
+  Skel.Funtable.of_list
+    [
+      ("inc", 1, (fun v -> V.Int (V.to_int v + 1)), fun _ -> 1000.0);
+      ("dbl", 1, (fun v -> V.Int (2 * V.to_int v)), fun _ -> 2000.0);
+      ( "enlist",
+        1,
+        (fun v ->
+          let n = V.to_int v in
+          V.List [ V.Int n; V.Int (n + 1); V.Int (n + 2) ]),
+        fun _ -> 500.0 );
+      ( "add",
+        2,
+        (fun v ->
+          let a, b = V.to_pair v in
+          V.Int (V.to_int a + V.to_int b)),
+        fun _ -> 100.0 );
+      ( "replicate",
+        2,
+        (fun v ->
+          match v with
+          | V.Tuple [ V.Int n; x ] -> V.List (List.init n (fun _ -> x))
+          | _ -> raise (V.Type_error "replicate")),
+        fun _ -> 100.0 );
+      ( "sum_list",
+        1,
+        (fun v -> V.Int (List.fold_left (fun a x -> a + V.to_int x) 0 (V.to_list v))),
+        fun _ -> 100.0 );
+      ( "halve",
+        1,
+        (fun v ->
+          let n = V.to_int v in
+          if n > 3 then V.Tuple [ V.List [ V.Int (n / 2); V.Int ((n / 2) - 1) ]; V.Int 0 ]
+          else V.Tuple [ V.List []; V.Int n ]),
+        fun _ -> 500.0 );
+    ]
+
+(* Each generated unit maps an int to an int, so arbitrary chains compose. *)
+let unit_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return (Ir.Seq "inc");
+        return (Ir.Seq "dbl");
+        map
+          (fun n ->
+            Ir.Pipe
+              [
+                Ir.Seq "enlist";
+                Ir.Df { nworkers = 1 + n; comp = "inc"; acc = "add"; init = V.Int 0 };
+              ])
+          (int_bound 3);
+        map
+          (fun n ->
+            Ir.Scm
+              {
+                nparts = 1 + n;
+                split = "replicate";
+                compute = "dbl";
+                merge = "sum_list";
+              })
+          (int_bound 3);
+        map
+          (fun n ->
+            Ir.Pipe
+              [
+                Ir.Seq "enlist";
+                Ir.Tf { nworkers = 1 + n; work = "halve"; acc = "add"; init = V.Int 0 };
+              ])
+          (int_bound 2);
+      ])
+
+let program_gen =
+  QCheck.Gen.(
+    map
+      (fun units -> Ir.program "prop" (Ir.Pipe units))
+      (list_size (int_range 1 4) unit_gen))
+
+let arbitrary_program =
+  QCheck.make program_gen ~print:(fun p ->
+      Format.asprintf "%a" Ir.pp_program p)
+
+let prop_optimized_pipeline_equivalent =
+  QCheck.Test.make
+    ~name:"optimized and unoptimized pipelines are emulation-equivalent"
+    ~count:60
+    (QCheck.pair arbitrary_program (QCheck.int_bound 5))
+    (fun (program, seed) ->
+      let input = V.Int seed in
+      let plain = P.compile_ir ~table:(property_table ()) program in
+      let optimized =
+        P.compile_ir ~optimize:true ~table:(property_table ()) program
+      in
+      V.equal (P.emulate plain input) (P.emulate optimized input))
+
+let prop_optimized_executive_equivalent =
+  QCheck.Test.make
+    ~name:"optimized staged path matches the executive" ~count:15
+    (QCheck.pair arbitrary_program (QCheck.int_bound 5))
+    (fun (program, seed) ->
+      let input = V.Int seed in
+      let optimized =
+        P.compile_ir ~optimize:true ~table:(property_table ()) program
+      in
+      match P.check_equivalence ~input optimized (Archi.ring 4) with
+      | Ok _ -> true
+      | Error m -> QCheck.Test.fail_report m)
+
+let () =
+  Alcotest.run "passes"
+    [
+      ( "reports",
+        [
+          Alcotest.test_case "front-end coverage" `Quick test_reports_cover_frontend;
+          Alcotest.test_case "accumulate across calls" `Quick
+            test_reports_accumulate_across_calls;
+          Alcotest.test_case "timings render" `Quick test_timings_render;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "ring variants reuse front end" `Quick
+            test_variant_compiles_reuse_frontend;
+          Alcotest.test_case "edited source invalidates" `Quick
+            test_edited_source_invalidates;
+          Alcotest.test_case "option change invalidates downstream" `Quick
+            test_option_change_invalidates_downstream;
+          Alcotest.test_case "fresh table invalidates" `Quick
+            test_fresh_table_invalidates;
+          Alcotest.test_case "cached compile equivalent" `Quick
+            test_cached_compile_is_equivalent;
+        ] );
+      ( "dumps",
+        [ Alcotest.test_case "dump stages" `Quick test_dump_stages ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_optimized_pipeline_equivalent;
+          QCheck_alcotest.to_alcotest prop_optimized_executive_equivalent;
+        ] );
+    ]
