@@ -25,6 +25,47 @@ let header id title =
   line ()
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output (--json) and per-experiment traces
+   (--trace-dir): each experiment passes its headline run to [observe],
+   which records a Machine.Metrics report and, when tracing, dumps the
+   run's Chrome trace. *)
+
+let json_out : string option ref = ref None
+let trace_dir : string option ref = ref None
+let recorded : (string * Machine.Metrics.report) list ref = ref []
+let tracing () = !trace_dir <> None
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let observe ~experiment (r : Executive.result) =
+  recorded :=
+    (experiment, Machine.Metrics.analyse r.Executive.sim) :: !recorded;
+  Option.iter
+    (fun dir ->
+      if Machine.Sim.trace_truncated r.Executive.sim then
+        Printf.eprintf "bench: warning: %s trace truncated at %d events\n"
+          experiment
+          (Machine.Sim.trace_limit r.Executive.sim);
+      write_file
+        (Filename.concat dir (experiment ^ ".trace.json"))
+        (Skipper_trace.Chrome.to_json (Executive.timeline r)))
+    !trace_dir
+
+let write_summary_json path =
+  let entry (name, rep) =
+    Printf.sprintf
+      {|  {"experiment":"%s","finish_time":%.6f,"utilisation":%.4f,"messages":%d,"bytes":%d,"imbalance":%.4f}|}
+      name rep.Machine.Metrics.finish_time rep.Machine.Metrics.mean_utilisation
+      rep.Machine.Metrics.messages rep.Machine.Metrics.bytes
+      (Machine.Metrics.imbalance rep)
+  in
+  write_file path
+    ("[\n" ^ String.concat ",\n" (List.map entry (List.rev !recorded)) ^ "\n]\n");
+  Printf.eprintf "bench: wrote %d experiment summaries to %s\n"
+    (List.length !recorded) path
+
+(* ------------------------------------------------------------------ *)
 (* Shared tracking-run helper                                          *)
 
 type tracking_run = {
@@ -32,9 +73,10 @@ type tracking_run = {
   reinit_ms : float;  (* latency of an isolated reinitialisation frame *)
   messages : int;
   utilisation : float;
+  metrics : Machine.Metrics.report;  (* full analysis of the stream run *)
 }
 
-let run_tracking ?(frames = 20) ?(fps = 25.0) ~nproc () =
+let run_tracking ?(frames = 20) ?(fps = 25.0) ?observe_as ~nproc () =
   let config = Tracking.Funcs.(with_nproc nproc default_config) in
   let arch = Archi.ring nproc in
   (* steady state over a paced stream *)
@@ -42,12 +84,15 @@ let run_tracking ?(frames = 20) ?(fps = 25.0) ~nproc () =
   let prog = Tracking.Funcs.ir ~frames config in
   let g = Procnet.Expand.expand table prog in
   let r =
-    Executive.run ~table ~arch
+    Executive.run
+      ~trace:(observe_as <> None && tracing ())
+      ~table ~arch
       ~placement:(Syndex.Place.canonical g arch)
       ~graph:g ~frames ~input_period:(1.0 /. fps)
       ~input:(Tracking.Funcs.input_value config)
       ()
   in
+  Option.iter (fun experiment -> observe ~experiment r) observe_as;
   let steady = List.nth r.Executive.latencies (frames - 1) in
   (* isolated reinitialisation frame (the initial state is Reinit mode) *)
   let table1 = Tracking.Funcs.table config in
@@ -65,6 +110,7 @@ let run_tracking ?(frames = 20) ?(fps = 25.0) ~nproc () =
     reinit_ms = ms r1.Executive.first_latency;
     messages = r.Executive.stats.Machine.Sim.messages;
     utilisation = Machine.Sim.utilisation r.Executive.sim;
+    metrics = Machine.Metrics.analyse r.Executive.sim;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -73,7 +119,7 @@ let run_tracking ?(frames = 20) ?(fps = 25.0) ~nproc () =
 let e1 () =
   header "E1"
     "vehicle tracking on a ring of 8 T9000s, 25 Hz 512x512 stream (paper s4)";
-  let r = run_tracking ~nproc:8 () in
+  let r = run_tracking ~nproc:8 ~observe_as:"e1" () in
   let frame_period_ms = 40.0 in
   Printf.printf "%-38s %12s %12s\n" "quantity" "paper" "measured";
   Printf.printf "%-38s %12s %9.1f ms\n" "tracking-phase latency" "30 ms" r.steady_ms;
@@ -84,7 +130,19 @@ let e1 () =
   Printf.printf "%-38s %12s %12s\n" "reinit processes one image out of" "3"
     (string_of_int skip);
   Printf.printf "%-38s %12s %12d\n" "messages per 20-frame run" "-" r.messages;
-  Printf.printf "%-38s %12s %12.2f\n" "mean processor utilisation" "-" r.utilisation
+  Printf.printf "%-38s %12s %12.2f\n" "mean processor utilisation" "-" r.utilisation;
+  Printf.printf "%-38s %12s %12.2f\n" "processor imbalance (max/mean)" "-"
+    (Machine.Metrics.imbalance r.metrics);
+  (match Machine.Metrics.hottest_link r.metrics with
+  | Some l ->
+      Printf.printf "%-38s %12s %9.1f %%\n"
+        (Printf.sprintf "hottest link P%d->P%d occupancy" l.Machine.Metrics.src
+           l.Machine.Metrics.dst)
+        "-"
+        (Machine.Metrics.link_contention r.metrics *. 100.0)
+  | None -> ());
+  Printf.printf "%-38s %12s %12d\n" "deepest mailbox backlog" "-"
+    (Machine.Metrics.max_port_depth r.metrics)
 
 (* ------------------------------------------------------------------ *)
 (* E2: scaling with the number of processors                           *)
@@ -98,7 +156,11 @@ let e2 () =
   let base = ref 0.0 in
   List.iter
     (fun p ->
-      let r = run_tracking ~frames:12 ~nproc:p () in
+      let r =
+        run_tracking ~frames:12
+          ?observe_as:(if p = 8 then Some "e2" else None)
+          ~nproc:p ()
+      in
       if p = 1 then base := r.reinit_ms;
       Printf.printf "%6d %16.1f %16.1f %14.2f\n" p r.steady_ms r.reinit_ms
         (!base /. r.reinit_ms))
@@ -145,7 +207,7 @@ let e3 () =
      'similar to an existing hand-crafted parallel version')";
   let nproc = 8 in
   let frames = 12 in
-  let skel = run_tracking ~frames ~nproc () in
+  let skel = run_tracking ~frames ~nproc ~observe_as:"e3" () in
   let hand =
     Handcoded.run ~input_period:0.04
       ~config:Tracking.Funcs.(with_nproc nproc default_config)
@@ -216,14 +278,17 @@ let e4 () =
     (fun nitems ->
       let rng = Support.Prng.create (1000 + nitems) in
       let items = V.List (uneven_items rng nitems) in
-      let run prog =
+      let run ?observe_as prog =
         let table = uneven_table () in
         let g = Procnet.Expand.expand table prog in
         let r =
-          Executive.run ~table ~arch
+          Executive.run
+            ~trace:(observe_as <> None && tracing ())
+            ~table ~arch
             ~placement:(Syndex.Place.canonical g arch)
             ~graph:g ~frames:1 ~input:items ()
         in
+        Option.iter (fun experiment -> observe ~experiment r) observe_as;
         (ms r.Executive.first_latency, r.Executive.value)
       in
       let scm_ms, scm_v =
@@ -235,6 +300,7 @@ let e4 () =
       in
       let df_ms, df_v =
         run
+          ?observe_as:(if nitems = 128 then Some "e4" else None)
           (Skel.Ir.program "df"
              (Skel.Ir.Df { nworkers; comp = "work"; acc = "collect"; init = V.Int 0 }))
       in
@@ -279,9 +345,11 @@ let e5 () =
             V.Record [ ("id", V.Int i); ("cost", V.Float 100_000.0) ])
       in
       let r =
-        Executive.run ~table ~arch ~placement ~graph:g ~frames:1
-          ~input:(V.List items) ()
+        Executive.run
+          ~trace:(n = 8 && tracing ())
+          ~table ~arch ~placement ~graph:g ~frames:1 ~input:(V.List items) ()
       in
+      if n = 8 then observe ~experiment:"e5" r;
       Printf.printf "%8d %11d %10d %22.2f %20.2f\n" n
         (Procnet.Graph.nnodes fig1)
         (List.length (Procnet.Graph.edges fig1))
@@ -309,12 +377,15 @@ let e6 () =
       let g = Procnet.Expand.expand table prog in
       let arch = Archi.ring nproc in
       let r =
-        Executive.run ~table ~arch
+        Executive.run
+          ~trace:(fps = 25.0 && tracing ())
+          ~table ~arch
           ~placement:(Syndex.Place.canonical g arch)
           ~graph:g ~frames ~input_period:(1.0 /. fps)
           ~input:(Tracking.Funcs.input_value config)
           ()
       in
+      if fps = 25.0 then observe ~experiment:"e6" r;
       (* mean of the last half of the stream (past the reinit transient) *)
       let tail = List.filteri (fun i _ -> i >= frames / 2) r.Executive.latencies in
       let mean = List.fold_left ( +. ) 0.0 tail /. float_of_int (List.length tail) in
@@ -341,10 +412,13 @@ let e7 () =
       let g = Procnet.Expand.expand table prog in
       let arch = Archi.ring (nparts + 1) in
       let r =
-        Executive.run ~table ~arch
+        Executive.run
+          ~trace:(nparts = 8 && tracing ())
+          ~table ~arch
           ~placement:(Syndex.Place.canonical g arch)
           ~graph:g ~frames:1 ~input:(V.Image img) ()
       in
+      if nparts = 8 then observe ~experiment:"e7" r;
       let n, _ = Apps.Ccl_scm.result_summary r.Executive.value in
       assert (n = reference);
       let latency = ms r.Executive.first_latency in
@@ -365,12 +439,13 @@ let e8 () =
   let g = Procnet.Expand.expand table prog in
   let arch = Archi.ring (nstrips + 1) in
   let r =
-    Executive.run ~table ~arch
+    Executive.run ~trace:(tracing ()) ~table ~arch
       ~placement:(Syndex.Place.canonical g arch)
       ~graph:g ~frames ~input_period:0.04
       ~input:(Apps.Road.input_value ~width ~height)
       ()
   in
+  observe ~experiment:"e8" r;
   let lanes = List.map Apps.Road.lane_of_value r.Executive.outputs in
   let offsets = List.map (fun l -> l.Apps.Road.offset) lanes in
   let mean = List.fold_left ( +. ) 0.0 offsets /. float_of_int (List.length offsets) in
@@ -411,7 +486,8 @@ let e9 () =
   let macro = Skipper_lib.Pipeline.macro_code compiled sched in
   let input = Option.get compiled.Skipper_lib.Pipeline.input in
   let seq = Skipper_lib.Pipeline.emulate compiled input in
-  let r = Skipper_lib.Pipeline.execute ~input compiled arch in
+  let r = Skipper_lib.Pipeline.execute ~trace:(tracing ()) ~input compiled arch in
+  observe ~experiment:"e9" r;
   Format.printf "%a" Skipper_lib.Pipeline.pp_timings compiled;
   Printf.printf "macro-code size: %d lines\n"
     (List.length (String.split_on_char '\n' macro));
@@ -449,10 +525,13 @@ let e10 () =
       in
       let sched = Skipper_lib.Pipeline.map ~strategy compiled arch in
       let r =
-        Skipper_lib.Pipeline.execute ~strategy ~input_period:0.04
+        Skipper_lib.Pipeline.execute
+          ~trace:(name = "heft" && tracing ())
+          ~strategy ~input_period:0.04
           ~input:(Tracking.Funcs.input_value config)
           compiled arch
       in
+      if name = "heft" then observe ~experiment:"e10" r;
       Printf.printf "%-14s %20.1f %22.2f\n" name
         (ms (List.nth r.Executive.latencies (frames - 1)))
         (ms sched.Syndex.Schedule.makespan))
@@ -477,14 +556,18 @@ let e11 () =
         let table = Tracking.Funcs.table config in
         let prog = Tracking.Funcs.ir ~frames:prog_frames config in
         let g = Procnet.Expand.expand table prog in
+        let headline = name = "ring" && prog_frames > 1 in
         let r =
-          Executive.run ~table ~arch
+          Executive.run
+            ~trace:(headline && tracing ())
+            ~table ~arch
             ~placement:(Syndex.Place.canonical g arch)
             ~graph:g ~frames:prog_frames
             ?input_period:(if prog_frames > 1 then Some 0.04 else None)
             ~input:(Tracking.Funcs.input_value config)
             ()
         in
+        if headline then observe ~experiment:"e11" r;
         List.nth r.Executive.latencies (frames' - 1)
       in
       let tracking = ms (run frames frames) in
@@ -534,8 +617,11 @@ let e12 () =
     let t, prog = build () in
     let compiled = Skipper_lib.Pipeline.compile_ir ~optimize ~table:t prog in
     let r =
-      Skipper_lib.Pipeline.execute ~input:(V.Int 1) compiled arch
+      Skipper_lib.Pipeline.execute
+        ~trace:(optimize && tracing ())
+        ~input:(V.Int 1) compiled arch
     in
+    if optimize then observe ~experiment:"e12" r;
     ( Procnet.Graph.nnodes compiled.Skipper_lib.Pipeline.graph,
       r.Executive.stats.Machine.Sim.messages,
       ms r.Executive.first_latency,
@@ -588,12 +674,15 @@ let e13 () =
       let g = Procnet.Expand.expand t program in
       let arch = Archi.ring (nworkers + 1) in
       let r =
-        Executive.run ~table:t ~arch
+        Executive.run
+          ~trace:(nworkers = 8 && tracing ())
+          ~table:t ~arch
           ~placement:(Syndex.Place.canonical g arch)
           ~graph:g ~frames:1
           ~input:(V.List (List.init 24 (fun i -> V.Int i)))
           ()
       in
+      if nworkers = 8 then observe ~experiment:"e13" r;
       let latency = ms r.Executive.first_latency in
       if nworkers = 1 then base := latency;
       Printf.printf "%8d %16.1f %11.2fx\n" nworkers latency (!base /. latency))
@@ -691,9 +780,25 @@ let experiments =
   ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [ "micro" ] -> micro ()
-  | _ :: [ name ] -> (
+  let rec parse_flags = function
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        parse_flags rest
+    | "--trace-dir" :: dir :: rest ->
+        trace_dir := Some dir;
+        parse_flags rest
+    | x :: rest -> x :: parse_flags rest
+    | [] -> []
+  in
+  let names = parse_flags (List.tl (Array.to_list Sys.argv)) in
+  Option.iter
+    (fun dir ->
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    !trace_dir;
+  (match names with
+  | [ "micro" ] -> micro ()
+  | [ name ] -> (
       match List.assoc_opt (String.lowercase_ascii name) experiments with
       | Some f -> f ()
       | None ->
@@ -703,4 +808,6 @@ let () =
       print_endline "SKiPPER experiment harness (see DESIGN.md, experiment index)";
       List.iter (fun (_, f) -> f ()) experiments;
       print_newline ();
-      print_endline "All experiments completed. Run with 'micro' for bechamel kernels."
+      print_endline
+        "All experiments completed. Run with 'micro' for bechamel kernels.");
+  Option.iter write_summary_json !json_out

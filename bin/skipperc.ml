@@ -51,6 +51,42 @@ let strategy_of = function
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* Export the run's telemetry. The Chrome trace carries the whole toolchain
+   (compile-stage spans + the simulated run); the SVG Gantt shows the run
+   alone — compile passes live on a microsecond scale that would flatten the
+   millisecond-scale simulation lanes into invisibility. *)
+let export_traces ?compiled ~trace_out ~gantt_svg (r : Executive.result) =
+  if trace_out <> None || gantt_svg <> None then begin
+    if Machine.Sim.trace_truncated r.Executive.sim then
+      Printf.eprintf
+        "skipperc: warning: trace truncated at %d events; later message \
+         lifecycles are missing from the export\n"
+        (Machine.Sim.trace_limit r.Executive.sim);
+    Option.iter
+      (fun path ->
+        let tl =
+          match compiled with
+          | Some c -> Skipper_lib.Pipeline.timeline ~result:r c
+          | None -> Executive.timeline r
+        in
+        write_file path (Skipper_trace.Chrome.to_json tl);
+        Printf.eprintf "skipperc: wrote Chrome trace (%d events) to %s\n"
+          (Skipper_trace.Event.length tl)
+          path)
+      trace_out;
+    Option.iter
+      (fun path ->
+        match Skipper_trace.Svg.gantt (Executive.timeline r) with
+        | Ok svg ->
+            write_file path svg;
+            Printf.eprintf "skipperc: wrote timeline SVG to %s\n" path
+        | Error msg -> failwith msg)
+      gantt_svg
+  end
+
 let compile ~app ~frames ?(optimize = false) path =
   let table = app_table app in
   Skipper_lib.Pipeline.compile_source ~frames ~optimize ~table (read_file path)
@@ -129,6 +165,24 @@ let dump_arg =
         ~doc:"Print the named stage's artifact instead of the normal output \
               (parse, typecheck, extract, transform, expand, cost, map, \
               emit, simulate).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE.json"
+        ~doc:"Write a Chrome trace-event JSON of the run (compile stages + \
+              full message lifecycle) to FILE.json; load it in Perfetto or \
+              chrome://tracing.")
+
+let gantt_svg_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "gantt-svg" ] ~docv:"FILE.svg"
+        ~doc:"Write a standalone SVG timeline of the simulated run (one lane \
+              per processor and link, message arrows between lanes) to \
+              FILE.svg.")
 
 let check_cmd =
   let run file =
@@ -223,7 +277,8 @@ let emulate_cmd =
     Term.(const run $ app_arg $ frames_arg $ timings_arg $ file_arg)
 
 let run_cmd =
-  let run app frames procs topo strat fps optimize timings dump file =
+  let run app frames procs topo strat fps optimize timings dump trace_out
+      gantt_svg file =
     wrap (fun () ->
         let c = compile ~app ~frames ~optimize file in
         let arch = topology topo procs in
@@ -233,9 +288,10 @@ let run_cmd =
             dump_stage ~arch ~strategy ?input:(default_input app) c stage
         | None ->
             let input_period = Option.map (fun f -> 1.0 /. f) fps in
+            let tracing = trace_out <> None || gantt_svg <> None in
             let r =
-              Skipper_lib.Pipeline.execute ?input_period ~strategy
-                ?input:(default_input app) c arch
+              Skipper_lib.Pipeline.execute ~trace:tracing ?input_period
+                ~strategy ?input:(default_input app) c arch
             in
             Printf.printf "result: %s\n" (Skel.Value.to_string r.Executive.value);
             List.iteri
@@ -243,14 +299,16 @@ let run_cmd =
               r.Executive.latencies;
             Printf.printf "messages: %d, bytes: %d\n"
               r.Executive.stats.Machine.Sim.messages
-              r.Executive.stats.Machine.Sim.bytes);
+              r.Executive.stats.Machine.Sim.bytes;
+            export_traces ~compiled:c ~trace_out ~gantt_svg r);
         if timings then print_timings c)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, map and execute on the simulated MIMD-DM machine.")
     Term.(
       const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ strategy_arg $ fps_arg
-      $ optimize_arg $ timings_arg $ dump_arg $ file_arg)
+      $ optimize_arg $ timings_arg $ dump_arg $ trace_out_arg $ gantt_svg_arg
+      $ file_arg)
 
 let equiv_cmd =
   let run app frames procs topo timings file =
@@ -284,7 +342,7 @@ let repl_cmd =
     Term.(const run $ app_arg)
 
 let demo_cmd =
-  let run app procs =
+  let run app procs trace_out gantt_svg =
     wrap (fun () ->
         let arch = topology "ring" procs in
         let frames = 10 in
@@ -310,8 +368,10 @@ let demo_cmd =
           | other -> failwith (Printf.sprintf "no demo for %S" other)
         in
         let compiled = Skipper_lib.Pipeline.compile_ir ~table program in
+        let tracing = trace_out <> None || gantt_svg <> None in
         let r =
-          Skipper_lib.Pipeline.execute ~input ~input_period:0.04 compiled arch
+          Skipper_lib.Pipeline.execute ~trace:tracing ~input ~input_period:0.04
+            compiled arch
         in
         Printf.printf "application: %s on %s, %d stream iteration(s)\n" app
           (Archi.name arch) program.Skel.Ir.frames;
@@ -319,12 +379,13 @@ let demo_cmd =
           (fun i l -> Printf.printf "frame %3d latency %8.2f ms\n" i (l *. 1e3))
           r.Executive.latencies;
         print_string
-          (Machine.Metrics.to_string (Machine.Metrics.analyse r.Executive.sim)))
+          (Machine.Metrics.to_string (Machine.Metrics.analyse r.Executive.sim));
+        export_traces ~compiled ~trace_out ~gantt_svg r)
   in
   Cmd.v
     (Cmd.info "demo"
        ~doc:"Run a built-in application end to end (no specification file).")
-    Term.(const run $ app_arg $ procs_arg)
+    Term.(const run $ app_arg $ procs_arg $ trace_out_arg $ gantt_svg_arg)
 
 let main =
   let doc = "SKiPPER: skeleton-based parallel programming environment" in

@@ -227,13 +227,13 @@ let is_itermem g =
     (fun (node : G.node) -> match node.kind with G.Mem _ -> true | _ -> false)
     (G.nodes g)
 
-let run ?(trace = false) ?input_period ?(faults = []) ~table ~arch ~placement
-    ~graph:g ~frames ~input () =
+let run ?(trace = false) ?trace_limit ?input_period ?(faults = []) ~table ~arch
+    ~placement ~graph:g ~frames ~input () =
   if frames <= 0 then error "frames must be positive";
   if Array.length placement <> G.nnodes g then
     error "placement has %d entries for %d processes" (Array.length placement)
       (G.nnodes g);
-  let sim = Machine.Sim.create ~trace arch in
+  let sim = Machine.Sim.create ~trace ?trace_limit arch in
   List.iter (fun (p, at) -> Machine.Sim.halt_processor sim ~at p) faults;
   let collector = { outs_rev = []; final_state = None } in
   let widx_table = worker_indices g in
@@ -287,10 +287,14 @@ let run ?(trace = false) ?input_period ?(faults = []) ~table ~arch ~placement
     sim;
   }
 
-let run_schedule ?trace ?input_period ~table ~schedule ~frames ~input () =
-  run ?trace ?input_period ~table ~arch:schedule.Syndex.Schedule.arch
+let run_schedule ?trace ?trace_limit ?input_period ~table ~schedule ~frames
+    ~input () =
+  run ?trace ?trace_limit ?input_period ~table
+    ~arch:schedule.Syndex.Schedule.arch
     ~placement:schedule.Syndex.Schedule.placement
     ~graph:schedule.Syndex.Schedule.graph ~frames ~input ()
+
+let timeline r = Machine.Sim.timeline r.sim
 
 let summary r =
   Printf.sprintf

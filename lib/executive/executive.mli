@@ -46,6 +46,7 @@ exception Executive_error of string
 
 val run :
   ?trace:bool ->
+  ?trace_limit:int ->
   ?input_period:float ->
   ?faults:(int * float) list ->
   table:Skel.Funtable.t ->
@@ -72,6 +73,7 @@ val run :
 
 val run_schedule :
   ?trace:bool ->
+  ?trace_limit:int ->
   ?input_period:float ->
   table:Skel.Funtable.t ->
   schedule:Syndex.Schedule.t ->
@@ -80,6 +82,13 @@ val run_schedule :
   unit ->
   result
 (** Convenience wrapper taking the placement from a static schedule. *)
+
+val timeline : result -> Skipper_trace.Event.timeline
+(** The run's message-lifecycle events as a unified timeline (empty when the
+    machine was created without [~trace:true]): one lane per process grouped
+    under its hosting processor, one lane per directed link, plus the
+    environment injections. Feed to {!Skipper_trace.Chrome.to_json} or
+    {!Skipper_trace.Svg.gantt}. *)
 
 val summary : result -> string
 (** Multi-line digest of a run: value, frame count, latency/period, message

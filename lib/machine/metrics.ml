@@ -5,6 +5,23 @@ type processor_load = {
   processes : int;
 }
 
+type link_load = {
+  src : int;
+  dst : int;
+  link_busy : float;
+  transfers : int;
+  occupancy : float;
+}
+
+type process_breakdown = {
+  name : string;
+  on : int;
+  busy_t : float;
+  blocked_t : float;
+  idle_t : float;
+  sends : int;
+}
+
 type report = {
   finish_time : float;
   mean_utilisation : float;
@@ -12,6 +29,9 @@ type report = {
   hottest_process : (string * float) option;
   messages : int;
   bytes : int;
+  links : link_load list;
+  port_depths : ((string * string) * int) list;
+  breakdown : process_breakdown list;
 }
 
 let analyse sim =
@@ -38,6 +58,31 @@ let analyse sim =
         | _ -> Some (name, busy))
       None accounts
   in
+  let links =
+    List.map
+      (fun ((src, dst), busy, transfers) ->
+        {
+          src;
+          dst;
+          link_busy = busy;
+          transfers;
+          occupancy = (if finish > 0.0 then busy /. finish else 0.0);
+        })
+      (Sim.link_occupancy sim)
+  in
+  let breakdown =
+    List.map
+      (fun (a : Sim.account) ->
+        {
+          name = a.Sim.aname;
+          on = a.Sim.on;
+          busy_t = a.Sim.busy_s;
+          blocked_t = a.Sim.blocked_s;
+          idle_t = Float.max 0.0 (finish -. a.Sim.busy_s -. a.Sim.blocked_s);
+          sends = a.Sim.sends;
+        })
+      (Sim.accounts sim)
+  in
   {
     finish_time = finish;
     mean_utilisation = Sim.utilisation sim;
@@ -45,6 +90,9 @@ let analyse sim =
     hottest_process;
     messages = stats.Sim.messages;
     bytes = stats.Sim.bytes;
+    links;
+    port_depths = Sim.port_depths sim;
+    breakdown;
   }
 
 let imbalance report =
@@ -55,6 +103,20 @@ let imbalance report =
       let mean = total /. float_of_int (List.length loads) in
       if mean <= 0.0 then 0.0
       else List.fold_left (fun acc l -> Float.max acc l.busy) 0.0 loads /. mean
+
+let hottest_link report =
+  List.fold_left
+    (fun best l ->
+      match best with
+      | Some b when b.link_busy >= l.link_busy -> best
+      | _ -> Some l)
+    None report.links
+
+let link_contention report =
+  match hottest_link report with Some l -> l.occupancy | None -> 0.0
+
+let max_port_depth report =
+  List.fold_left (fun acc (_, d) -> max acc d) 0 report.port_depths
 
 let bar fraction width =
   let filled = int_of_float (fraction *. float_of_int width) in
@@ -78,5 +140,72 @@ let to_string report =
       Buffer.add_string buf
         (Printf.sprintf "busiest process: %s (%.3f ms busy)\n" name (busy *. 1e3))
   | None -> ());
+  (match hottest_link report with
+  | Some l ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "hottest link: P%d->P%d (%.3f ms occupied, %.0f%%, %d transfers)\n"
+           l.src l.dst (l.link_busy *. 1e3) (l.occupancy *. 100.0) l.transfers)
+  | None -> ());
+  let depth = max_port_depth report in
+  if depth > 1 then
+    Buffer.add_string buf (Printf.sprintf "deepest mailbox backlog: %d messages\n" depth);
   Buffer.add_string buf (Printf.sprintf "imbalance (max/mean busy): %.2f\n" (imbalance report));
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable summary                                            *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json report =
+  let loads =
+    String.concat ","
+      (List.map
+         (fun l ->
+           Printf.sprintf
+             {|{"proc":%d,"busy_s":%.9f,"fraction":%.6f,"processes":%d}|}
+             l.proc l.busy l.fraction l.processes)
+         report.loads)
+  in
+  let links =
+    String.concat ","
+      (List.map
+         (fun l ->
+           Printf.sprintf
+             {|{"src":%d,"dst":%d,"busy_s":%.9f,"occupancy":%.6f,"transfers":%d}|}
+             l.src l.dst l.link_busy l.occupancy l.transfers)
+         report.links)
+  in
+  let ports =
+    String.concat ","
+      (List.map
+         (fun ((proc, port), depth) ->
+           Printf.sprintf {|{"process":"%s","port":"%s","max_depth":%d}|}
+             (json_escape proc) (json_escape port) depth)
+         report.port_depths)
+  in
+  let procs =
+    String.concat ","
+      (List.map
+         (fun p ->
+           Printf.sprintf
+             {|{"process":"%s","proc":%d,"busy_s":%.9f,"blocked_s":%.9f,"idle_s":%.9f,"sends":%d}|}
+             (json_escape p.name) p.on p.busy_t p.blocked_t p.idle_t p.sends)
+         report.breakdown)
+  in
+  Printf.sprintf
+    {|{"finish_time_s":%.9f,"mean_utilisation":%.6f,"messages":%d,"bytes":%d,"imbalance":%.6f,"link_contention":%.6f,"processors":[%s],"links":[%s],"ports":[%s],"processes":[%s]}|}
+    report.finish_time report.mean_utilisation report.messages report.bytes
+    (imbalance report) (link_contention report) loads links ports procs

@@ -2,14 +2,34 @@
 
     SynDEx offered "optional real-time performance measurement" of the
     generated executive (paper §3); this module is that facility for the
-    simulator: per-processor utilisation, per-process accounting and a
-    plain-text report suitable for terminal display. *)
+    simulator: per-processor utilisation, per-link occupancy and contention,
+    per-process busy/blocked/idle breakdown, mailbox high-water depths, a
+    plain-text report for terminal display and a JSON summary for trajectory
+    tracking (bench [--json]). Everything here works without tracing — the
+    counters are maintained by the simulator itself. *)
 
 type processor_load = {
   proc : int;
   busy : float;  (** seconds *)
   fraction : float;  (** busy / finish_time *)
   processes : int;  (** processes hosted *)
+}
+
+type link_load = {
+  src : int;
+  dst : int;
+  link_busy : float;  (** seconds the directed link was occupied *)
+  transfers : int;  (** messages that traversed it *)
+  occupancy : float;  (** link_busy / finish_time *)
+}
+
+type process_breakdown = {
+  name : string;
+  on : int;  (** hosting processor *)
+  busy_t : float;  (** seconds computing or in kernel overheads *)
+  blocked_t : float;  (** seconds blocked in recv *)
+  idle_t : float;  (** finish - busy - blocked (clamped at 0) *)
+  sends : int;
 }
 
 type report = {
@@ -20,6 +40,10 @@ type report = {
       (** name and busy seconds of the busiest process *)
   messages : int;
   bytes : int;
+  links : link_load list;  (** only links that carried traffic, sorted *)
+  port_depths : ((string * string) * int) list;
+      (** high-water mailbox depth per (process, port), sorted *)
+  breakdown : process_breakdown list;  (** per process, in spawn order *)
 }
 
 val analyse : Sim.t -> report
@@ -29,6 +53,22 @@ val imbalance : report -> float
 (** Max processor busy time divided by the mean (1.0 = perfectly level;
     0 when nothing ran). *)
 
+val hottest_link : report -> link_load option
+(** The busiest directed link, or [None] when no remote message was sent. *)
+
+val link_contention : report -> float
+(** Occupancy fraction of the hottest link ([0, 1]; 0 without traffic) —
+    the saturation indicator for the ring's store-and-forward routing. *)
+
+val max_port_depth : report -> int
+(** Deepest mailbox backlog observed anywhere (1 = every message was
+    consumed before the next arrived). *)
+
 val to_string : report -> string
-(** Multi-line report with a utilisation bar per processor and the top
-    processes by busy time. *)
+(** Multi-line report with a utilisation bar per processor, the busiest
+    process, the hottest link and the imbalance. *)
+
+val to_json : report -> string
+(** The whole report as one JSON object: scalar headline numbers plus
+    [processors], [links], [ports] and [processes] arrays. Deterministic
+    field order and number formatting. *)

@@ -33,22 +33,41 @@ type process = {
   name : string;
   on : int;
   mutable state : pstate;
-  mailboxes : (string, (float * Skel.Value.t) Queue.t) Hashtbl.t;
+  mutable blocked_at : float;  (* when the current Blocked episode began *)
+  mutable blocked_total : float;  (* closed Blocked episodes, seconds *)
+  mailboxes : (string, (float * int * Skel.Value.t) Queue.t) Hashtbl.t;
+      (* (delivery time, message id, payload) *)
 }
 
+(* The full message lifecycle is recorded, one event per step: the sender's
+   overhead span ([Send]), one [Hop] per link reservation along the route,
+   [Deliver] when the payload lands in the destination mailbox, and [Recv]
+   when the receiving process consumes it (dur = 0 when the delivery woke a
+   blocked receiver, which pays no software overhead). Events share a
+   message id, so exporters can pair them into arrows. *)
 type trace_event = {
   time : float;
-  proc : int;
+  proc : int;  (** hosting processor; -1 for environment injections *)
+  pid : pid;  (** emitting process; -1 when none *)
   process : string;
-  what :
-    [ `Start_compute of float | `End_compute | `Send of string * int | `Recv of string | `Done ];
+  what : what;
 }
+
+and what =
+  | Compute of { cycles : float; dur : float }
+  | Send of { msg : int; dst : pid; port : string; bytes : int; dur : float }
+  | Hop of { msg : int; link_src : int; link_dst : int; bytes : int; start : float; finish : float }
+  | Deliver of { msg : int; port : string }
+  | Block of { ports : string list }
+  | Recv of { msg : int; port : string; dur : float }
+  | Done
+  | Halted
 
 type event =
   | Dispatch of int  (** processor id: pull next ready process if CPU free *)
   | Step of pid * resume  (** continue this process now (CPU already held) *)
   | Enqueue of pid * resume  (** re-admit a sleeping process via the ready queue *)
-  | Deliver of pid * string * Skel.Value.t
+  | Deliver_msg of pid * int * string * Skel.Value.t  (** (dst, msg id, port, payload) *)
   | Halt of int  (** processor fault: stop dispatching on this processor *)
 
 type t = {
@@ -60,11 +79,14 @@ type t = {
   halted : bool array;
   ready : (pid * resume) Queue.t array;
   link_busy : (int * int, Support.Intervals.t ref) Hashtbl.t;
+  link_transfers : (int * int, int) Hashtbl.t;
+  port_depth : (pid * string, int) Hashtbl.t;  (* high-water queue depth *)
   mutable time : float;
   mutable ran : bool;
   mutable messages : int;
   mutable bytes : int;
   mutable hops_total : int;
+  mutable next_msg : int;
   busy : float array;
   busy_intervals : (float * float) list array;  (* reversed, for gantt *)
   proc_busy : (pid, float) Hashtbl.t;  (* per-process busy seconds *)
@@ -73,6 +95,7 @@ type t = {
   trace_limit : int;
   mutable trace_rev : trace_event list;
   mutable trace_len : int;
+  mutable trace_dropped : bool;
 }
 
 let create ?(trace = false) ?(trace_limit = 20000) arch =
@@ -86,11 +109,14 @@ let create ?(trace = false) ?(trace_limit = 20000) arch =
     halted = Array.make n false;
     ready = Array.init n (fun _ -> Queue.create ());
     link_busy = Hashtbl.create 16;
+    link_transfers = Hashtbl.create 16;
+    port_depth = Hashtbl.create 32;
     time = 0.0;
     ran = false;
     messages = 0;
     bytes = 0;
     hops_total = 0;
+    next_msg = 0;
     busy = Array.make n 0.0;
     busy_intervals = Array.make n [];
     proc_busy = Hashtbl.create 32;
@@ -99,15 +125,24 @@ let create ?(trace = false) ?(trace_limit = 20000) arch =
     trace_limit;
     trace_rev = [];
     trace_len = 0;
+    trace_dropped = false;
   }
 
 let arch t = t.arch
 
 let record t ev =
-  if t.tracing && t.trace_len < t.trace_limit then begin
-    t.trace_rev <- ev :: t.trace_rev;
-    t.trace_len <- t.trace_len + 1
+  if t.tracing then begin
+    if t.trace_len < t.trace_limit then begin
+      t.trace_rev <- ev :: t.trace_rev;
+      t.trace_len <- t.trace_len + 1
+    end
+    else t.trace_dropped <- true
   end
+
+let fresh_msg t =
+  let id = t.next_msg in
+  t.next_msg <- id + 1;
+  id
 
 (* The process currently executing a zero-duration segment. *)
 let current : (t * process) option ref = ref None
@@ -139,26 +174,27 @@ let charge_busy ?pid t p dt =
 
 (* Find, among [ports], the mailbox whose head message was delivered
    earliest. Returns (port, delivery_time). *)
-let earliest_message proc ports =
+let earliest_message (proc : process) ports =
   List.fold_left
     (fun best port ->
       match Hashtbl.find_opt proc.mailboxes port with
       | None -> best
       | Some q when Queue.is_empty q -> best
       | Some q ->
-          let at, _ = Queue.peek q in
+          let at, _, _ = Queue.peek q in
           (match best with
           | Some (_, best_at) when best_at <= at -> best
           | _ -> Some (port, at)))
     None ports
 
-let pop_message proc port =
+let pop_message (proc : process) port =
   let q = Hashtbl.find proc.mailboxes port in
-  snd (Queue.pop q)
+  let _, msg, v = Queue.pop q in
+  (msg, v)
 
 let push_event t at ev = Support.Pqueue.push t.events at ev
 
-let make_ready t proc resume =
+let make_ready t (proc : process) resume =
   Queue.add (proc.pid, resume) t.ready.(proc.on);
   push_event t t.time (Dispatch proc.on)
 
@@ -179,8 +215,9 @@ let reserve_link t key earliest duration =
 
 (* Physical transfer of [bytes_n] bytes from processor [src] to [dst],
    starting at [depart]. Returns the arrival time; reserves link occupancy
-   (store-and-forward, one transfer at a time per directed link). *)
-let transfer t src dst bytes_n depart =
+   (store-and-forward, one transfer at a time per directed link). [msg] and
+   [sender] only feed the trace. *)
+let transfer t ~msg ~sender src dst bytes_n depart =
   if src = dst then depart +. (float_of_int bytes_n /. local_copy_bandwidth)
   else begin
     let path = Archi.route t.arch src dst in
@@ -196,6 +233,25 @@ let transfer t src dst bytes_n depart =
           in
           let start = reserve_link t (a, b) depart duration in
           t.hops_total <- t.hops_total + 1;
+          Hashtbl.replace t.link_transfers (a, b)
+            (1 + Option.value ~default:0 (Hashtbl.find_opt t.link_transfers (a, b)));
+          record t
+            {
+              time = start;
+              proc = a;
+              pid = -1;
+              process = sender;
+              what =
+                Hop
+                  {
+                    msg;
+                    link_src = a;
+                    link_dst = b;
+                    bytes = bytes_n;
+                    start;
+                    finish = start +. duration;
+                  };
+            };
           hop (start +. duration) rest
       | _ -> depart
     in
@@ -204,14 +260,15 @@ let transfer t src dst bytes_n depart =
 
 (* Run one zero-duration execution segment of [proc]. Effects performed by
    the body terminate the segment after scheduling follow-up events. *)
-let run_segment t proc resume =
+let run_segment t (proc : process) resume =
   let p = proc.on in
   let handler : (unit, unit) Effect.Deep.handler =
     {
       retc =
         (fun () ->
           proc.state <- Finished;
-          record t { time = t.time; proc = p; process = proc.name; what = `Done };
+          record t
+            { time = t.time; proc = p; pid = proc.pid; process = proc.name; what = Done };
           t.cpu_free.(p) <- t.time;
           push_event t t.time (Dispatch p));
       exnc = (fun exn -> raise (Process_failure (proc.name, exn)));
@@ -226,8 +283,9 @@ let run_segment t proc resume =
                     {
                       time = t.time;
                       proc = p;
+                      pid = proc.pid;
                       process = proc.name;
-                      what = `Start_compute cycles;
+                      what = Compute { cycles; dur = dt };
                     };
                   charge_busy ~pid:proc.pid t p dt;
                   t.cpu_free.(p) <- t.time +. dt;
@@ -244,15 +302,20 @@ let run_segment t proc resume =
                   let nbytes = Skel.Value.byte_size v in
                   t.messages <- t.messages + 1;
                   t.bytes <- t.bytes + nbytes;
+                  let msg = fresh_msg t in
                   record t
                     {
                       time = t.time;
                       proc = p;
+                      pid = proc.pid;
                       process = proc.name;
-                      what = `Send (port, nbytes);
+                      what = Send { msg; dst; port; bytes = nbytes; dur = dt };
                     };
-                  let arrive = transfer t p dst_proc.on nbytes (t.time +. dt) in
-                  push_event t arrive (Deliver (dst, port, v));
+                  let arrive =
+                    transfer t ~msg ~sender:proc.name p dst_proc.on nbytes
+                      (t.time +. dt)
+                  in
+                  push_event t arrive (Deliver_msg (dst, msg, port, v));
                   push_event t (t.time +. dt) (Step (proc.pid, RUnit k)))
           | E_sleep at ->
               Some
@@ -265,15 +328,30 @@ let run_segment t proc resume =
                 (fun (k : (a, unit) continuation) ->
                   match earliest_message proc ports with
                   | Some (port, _) ->
-                      let v = pop_message proc port in
+                      let msg, v = pop_message proc port in
                       let dt = recv_overhead_cycles *. cycle_time t p in
                       charge_busy ~pid:proc.pid t p dt;
                       t.cpu_free.(p) <- t.time +. dt;
                       record t
-                        { time = t.time; proc = p; process = proc.name; what = `Recv port };
+                        {
+                          time = t.time;
+                          proc = p;
+                          pid = proc.pid;
+                          process = proc.name;
+                          what = Recv { msg; port; dur = dt };
+                        };
                       push_event t (t.time +. dt) (Step (proc.pid, RMsg (k, port, v)))
                   | None ->
                       proc.state <- Blocked (ports, k);
+                      proc.blocked_at <- t.time;
+                      record t
+                        {
+                          time = t.time;
+                          proc = p;
+                          pid = proc.pid;
+                          process = proc.name;
+                          what = Block { ports };
+                        };
                       t.cpu_free.(p) <- t.time;
                       push_event t t.time (Dispatch p))
           | _ -> None);
@@ -294,7 +372,17 @@ let spawn t ~name ~on body =
   if on < 0 || on >= Archi.nprocs t.arch then
     invalid_arg (Printf.sprintf "Sim.spawn: no processor %d" on);
   let pid = t.nprocesses in
-  let proc = { pid; name; on; state = Runnable; mailboxes = Hashtbl.create 4 } in
+  let proc =
+    {
+      pid;
+      name;
+      on;
+      state = Runnable;
+      blocked_at = 0.0;
+      blocked_total = 0.0;
+      mailboxes = Hashtbl.create 4;
+    }
+  in
   if pid >= Array.length t.processes then begin
     let cap = max 16 (2 * Array.length t.processes) in
     let np = Array.make cap proc in
@@ -309,14 +397,28 @@ let spawn t ~name ~on body =
 
 let inject t ?(at = 0.0) pid port v =
   if pid < 0 || pid >= t.nprocesses then invalid_arg "Sim.inject: unknown process";
-  push_event t at (Deliver (pid, port, v))
+  let msg = fresh_msg t in
+  record t
+    {
+      time = at;
+      proc = -1;
+      pid = -1;
+      process = "env";
+      what = Send { msg; dst = pid; port; bytes = Skel.Value.byte_size v; dur = 0.0 };
+    };
+  push_event t at (Deliver_msg (pid, msg, port, v))
 
 let halt_processor t ?(at = 0.0) p =
   if p < 0 || p >= Archi.nprocs t.arch then
     invalid_arg "Sim.halt_processor: no such processor";
   push_event t at (Halt p)
 
-let deliver t pid port v =
+let note_depth t pid port depth =
+  let key = (pid, port) in
+  if depth > Option.value ~default:0 (Hashtbl.find_opt t.port_depth key) then
+    Hashtbl.replace t.port_depth key depth
+
+let deliver t pid msg port v =
   let proc = t.processes.(pid) in
   let q =
     match Hashtbl.find_opt proc.mailboxes port with
@@ -326,13 +428,25 @@ let deliver t pid port v =
         Hashtbl.replace proc.mailboxes port q;
         q
   in
-  Queue.add (t.time, v) q;
+  Queue.add (t.time, msg, v) q;
+  note_depth t pid port (Queue.length q);
+  record t
+    { time = t.time; proc = proc.on; pid; process = proc.name; what = Deliver { msg; port } };
   match proc.state with
   | Blocked (ports, k) when List.mem port ports ->
       (* Wake up: re-run the receive logic from the dispatch path. *)
       proc.state <- Runnable;
+      proc.blocked_total <- proc.blocked_total +. (t.time -. proc.blocked_at);
       let port, _ = Option.get (earliest_message proc ports) in
-      let v = pop_message proc port in
+      let msg, v = pop_message proc port in
+      record t
+        {
+          time = t.time;
+          proc = proc.on;
+          pid;
+          process = proc.name;
+          what = Recv { msg; port; dur = 0.0 };
+        };
       make_ready t proc (RMsg (k, port, v))
   | Blocked _ | Runnable | Finished -> ()
 
@@ -362,9 +476,12 @@ let run ?(until = infinity) t =
               if not t.halted.(t.processes.(pid).on) then
                 run_segment t t.processes.(pid) resume
           | Enqueue (pid, resume) -> make_ready t t.processes.(pid) resume
-          | Deliver (pid, port, v) ->
-              if not t.halted.(t.processes.(pid).on) then deliver t pid port v
-          | Halt p -> t.halted.(p) <- true);
+          | Deliver_msg (pid, msg, port, v) ->
+              if not t.halted.(t.processes.(pid).on) then deliver t pid msg port v
+          | Halt p ->
+              t.halted.(p) <- true;
+              record t
+                { time = t.time; proc = p; pid = -1; process = ""; what = Halted });
           loop ()
         end
   in
@@ -395,6 +512,8 @@ let utilisation t =
     /. (t.time *. float_of_int (Archi.nprocs t.arch))
 
 let trace t = List.rev t.trace_rev
+let trace_truncated t = t.trace_dropped
+let trace_limit t = t.trace_limit
 
 let process_accounts t =
   List.init t.nprocesses (fun pid ->
@@ -404,7 +523,121 @@ let process_accounts t =
         Option.value ~default:0.0 (Hashtbl.find_opt t.proc_busy pid),
         Option.value ~default:0 (Hashtbl.find_opt t.proc_sends pid) ))
 
+type account = {
+  aname : string;
+  on : int;
+  busy_s : float;
+  blocked_s : float;
+  sends : int;
+  finished : bool;
+}
+
+let accounts t =
+  List.init t.nprocesses (fun pid ->
+      let proc = t.processes.(pid) in
+      let blocked =
+        match proc.state with
+        | Blocked _ -> proc.blocked_total +. (t.time -. proc.blocked_at)
+        | Runnable | Finished -> proc.blocked_total
+      in
+      {
+        aname = proc.name;
+        on = proc.on;
+        busy_s = Option.value ~default:0.0 (Hashtbl.find_opt t.proc_busy pid);
+        blocked_s = blocked;
+        sends = Option.value ~default:0 (Hashtbl.find_opt t.proc_sends pid);
+        finished = (proc.state = Finished);
+      })
+
+let link_occupancy t =
+  Hashtbl.fold
+    (fun key intervals acc ->
+      let transfers =
+        Option.value ~default:0 (Hashtbl.find_opt t.link_transfers key)
+      in
+      (key, Support.Intervals.total !intervals, transfers) :: acc)
+    t.link_busy []
+  |> List.sort compare
+
+let port_depths t =
+  Hashtbl.fold
+    (fun (pid, port) depth acc ->
+      ((t.processes.(pid).name, port), depth) :: acc)
+    t.port_depth []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Timeline emission                                                   *)
+
+module Event = Skipper_trace.Event
+
+let lane_of ev =
+  if ev.proc < 0 then Event.env_lane
+  else Event.processor_lane ~proc:ev.proc ~pid:ev.pid ~name:ev.process
+
+let emit_trace t tl =
+  let nprocs = Archi.nprocs t.arch in
+  List.iter
+    (fun ev ->
+      let lane = lane_of ev in
+      match ev.what with
+      | Compute { cycles; dur } ->
+          Event.span tl ~lane ~cat:"compute"
+            ~args:[ ("cycles", Event.Num cycles) ]
+            ~name:"compute" ~time:ev.time ~dur ()
+      | Send { msg; dst; port; bytes; dur } ->
+          let name = "send " ^ port in
+          let args =
+            [
+              ("msg", Event.Count msg);
+              ("dst", Event.Count dst);
+              ("bytes", Event.Count bytes);
+            ]
+          in
+          if dur > 0.0 then
+            Event.span tl ~lane ~cat:"send" ~args ~name ~time:ev.time ~dur ()
+          else
+            Event.instant tl ~lane ~cat:"send" ~args ~name:("inject " ^ port)
+              ~time:ev.time ();
+          Event.flow_start tl ~lane ~cat:"message" ~name:port ~flow:msg
+            ~time:ev.time ()
+      | Hop { msg; link_src; link_dst; bytes; start; finish } ->
+          Event.span tl
+            ~lane:(Event.link_lane ~src:link_src ~dst:link_dst ~nprocs)
+            ~cat:"link"
+            ~args:[ ("msg", Event.Count msg); ("bytes", Event.Count bytes) ]
+            ~name:(Printf.sprintf "msg %d" msg)
+            ~time:start ~dur:(finish -. start) ()
+      | Deliver { msg; port } ->
+          Event.instant tl ~lane ~cat:"deliver"
+            ~args:[ ("msg", Event.Count msg) ]
+            ~name:("deliver " ^ port) ~time:ev.time ()
+      | Block { ports } ->
+          Event.instant tl ~lane ~cat:"block"
+            ~args:[ ("ports", Event.Str (String.concat "," ports)) ]
+            ~name:"blocked" ~time:ev.time ()
+      | Recv { msg; port; dur } ->
+          Event.span tl ~lane ~cat:"recv"
+            ~args:[ ("msg", Event.Count msg) ]
+            ~name:("recv " ^ port) ~time:ev.time ~dur ();
+          Event.flow_end tl ~lane ~cat:"message" ~name:port ~flow:msg
+            ~time:ev.time ()
+      | Done -> Event.instant tl ~lane ~cat:"proc" ~name:"done" ~time:ev.time ()
+      | Halted ->
+          Event.instant tl
+            ~lane:(Event.cpu_lane ev.proc)
+            ~cat:"fault" ~name:"halted" ~time:ev.time ())
+    (trace t);
+  if t.trace_dropped then Event.mark_truncated tl
+
+let timeline t =
+  let tl = Event.create () in
+  emit_trace t tl;
+  tl
+
 let gantt ?(width = 72) t =
+  if not t.tracing then
+    invalid_arg "Sim.gantt: tracing was not enabled (create the machine with ~trace:true)";
   let buf = Buffer.create 256 in
   let horizon = if t.time > 0.0 then t.time else 1.0 in
   Buffer.add_string buf

@@ -23,7 +23,8 @@ type pid = int
 
 val create : ?trace:bool -> ?trace_limit:int -> Archi.t -> t
 (** [create arch] builds an empty machine over [arch]. With [~trace:true],
-    events are recorded (up to [trace_limit], default 20000). *)
+    events are recorded (up to [trace_limit], default 20000; see
+    {!trace_truncated}). *)
 
 val arch : t -> Archi.t
 
@@ -72,7 +73,8 @@ val spawn : t -> name:string -> on:int -> (unit -> unit) -> pid
 
 val inject : t -> ?at:float -> pid -> string -> Skel.Value.t -> unit
 (** [inject t pid port v] delivers an external message (e.g. the program
-    input) at time [at] (default 0) without charging any link. *)
+    input) at time [at] (default 0) without charging any link. In traces the
+    injection appears as a zero-overhead send from the environment lane. *)
 
 val halt_processor : t -> ?at:float -> int -> unit
 (** Fault injection: at time [at] (default 0) the processor stops — its
@@ -108,23 +110,96 @@ val stats : t -> stats
 val utilisation : t -> float
 (** Mean processor busy fraction over the run ([0, 1]). *)
 
+(** {1 Event trace}
+
+    With [~trace:true], the machine records the full lifecycle of every
+    computation and message. A message is born in a [Send] (or an
+    environment injection, [Send] with [dur = 0] from processor [-1]),
+    occupies each link along its route ([Hop], one per reservation), lands
+    in the destination mailbox ([Deliver]) and is consumed by the receiving
+    process ([Recv]; [dur = 0] when the delivery woke a blocked receiver,
+    which pays no software overhead). All four share the message id, so
+    exporters can pair them into arrows. *)
+
 type trace_event = {
   time : float;
-  proc : int;
+  proc : int;  (** hosting processor; -1 for environment injections *)
+  pid : pid;  (** emitting process; -1 when none *)
   process : string;
-  what : [ `Start_compute of float | `End_compute | `Send of string * int | `Recv of string | `Done ];
+  what : what;
 }
 
+and what =
+  | Compute of { cycles : float; dur : float }
+  | Send of { msg : int; dst : pid; port : string; bytes : int; dur : float }
+  | Hop of {
+      msg : int;
+      link_src : int;
+      link_dst : int;
+      bytes : int;
+      start : float;
+      finish : float;
+    }
+  | Deliver of { msg : int; port : string }
+  | Block of { ports : string list }
+  | Recv of { msg : int; port : string; dur : float }
+  | Done
+  | Halted
+
 val trace : t -> trace_event list
-(** Recorded events in time order (empty unless [~trace:true]). *)
+(** Recorded events in emission order (empty unless [~trace:true]). [Hop]
+    events carry their own start time, which may lie after later-recorded
+    events; sort by [time] for a chronological view. *)
+
+val trace_truncated : t -> bool
+(** True when tracing dropped events past [trace_limit]; exported timelines
+    carry the flag (a truncated dump is incomplete, not wrong). *)
+
+val trace_limit : t -> int
+
+val emit_trace : t -> Skipper_trace.Event.timeline -> unit
+(** Append this machine's recorded trace to [timeline] as structured events:
+    compute/send/recv spans per process lane, link-occupancy spans on the
+    links track, a flow pair per message (the arrows), and instants for
+    deliveries, blocks and faults. Marks the timeline truncated when the
+    trace is. *)
+
+val timeline : t -> Skipper_trace.Event.timeline
+(** {!emit_trace} into a fresh timeline. *)
+
+(** {1 Accounting (always available, no tracing needed)} *)
 
 val process_accounts : t -> (string * int * float * int) list
 (** Per-process accounting, in spawn (pid) order:
-    [(name, processor, busy_seconds, messages_sent)]. Always available (no
-    tracing needed). *)
+    [(name, processor, busy_seconds, messages_sent)]. *)
+
+type account = {
+  aname : string;  (** process name *)
+  on : int;  (** hosting processor *)
+  busy_s : float;  (** busy seconds (compute + kernel overheads) *)
+  blocked_s : float;
+      (** seconds spent blocked in {!recv}; a process still blocked when the
+          run drained is charged up to the finish time *)
+  sends : int;
+  finished : bool;  (** body ran to completion *)
+}
+
+val accounts : t -> account list
+(** Per-process busy/blocked breakdown, in spawn order. Idle time is
+    [finish - busy - blocked]. *)
+
+val link_occupancy : t -> ((int * int) * float * int) list
+(** Per directed link [(src, dst)]: total occupied seconds and number of
+    transfers, sorted by link; only links that carried traffic appear. *)
+
+val port_depths : t -> ((string * string) * int) list
+(** High-water mailbox depth per [(process name, port)], sorted — a depth
+    over 1 means messages queued faster than the process consumed them. *)
 
 val gantt : ?width:int -> t -> string
-(** ASCII Gantt chart of processor occupation (requires tracing). *)
+(** ASCII Gantt chart of processor occupation. Raises [Invalid_argument]
+    when the machine was created without [~trace:true] (an untraced machine
+    has no intervals to draw). *)
 
 (** {1 Cost constants} *)
 

@@ -270,10 +270,10 @@ let names = List.map (fun p -> p.name) all
 (* ------------------------------------------------------------------ *)
 (* Running                                                             *)
 
-let record ctx pass ~wall ~cached ~detail art =
+let record ctx pass ~start ~wall ~cached ~detail art =
   let size, metric = Stage.size art in
   ctx.reports :=
-    { Stage.pass = pass.name; wall; size; metric; cached; detail }
+    { Stage.pass = pass.name; start; wall; size; metric; cached; detail }
     :: !(ctx.reports)
 
 let advance_key ctx pass art =
@@ -299,7 +299,9 @@ let run_pass ctx pass art =
       match Hashtbl.find_opt cache.entries ctx.key with
       | Some out ->
           cache.hits <- cache.hits + 1;
-          record ctx pass ~wall:0.0 ~cached:true ~detail:"memoized" out;
+          record ctx pass
+            ~start:(Unix.gettimeofday ())
+            ~wall:0.0 ~cached:true ~detail:"memoized" out;
           out
       | None ->
           cache.misses <- cache.misses + 1;
@@ -307,13 +309,13 @@ let run_pass ctx pass art =
           let out, detail = pass.apply ctx art in
           let wall = Unix.gettimeofday () -. t0 in
           Hashtbl.replace cache.entries ctx.key out;
-          record ctx pass ~wall ~cached:false ~detail out;
+          record ctx pass ~start:t0 ~wall ~cached:false ~detail out;
           out)
   | _ ->
       let t0 = Unix.gettimeofday () in
       let out, detail = pass.apply ctx art in
       let wall = Unix.gettimeofday () -. t0 in
-      record ctx pass ~wall ~cached:false ~detail out;
+      record ctx pass ~start:t0 ~wall ~cached:false ~detail out;
       out
 
 let run ctx passes art =

@@ -130,6 +130,14 @@ let macro_code compiled schedule =
   | _ -> assert false
 
 let reports compiled = Passes.reports compiled.ctx
+
+let timeline ?result compiled =
+  let tl = Skipper_trace.Event.create () in
+  Stage.emit_reports tl (reports compiled);
+  (match result with
+  | Some r -> Machine.Sim.emit_trace r.Executive.sim tl
+  | None -> ());
+  tl
 let pp_timings ppf compiled = Stage.pp_report_table ppf (reports compiled)
 let timings_json compiled = Stage.reports_to_json (reports compiled)
 

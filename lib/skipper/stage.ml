@@ -91,12 +91,40 @@ let render = function
 
 type report = {
   pass : string;
+  start : float;
   wall : float;
   size : int;
   metric : string;
   cached : bool;
   detail : string;
 }
+
+(* Stage spans on the unified timeline: one span per report on the compile
+   lane, re-based so the first pass starts at the timeline origin (gaps
+   between passes — e.g. the simulated run between a map and a later dump —
+   are preserved). *)
+let emit_reports ?t0 tl reports =
+  let t0 =
+    match (t0, reports) with
+    | Some t0, _ -> t0
+    | None, r :: _ -> r.start
+    | None, [] -> 0.0
+  in
+  List.iter
+    (fun r ->
+      let args =
+        [
+          ("size", Skipper_trace.Event.Count r.size);
+          ("metric", Skipper_trace.Event.Str r.metric);
+          ("cached", Skipper_trace.Event.Str (string_of_bool r.cached));
+        ]
+        @ if r.detail = "" then [] else [ ("detail", Skipper_trace.Event.Str r.detail) ]
+      in
+      Skipper_trace.Event.span tl ~lane:Skipper_trace.Event.compile_lane
+        ~cat:"stage" ~args ~name:r.pass
+        ~time:(Float.max 0.0 (r.start -. t0))
+        ~dur:r.wall ())
+    reports
 
 let pp_report_table ppf reports =
   Format.fprintf ppf "%-12s %10s  %-20s %-7s %s@." "stage" "wall (ms)"

@@ -42,12 +42,20 @@ val render : artifact -> string
 
 type report = {
   pass : string;  (** pass name *)
+  start : float;  (** absolute wall-clock time the pass began, seconds *)
   wall : float;  (** wall-clock seconds spent in the pass *)
   size : int;  (** artifact size metric (see {!size}) *)
   metric : string;  (** unit label of [size] *)
   cached : bool;  (** true when the artifact came from the cache *)
   detail : string;  (** pass-specific note (rules applied, ...); may be empty *)
 }
+
+val emit_reports :
+  ?t0:float -> Skipper_trace.Event.timeline -> report list -> unit
+(** Append one span per report to the timeline's compile lane, with times
+    re-based to [t0] (default: the first report's [start]) — this is how the
+    pass manager's stage instrumentation lands on the same timeline as the
+    simulator's events ([skipperc --trace-out]). *)
 
 val pp_report_table : Format.formatter -> report list -> unit
 (** Fixed-width table, one row per pass, in pipeline order. *)

@@ -1,0 +1,95 @@
+type lane = {
+  track : int;
+  track_label : string;
+  index : int;
+  label : string;
+}
+
+type arg = Str of string | Num of float | Count of int
+
+type kind =
+  | Span of float
+  | Instant
+  | Flow_start of int
+  | Flow_end of int
+  | Counter of (string * float) list
+
+type t = {
+  time : float;
+  name : string;
+  cat : string;
+  lane : lane;
+  args : (string * arg) list;
+  kind : kind;
+}
+
+type timeline = {
+  mutable events_rev : t list;
+  mutable n : int;
+  mutable truncated : bool;
+}
+
+let create () = { events_rev = []; n = 0; truncated = false }
+
+let add tl ev =
+  tl.events_rev <- ev :: tl.events_rev;
+  tl.n <- tl.n + 1
+
+let length tl = tl.n
+let events tl = List.rev tl.events_rev
+
+let by_time tl =
+  List.stable_sort (fun a b -> Float.compare a.time b.time) (events tl)
+
+let truncated tl = tl.truncated
+let mark_truncated tl = tl.truncated <- true
+
+let span tl ~lane ~cat ?(args = []) ~name ~time ~dur () =
+  add tl { time; name; cat; lane; args; kind = Span dur }
+
+let instant tl ~lane ~cat ?(args = []) ~name ~time () =
+  add tl { time; name; cat; lane; args; kind = Instant }
+
+let flow_start tl ~lane ~cat ?(name = "msg") ~flow ~time () =
+  add tl { time; name; cat; lane; args = []; kind = Flow_start flow }
+
+let flow_end tl ~lane ~cat ?(name = "msg") ~flow ~time () =
+  add tl { time; name; cat; lane; args = []; kind = Flow_end flow }
+
+let counter tl ~lane ~name ~time values =
+  add tl { time; name; cat = "counter"; lane; args = []; kind = Counter values }
+
+let compile_track = 0
+let env_track = 1
+let links_track = 2
+let processor_track p = 3 + p
+
+let compile_lane =
+  { track = compile_track; track_label = "toolchain"; index = 0; label = "passes" }
+
+let env_lane =
+  { track = env_track; track_label = "environment"; index = 0; label = "inject" }
+
+let link_lane ~src ~dst ~nprocs =
+  {
+    track = links_track;
+    track_label = "links";
+    index = (src * nprocs) + dst;
+    label = Printf.sprintf "P%d->P%d" src dst;
+  }
+
+let processor_lane ~proc ~pid ~name =
+  {
+    track = processor_track proc;
+    track_label = Printf.sprintf "P%d" proc;
+    index = pid;
+    label = name;
+  }
+
+let cpu_lane proc =
+  {
+    track = processor_track proc;
+    track_label = Printf.sprintf "P%d" proc;
+    index = -1;
+    label = "cpu";
+  }

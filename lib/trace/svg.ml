@@ -1,0 +1,194 @@
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let colour = function
+  | "compute" -> "#4e79a7"
+  | "send" -> "#f28e2b"
+  | "recv" -> "#59a14f"
+  | "stage" -> "#af7aa1"
+  | "link" -> "#9c755f"
+  | "deliver" -> "#76b7b2"
+  | "block" | "fault" -> "#e15759"
+  | _ -> "#bab0ac"
+
+let flow_colour = "#e15759"
+let f2 = Printf.sprintf "%.2f"
+
+let lanes events =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Event.t) ->
+      let key = (e.Event.lane.Event.track, e.Event.lane.Event.index) in
+      if not (Hashtbl.mem seen key) then Hashtbl.add seen key e.Event.lane)
+    events;
+  List.sort compare (Hashtbl.fold (fun _ l acc -> l :: acc) seen [])
+
+let gantt ?(width = 960) timeline =
+  let events = Event.by_time timeline in
+  if events = [] then
+    Error
+      "tracing was not enabled: the timeline holds no events (create the \
+       machine with ~trace:true)"
+  else begin
+    let lanes = lanes events in
+    let left = 150.0 and right = 20.0 and top = 34.0 and bottom = 14.0 in
+    let lane_h = 26.0 and bar_h = 16.0 in
+    let widthf = float_of_int width in
+    let height = top +. (lane_h *. float_of_int (List.length lanes)) +. bottom in
+    let tmax =
+      List.fold_left
+        (fun acc (e : Event.t) ->
+          let stop =
+            match e.Event.kind with
+            | Event.Span dur -> e.Event.time +. dur
+            | _ -> e.Event.time
+          in
+          Float.max acc stop)
+        0.0 events
+    in
+    let tmax = if tmax > 0.0 then tmax else 1.0 in
+    let x t = left +. (t /. tmax *. (widthf -. left -. right)) in
+    let row lane =
+      let rec index i = function
+        | [] -> 0
+        | l :: rest ->
+            if
+              l.Event.track = lane.Event.track
+              && l.Event.index = lane.Event.index
+            then i
+            else index (i + 1) rest
+      in
+      index 0 lanes
+    in
+    let lane_top lane = top +. (lane_h *. float_of_int (row lane)) in
+    let lane_mid lane = lane_top lane +. (lane_h /. 2.0) in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" \
+          height=\"%s\" font-family=\"monospace\" font-size=\"10\">\n"
+         width (f2 height));
+    Buffer.add_string b
+      (Printf.sprintf
+         "<defs><marker id=\"arrow\" viewBox=\"0 0 6 6\" refX=\"5\" \
+          refY=\"3\" markerWidth=\"5\" markerHeight=\"5\" \
+          orient=\"auto-start-reverse\"><path d=\"M 0 0 L 6 3 L 0 6 z\" \
+          fill=\"%s\"/></marker></defs>\n"
+         flow_colour);
+    (* lane backgrounds and labels *)
+    List.iteri
+      (fun i lane ->
+        let y = top +. (lane_h *. float_of_int i) in
+        if i mod 2 = 0 then
+          Buffer.add_string b
+            (Printf.sprintf
+               "<rect x=\"0\" y=\"%s\" width=\"%d\" height=\"%s\" \
+                fill=\"#f3f3f3\"/>\n"
+               (f2 y) width (f2 lane_h));
+        Buffer.add_string b
+          (Printf.sprintf
+             "<text x=\"4\" y=\"%s\" dominant-baseline=\"middle\">%s</text>\n"
+             (f2 (y +. (lane_h /. 2.0)))
+             (escape
+                (Printf.sprintf "%s %s" lane.Event.track_label lane.Event.label))))
+      lanes;
+    (* time axis: 6 ticks in milliseconds *)
+    Buffer.add_string b
+      (Printf.sprintf
+         "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"#888\"/>\n"
+         (f2 left) (f2 top)
+         (f2 (widthf -. right))
+         (f2 top));
+    for i = 0 to 5 do
+      let t = tmax *. float_of_int i /. 5.0 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"#ccc\"/>\n"
+           (f2 (x t)) (f2 top) (f2 (x t))
+           (f2 (height -. bottom)));
+      Buffer.add_string b
+        (Printf.sprintf
+           "<text x=\"%s\" y=\"%s\" text-anchor=\"middle\">%s ms</text>\n"
+           (f2 (x t))
+           (f2 (top -. 6.0))
+           (f2 (t *. 1e3)))
+    done;
+    (* spans and instants *)
+    List.iter
+      (fun (e : Event.t) ->
+        let mid = lane_mid e.Event.lane in
+        match e.Event.kind with
+        | Event.Span dur ->
+            let x0 = x e.Event.time in
+            let w = Float.max 0.6 (x (e.Event.time +. dur) -. x0) in
+            Buffer.add_string b
+              (Printf.sprintf
+                 "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" \
+                  fill=\"%s\"><title>%s @ %s ms (%s ms)</title></rect>\n"
+                 (f2 x0)
+                 (f2 (mid -. (bar_h /. 2.0)))
+                 (f2 w) (f2 bar_h)
+                 (colour e.Event.cat)
+                 (escape e.Event.name)
+                 (f2 (e.Event.time *. 1e3))
+                 (f2 (dur *. 1e3)))
+        | Event.Instant ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" \
+                  stroke-width=\"1.2\"><title>%s @ %s ms</title></line>\n"
+                 (f2 (x e.Event.time))
+                 (f2 (mid -. (bar_h /. 2.0)))
+                 (f2 (x e.Event.time))
+                 (f2 (mid +. (bar_h /. 2.0)))
+                 (colour e.Event.cat) (escape e.Event.name)
+                 (f2 (e.Event.time *. 1e3)))
+        | Event.Flow_start _ | Event.Flow_end _ | Event.Counter _ -> ())
+      events;
+    (* message arrows: pair flow starts with their ends *)
+    let starts = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Event.t) ->
+        match e.Event.kind with
+        | Event.Flow_start id ->
+            if not (Hashtbl.mem starts id) then Hashtbl.add starts id e
+        | _ -> ())
+      events;
+    List.iter
+      (fun (e : Event.t) ->
+        match e.Event.kind with
+        | Event.Flow_end id -> (
+            match Hashtbl.find_opt starts id with
+            | Some s ->
+                Buffer.add_string b
+                  (Printf.sprintf
+                     "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" \
+                      stroke=\"%s\" stroke-width=\"1\" opacity=\"0.7\" \
+                      marker-end=\"url(#arrow)\"/>\n"
+                     (f2 (x s.Event.time))
+                     (f2 (lane_mid s.Event.lane))
+                     (f2 (x e.Event.time))
+                     (f2 (lane_mid e.Event.lane))
+                     flow_colour)
+            | None -> ())
+        | _ -> ())
+      events;
+    if Event.truncated timeline then
+      Buffer.add_string b
+        (Printf.sprintf
+           "<text x=\"%s\" y=\"%s\" text-anchor=\"end\" \
+            fill=\"#e15759\">trace truncated</text>\n"
+           (f2 (widthf -. right))
+           (f2 (top -. 20.0)));
+    Buffer.add_string b "</svg>\n";
+    Ok (Buffer.contents b)
+  end

@@ -1,0 +1,14 @@
+(** Standalone SVG Gantt rendering of a timeline.
+
+    One horizontal lane per (track, lane) pair — for a simulated run that
+    means one row per process grouped under its processor — with spans drawn
+    as category-coloured bars, instants as ticks, and message flows as
+    arrows from the sending lane at departure time to the receiving lane at
+    consumption time. This is the graphical successor of the ASCII
+    [Sim.gantt] / [--dump-stage map] charts (ROADMAP, dynamic-schedule
+    visualisation). *)
+
+val gantt : ?width:int -> Event.timeline -> (string, string) result
+(** Renders the timeline; [Error] with an explanatory message when the
+    timeline holds no events (typically: tracing was not enabled on the
+    machine). [width] is the total image width in pixels (default 960). *)

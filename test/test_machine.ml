@@ -230,12 +230,25 @@ let test_trace_and_gantt () =
   let _ = Sim.run sim in
   let events = Sim.trace sim in
   Alcotest.(check bool) "has compute event" true
-    (List.exists (fun e -> match e.Sim.what with `Start_compute _ -> true | _ -> false) events);
+    (List.exists
+       (fun e -> match e.Sim.what with Sim.Compute _ -> true | _ -> false)
+       events);
   Alcotest.(check bool) "has done event" true
-    (List.exists (fun e -> e.Sim.what = `Done) events);
+    (List.exists (fun e -> e.Sim.what = Sim.Done) events);
+  Alcotest.(check bool) "not truncated" false (Sim.trace_truncated sim);
   let g = Sim.gantt sim in
   Alcotest.(check bool) "gantt has the processor row" true
     (Astring.String.is_infix ~affix:"P0" g)
+
+let test_gantt_untraced_raises () =
+  let sim = Sim.create (toy_arch 1) in
+  let _ = Sim.spawn sim ~name:"p" ~on:0 (fun () -> Sim.compute 500.0) in
+  let _ = Sim.run sim in
+  Alcotest.check_raises "gantt on untraced machine"
+    (Invalid_argument
+       "Sim.gantt: tracing was not enabled (create the machine with \
+        ~trace:true)")
+    (fun () -> ignore (Sim.gantt sim))
 
 let prop_compute_time_additive =
   QCheck.Test.make ~name:"sequential computes add up" ~count:100
@@ -329,6 +342,8 @@ let () =
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "stats" `Quick test_stats_and_utilisation;
           Alcotest.test_case "trace and gantt" `Quick test_trace_and_gantt;
+          Alcotest.test_case "gantt untraced raises" `Quick
+            test_gantt_untraced_raises;
           Alcotest.test_case "process accounts" `Quick test_process_accounts;
           Alcotest.test_case "metrics report" `Quick test_metrics_report;
           Alcotest.test_case "metrics empty machine" `Quick test_metrics_empty_machine;
