@@ -39,8 +39,7 @@ let write_file path s =
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
 
 let observe ~experiment (r : Executive.result) =
-  recorded :=
-    (experiment, Machine.Metrics.analyse r.Executive.sim) :: !recorded;
+  recorded := (experiment, Executive.metrics r) :: !recorded;
   Option.iter
     (fun dir ->
       if Machine.Sim.trace_truncated r.Executive.sim then
@@ -55,10 +54,12 @@ let observe ~experiment (r : Executive.result) =
 let write_summary_json path =
   let entry (name, rep) =
     Printf.sprintf
-      {|  {"experiment":"%s","finish_time":%.6f,"utilisation":%.4f,"messages":%d,"bytes":%d,"imbalance":%.4f}|}
+      {|  {"experiment":"%s","finish_time":%.6f,"utilisation":%.4f,"messages":%d,"bytes":%d,"imbalance":%.4f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d}|}
       name rep.Machine.Metrics.finish_time rep.Machine.Metrics.mean_utilisation
       rep.Machine.Metrics.messages rep.Machine.Metrics.bytes
       (Machine.Metrics.imbalance rep)
+      rep.Machine.Metrics.dropped_msgs rep.Machine.Metrics.deadline_misses
+      rep.Machine.Metrics.reissues
   in
   write_file path
     ("[\n" ^ String.concat ",\n" (List.map entry (List.rev !recorded)) ^ "\n]\n");
@@ -389,7 +390,9 @@ let e6 () =
       (* mean of the last half of the stream (past the reinit transient) *)
       let tail = List.filteri (fun i _ -> i >= frames / 2) r.Executive.latencies in
       let mean = List.fold_left ( +. ) 0.0 tail /. float_of_int (List.length tail) in
-      let period = ms r.Executive.period in
+      let period =
+        match r.Executive.period with Some p -> ms p | None -> nan
+      in
       Printf.printf "%10.0f %18.1f %16.1f %16s\n" fps (ms mean) period
         (if ms mean <= (1000.0 /. fps) +. 1.0 then "yes" else "no (backlog)"))
     [ 10.0; 25.0; 50.0 ]
@@ -692,6 +695,110 @@ let e13 () =
     \ nesting model; the outer farm still scales)"
 
 (* ------------------------------------------------------------------ *)
+(* E14: fault sweep over the df farm                                   *)
+
+let e14 () =
+  header "E14"
+    "fault sweep: df farm under injected faults (drop/delay/duplicate/halt), \
+     with and without reissue recovery";
+  let nworkers = 4 in
+  let frames = 6 in
+  let nitems = 24 in
+  let arch = Archi.ring (nworkers + 1) in
+  let prog =
+    Skel.Ir.program "df"
+      (Skel.Ir.Df { nworkers; comp = "work"; acc = "plus"; init = V.Int 0 })
+  in
+  let input = V.List (List.init nitems (fun i -> V.Int i)) in
+  let expected = V.Int (nitems * (nitems - 1) / 2) in
+  let run ?(faults = []) ?(link_faults = []) ?recovery ?input_period
+      ?observe_as () =
+    let t = Skel.Funtable.create () in
+    Skel.Funtable.register t "work" ~cost:(fun _ -> 50_000.0) (fun v -> v);
+    Skel.Funtable.register t "plus" ~arity:2 ~cost:(fun _ -> 200.0) (fun v ->
+        let a, b = V.to_pair v in
+        V.Int (V.to_int a + V.to_int b));
+    let g = Procnet.Expand.expand t prog in
+    let r =
+      Executive.run
+        ~trace:(observe_as <> None && tracing ())
+        ~faults ~link_faults ?recovery ?input_period ~table:t ~arch
+        ~placement:(Syndex.Place.canonical g arch)
+        ~graph:g ~frames ~input ()
+    in
+    Option.iter (fun experiment -> observe ~experiment r) observe_as;
+    r
+  in
+  let baseline = run () in
+  (* pace and timeout derived from the healthy run so the sweep is
+     self-calibrating across cost-model changes *)
+  let pace = baseline.Executive.first_latency *. 1.5 in
+  let recovery = Executive.recovery (baseline.Executive.first_latency *. 0.5) in
+  let show name (r : Executive.result) =
+    let outcome, frames_done =
+      match r.Executive.outcome with
+      | Executive.Completed -> ("completed", List.length r.Executive.outputs)
+      | Executive.Stalled { collected; _ } -> ("STALLED", collected)
+    in
+    Printf.printf "%-28s %10s %4d/%d %8s %9d %9d %7d %7d\n" name outcome
+      frames_done frames
+      (if List.for_all (fun v -> V.equal v expected) r.Executive.outputs then
+         "ok"
+       else "WRONG")
+      r.Executive.stats.Machine.Sim.dropped_msgs r.Executive.reissues
+      r.Executive.retired_workers r.Executive.deadline_misses
+  in
+  Printf.printf "%-28s %10s %6s %8s %9s %9s %7s %7s\n" "scenario" "outcome"
+    "frames" "values" "dropped" "reissues" "retired" "missed";
+  show "healthy" baseline;
+  show "drop 3rd task (recover)"
+    (run
+       ~link_faults:[ Machine.Sim.link_fault ~schedule:(Machine.Sim.Nth 3)
+                        Machine.Sim.Drop ]
+       ~recovery ~input_period:pace ());
+  show "delay every 5th (recover)"
+    (run
+       ~link_faults:[ Machine.Sim.link_fault ~schedule:(Machine.Sim.Every 5)
+                        (Machine.Sim.Delay (baseline.Executive.first_latency)) ]
+       ~recovery ~input_period:pace ());
+  show "duplicate every 4th (recover)"
+    (run
+       ~link_faults:[ Machine.Sim.link_fault ~schedule:(Machine.Sim.Every 4)
+                        Machine.Sim.Duplicate ]
+       ~recovery ~input_period:pace ());
+  show "halt worker P2 (recover)"
+    (run
+       ~faults:[ (2, baseline.Executive.first_latency *. 0.3) ]
+       ~recovery ~input_period:pace ~observe_as:"e14" ());
+  show "halt worker P2 (no recovery)"
+    (run ~faults:[ (2, baseline.Executive.first_latency *. 0.3) ]
+       ~input_period:pace ());
+  (* probability sweep: seeded random drops on every link *)
+  Printf.printf "\ndrop-probability sweep (recovery on, seeded):\n";
+  Printf.printf "%8s %10s %8s %9s %9s %14s\n" "p(drop)" "outcome" "values"
+    "dropped" "reissues" "latency x";
+  List.iter
+    (fun p ->
+      let r =
+        run
+          ~link_faults:
+            [ Machine.Sim.link_fault
+                ~schedule:(Machine.Sim.Prob (p, 42)) Machine.Sim.Drop ]
+          ~recovery ~input_period:pace ()
+      in
+      Printf.printf "%8.2f %10s %8s %9d %9d %13.2fx\n" p
+        (match r.Executive.outcome with
+        | Executive.Completed -> "completed"
+        | Executive.Stalled _ -> "STALLED")
+        (if List.for_all (fun v -> V.equal v expected) r.Executive.outputs then
+           "ok"
+         else "WRONG")
+        r.Executive.stats.Machine.Sim.dropped_msgs r.Executive.reissues
+        (r.Executive.stats.Machine.Sim.finish_time
+        /. baseline.Executive.stats.Machine.Sim.finish_time))
+    [ 0.0; 0.02; 0.05; 0.1 ]
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks                                           *)
 
 let micro () =
@@ -776,7 +883,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13);
+    ("e13", e13); ("e14", e14);
   ]
 
 let () =
@@ -802,7 +909,7 @@ let () =
       match List.assoc_opt (String.lowercase_ascii name) experiments with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown experiment %s (e1..e13 or micro)\n" name;
+          Printf.eprintf "unknown experiment %s (e1..e14 or micro)\n" name;
           exit 1)
   | _ ->
       print_endline "SKiPPER experiment harness (see DESIGN.md, experiment index)";

@@ -49,6 +49,116 @@ let strategy_of = function
   | "roundrobin" -> Skipper_lib.Pipeline.Round_robin
   | other -> failwith (Printf.sprintf "unknown strategy %S" other)
 
+(* Fault-plan flag parsing. Times on the command line are milliseconds;
+   the simulator runs in seconds. *)
+
+let parse_proc_at flag spec =
+  let bad () =
+    failwith (Printf.sprintf "--%s: cannot parse %S (expected PROC@MS)" flag spec)
+  in
+  match String.split_on_char '@' spec with
+  | [ p; t ] -> (
+      try (int_of_string (String.trim p), float_of_string (String.trim t) /. 1e3)
+      with _ -> bad ())
+  | _ -> bad ()
+
+let parse_link flag = function
+  | "*" -> None
+  | s -> (
+      match String.split_on_char '-' s with
+      | [ a; b ] -> (
+          try Some (int_of_string a, int_of_string b)
+          with _ ->
+            failwith
+              (Printf.sprintf "--%s: bad link %S (expected SRC-DST or *)" flag s))
+      | _ ->
+          failwith
+            (Printf.sprintf "--%s: bad link %S (expected SRC-DST or *)" flag s))
+
+let parse_filter flag s =
+  let bad () =
+    failwith
+      (Printf.sprintf
+         "--%s: bad filter %S (expected all, nth=K, every=K or p=P,seed=S)" flag
+         s)
+  in
+  try
+    match String.split_on_char '=' s with
+    | [ "all" ] -> Machine.Sim.Always
+    | [ "nth"; k ] -> Machine.Sim.Nth (int_of_string k)
+    | [ "every"; k ] -> Machine.Sim.Every (int_of_string k)
+    | [ "p"; spec ] -> (
+        match String.split_on_char ',' spec with
+        | [ p ] -> Machine.Sim.Prob (float_of_string p, 0)
+        | [ p; seed ] ->
+            let seed =
+              match String.split_on_char '=' seed with
+              | [ "seed"; s ] | [ s ] -> int_of_string s
+              | _ -> raise Exit
+            in
+            Machine.Sim.Prob (float_of_string p, seed)
+        | _ -> raise Exit)
+    | _ -> raise Exit
+  with _ -> bad ()
+
+(* --drop-link / --dup-link take LINK[:FILTER]; --delay-link takes
+   LINK:MS[:FILTER]. *)
+let parse_link_fault flag ~delay spec =
+  let bad () =
+    let shape = if delay then "LINK:MS[:FILTER]" else "LINK[:FILTER]" in
+    failwith (Printf.sprintf "--%s: cannot parse %S (expected %s)" flag spec shape)
+  in
+  let mk ?schedule link action =
+    Machine.Sim.link_fault ?link ?schedule action
+  in
+  match (delay, String.split_on_char ':' spec) with
+  | false, [ l ] -> mk (parse_link flag l) Machine.Sim.Drop
+  | false, [ l; f ] ->
+      mk ~schedule:(parse_filter flag f) (parse_link flag l) Machine.Sim.Drop
+  | true, [ l; ms ] -> (
+      try mk (parse_link flag l) (Machine.Sim.Delay (float_of_string ms /. 1e3))
+      with Failure _ -> bad ())
+  | true, [ l; ms; f ] -> (
+      try
+        mk ~schedule:(parse_filter flag f) (parse_link flag l)
+          (Machine.Sim.Delay (float_of_string ms /. 1e3))
+      with Failure _ -> bad ())
+  | _ -> bad ()
+
+let dup_of_drop lf = { lf with Machine.Sim.action = Machine.Sim.Duplicate }
+
+let fault_plan ~halts ~restores ~drops ~delays ~dups ~df_timeout =
+  let faults = List.map (parse_proc_at "halt") halts in
+  let restores = List.map (parse_proc_at "restore") restores in
+  let link_faults =
+    List.map (parse_link_fault "drop-link" ~delay:false) drops
+    @ List.map (parse_link_fault "delay-link" ~delay:true) delays
+    @ List.map
+        (fun s -> dup_of_drop (parse_link_fault "dup-link" ~delay:false s))
+        dups
+  in
+  let recovery = Option.map (fun ms -> Executive.recovery (ms /. 1e3)) df_timeout in
+  (faults, restores, link_faults, recovery)
+
+let print_outcome (r : Executive.result) =
+  (match r.Executive.outcome with
+  | Executive.Completed -> ()
+  | Executive.Stalled { collected; expected } ->
+      Printf.printf "outcome: STALLED after %d of %d outputs\n" collected expected);
+  let tally = Machine.Sim.fault_tally r.Executive.sim in
+  if
+    tally.Machine.Sim.dropped + tally.Machine.Sim.delayed
+    + tally.Machine.Sim.duplicated + r.Executive.reissues
+    + r.Executive.retired_workers + r.Executive.deadline_misses
+    > 0
+  then
+    Printf.printf
+      "faults: %d dropped, %d delayed, %d duplicated messages; %d reissues, \
+       %d retired workers, %d deadline misses\n"
+      tally.Machine.Sim.dropped tally.Machine.Sim.delayed
+      tally.Machine.Sim.duplicated r.Executive.reissues
+      r.Executive.retired_workers r.Executive.deadline_misses
+
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
 let write_file path s =
@@ -184,6 +294,57 @@ let gantt_svg_arg =
               per processor and link, message arrows between lanes) to \
               FILE.svg.")
 
+let halt_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "halt" ] ~docv:"P\\@MS"
+        ~doc:"Halt processor P at MS milliseconds (repeatable). The \
+              processor's processes never run again and messages addressed \
+              to them are dropped.")
+
+let restore_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "restore" ] ~docv:"P\\@MS"
+        ~doc:"Restore a halted processor P at MS milliseconds (repeatable).")
+
+let drop_link_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "drop-link" ] ~docv:"SPEC"
+        ~doc:"Drop messages on a link (repeatable). SPEC is LINK[:FILTER] \
+              with LINK either SRC-DST (processor ids) or * for any link, \
+              and FILTER one of all (default), nth=K, every=K or \
+              p=P,seed=S.")
+
+let delay_link_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "delay-link" ] ~docv:"SPEC"
+        ~doc:"Delay messages on a link (repeatable). SPEC is \
+              LINK:MS[:FILTER]; see --drop-link for LINK and FILTER.")
+
+let dup_link_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "dup-link" ] ~docv:"SPEC"
+        ~doc:"Duplicate messages on a link (repeatable). SPEC is \
+              LINK[:FILTER]; see --drop-link.")
+
+let df_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "df-timeout" ] ~docv:"MS"
+        ~doc:"Enable the fault-tolerant df farm: a task outstanding longer \
+              than MS milliseconds is reissued to an idle worker, and \
+              workers that repeatedly time out are retired.")
+
 let check_cmd =
   let run file =
     wrap (fun () ->
@@ -278,7 +439,7 @@ let emulate_cmd =
 
 let run_cmd =
   let run app frames procs topo strat fps optimize timings dump trace_out
-      gantt_svg file =
+      gantt_svg halts restores drops delays dups df_timeout file =
     wrap (fun () ->
         let c = compile ~app ~frames ~optimize file in
         let arch = topology topo procs in
@@ -289,9 +450,13 @@ let run_cmd =
         | None ->
             let input_period = Option.map (fun f -> 1.0 /. f) fps in
             let tracing = trace_out <> None || gantt_svg <> None in
+            let faults, restores, link_faults, recovery =
+              fault_plan ~halts ~restores ~drops ~delays ~dups ~df_timeout
+            in
             let r =
               Skipper_lib.Pipeline.execute ~trace:tracing ?input_period
-                ~strategy ?input:(default_input app) c arch
+                ~faults ~restores ~link_faults ?recovery ~strategy
+                ?input:(default_input app) c arch
             in
             Printf.printf "result: %s\n" (Skel.Value.to_string r.Executive.value);
             List.iteri
@@ -300,6 +465,7 @@ let run_cmd =
             Printf.printf "messages: %d, bytes: %d\n"
               r.Executive.stats.Machine.Sim.messages
               r.Executive.stats.Machine.Sim.bytes;
+            print_outcome r;
             export_traces ~compiled:c ~trace_out ~gantt_svg r);
         if timings then print_timings c)
   in
@@ -308,7 +474,8 @@ let run_cmd =
     Term.(
       const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ strategy_arg $ fps_arg
       $ optimize_arg $ timings_arg $ dump_arg $ trace_out_arg $ gantt_svg_arg
-      $ file_arg)
+      $ halt_arg $ restore_arg $ drop_link_arg $ delay_link_arg $ dup_link_arg
+      $ df_timeout_arg $ file_arg)
 
 let equiv_cmd =
   let run app frames procs topo timings file =
@@ -342,7 +509,8 @@ let repl_cmd =
     Term.(const run $ app_arg)
 
 let demo_cmd =
-  let run app procs trace_out gantt_svg =
+  let run app procs trace_out gantt_svg halts restores drops delays dups
+      df_timeout =
     wrap (fun () ->
         let arch = topology "ring" procs in
         let frames = 10 in
@@ -369,23 +537,29 @@ let demo_cmd =
         in
         let compiled = Skipper_lib.Pipeline.compile_ir ~table program in
         let tracing = trace_out <> None || gantt_svg <> None in
+        let faults, restores, link_faults, recovery =
+          fault_plan ~halts ~restores ~drops ~delays ~dups ~df_timeout
+        in
         let r =
           Skipper_lib.Pipeline.execute ~trace:tracing ~input ~input_period:0.04
-            compiled arch
+            ~faults ~restores ~link_faults ?recovery compiled arch
         in
         Printf.printf "application: %s on %s, %d stream iteration(s)\n" app
           (Archi.name arch) program.Skel.Ir.frames;
         List.iteri
           (fun i l -> Printf.printf "frame %3d latency %8.2f ms\n" i (l *. 1e3))
           r.Executive.latencies;
-        print_string
-          (Machine.Metrics.to_string (Machine.Metrics.analyse r.Executive.sim));
+        print_outcome r;
+        print_string (Machine.Metrics.to_string (Executive.metrics r));
         export_traces ~compiled ~trace_out ~gantt_svg r)
   in
   Cmd.v
     (Cmd.info "demo"
        ~doc:"Run a built-in application end to end (no specification file).")
-    Term.(const run $ app_arg $ procs_arg $ trace_out_arg $ gantt_svg_arg)
+    Term.(
+      const run $ app_arg $ procs_arg $ trace_out_arg $ gantt_svg_arg $ halt_arg
+      $ restore_arg $ drop_link_arg $ delay_link_arg $ dup_link_arg
+      $ df_timeout_arg)
 
 let main =
   let doc = "SKiPPER: skeleton-based parallel programming environment" in

@@ -6,14 +6,27 @@ exception Executive_error of string
 
 let error fmt = Printf.ksprintf (fun m -> raise (Executive_error m)) fmt
 
+type outcome = Completed | Stalled of { collected : int; expected : int }
+
+type recovery = { df_timeout : float; max_strikes : int }
+
+let recovery ?(max_strikes = 3) df_timeout =
+  if df_timeout <= 0.0 then error "recovery: df_timeout must be positive";
+  if max_strikes <= 0 then error "recovery: max_strikes must be positive";
+  { df_timeout; max_strikes }
+
 type result = {
   value : V.t;
   outputs : V.t list;
+  outcome : outcome;
   stats : Machine.Sim.stats;
   output_times : float list;
   latencies : float list;
   first_latency : float;
-  period : float;
+  period : float option;
+  deadline_misses : int;
+  reissues : int;
+  retired_workers : int;
   sim : Machine.Sim.t;
 }
 
@@ -21,6 +34,8 @@ type result = {
 type collector = {
   mutable outs_rev : (V.t * float) list;
   mutable final_state : V.t option;
+  mutable reissues : int;
+  mutable retired : int;
 }
 
 (* A user-function call: charge its cost model, then produce its value. *)
@@ -47,7 +62,7 @@ let worker_indices g =
   table
 
 let behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
-    ~widx_table (node : G.node) () =
+    ~widx_table ~recovery:recov (node : G.node) () =
   let outs port =
     List.map (fun (e : G.edge) -> (e.dst, e.dst_port)) (G.out_edges_from_port g node.id port)
   in
@@ -102,38 +117,167 @@ let behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
             List.init nparts (fun i -> Machine.Sim.recv (Printf.sprintf "p%d" i))
           in
           emit "out" (call table fn (V.List results)))
-  | G.DfMaster { acc; init; nworkers } ->
+  | G.DfMaster { acc; init; nworkers } -> (
       let task_targets = Array.of_list (outs "task") in
       if Array.length task_targets <> nworkers then
         error "df master has %d task channels for %d workers"
           (Array.length task_targets) nworkers;
-      each_frame (fun _ ->
-          let xs =
-            match Machine.Sim.recv "in" with
-            | V.List xs -> xs
-            | other -> error "df input is %s, not a list" (V.to_string other)
-          in
-          let queue = Queue.create () in
-          List.iter (fun x -> Queue.add x queue) xs;
-          let accv = ref init in
-          let outstanding = ref 0 in
-          let feed widx =
-            let dst, dport = task_targets.(widx) in
-            Machine.Sim.send dst dport (Queue.pop queue);
-            incr outstanding
-          in
-          for w = 0 to nworkers - 1 do
-            if not (Queue.is_empty queue) then feed w
-          done;
-          while !outstanding > 0 do
-            match Machine.Sim.recv "result" with
-            | V.Tuple [ V.Int widx; y ] ->
-                decr outstanding;
-                accv := call table acc (V.Tuple [ !accv; y ]);
-                if not (Queue.is_empty queue) then feed widx
-            | other -> error "df master: bad result message %s" (V.to_string other)
-          done;
-          emit "out" !accv)
+      match recov with
+      | None ->
+          each_frame (fun _ ->
+              let xs =
+                match Machine.Sim.recv "in" with
+                | V.List xs -> xs
+                | other -> error "df input is %s, not a list" (V.to_string other)
+              in
+              let queue = Queue.create () in
+              List.iter (fun x -> Queue.add x queue) xs;
+              let accv = ref init in
+              let outstanding = ref 0 in
+              let feed widx =
+                let dst, dport = task_targets.(widx) in
+                Machine.Sim.send dst dport (Queue.pop queue);
+                incr outstanding
+              in
+              for w = 0 to nworkers - 1 do
+                if not (Queue.is_empty queue) then feed w
+              done;
+              while !outstanding > 0 do
+                match Machine.Sim.recv "result" with
+                | V.Tuple [ V.Int widx; y ] ->
+                    decr outstanding;
+                    accv := call table acc (V.Tuple [ !accv; y ]);
+                    if not (Queue.is_empty queue) then feed widx
+                | other ->
+                    error "df master: bad result message %s" (V.to_string other)
+              done;
+              emit "out" !accv)
+      | Some { df_timeout; max_strikes } ->
+          (* Fault-tolerant farm (FastFlow-style reissue-on-timeout). Tasks
+             are sequence-tagged; an assignment outstanding past its deadline
+             is requeued and handed to an idle worker, the first reply per
+             task wins (stale or duplicated replies are discarded), and a
+             worker that times out [max_strikes] times in a row — with no
+             reply in between — is retired. Retirement persists across
+             frames: the farm runs degraded. *)
+          let exception Farm_stalled in
+          let retired = Array.make nworkers false in
+          let strikes = Array.make nworkers 0 in
+          (try
+             each_frame (fun _ ->
+                 let xs =
+                   match Machine.Sim.recv "in" with
+                   | V.List xs -> xs
+                   | other ->
+                       error "df input is %s, not a list" (V.to_string other)
+                 in
+                 let items = Array.of_list xs in
+                 let n = Array.length items in
+                 let done_ = Array.make n false in
+                 let completed = ref 0 in
+                 let accv = ref init in
+                 let queue = Queue.create () in
+                 Array.iteri (fun seq _ -> Queue.add seq queue) items;
+                 let idle = Queue.create () in
+                 let is_idle = Array.make nworkers false in
+                 for w = 0 to nworkers - 1 do
+                   if not retired.(w) then begin
+                     is_idle.(w) <- true;
+                     Queue.add w idle
+                   end
+                 done;
+                 (* seq -> (worker, absolute deadline); at most one live
+                    assignment per task *)
+                 let assignments = Hashtbl.create 16 in
+                 let re_idle widx =
+                   if (not retired.(widx)) && not is_idle.(widx) then begin
+                     is_idle.(widx) <- true;
+                     Queue.add widx idle
+                   end
+                 in
+                 let feed_idle () =
+                   let progress = ref true in
+                   while !progress do
+                     progress := false;
+                     (* skip tasks completed by a late reply while requeued *)
+                     while
+                       (not (Queue.is_empty queue)) && done_.(Queue.peek queue)
+                     do
+                       ignore (Queue.pop queue)
+                     done;
+                     if
+                       (not (Queue.is_empty queue)) && not (Queue.is_empty idle)
+                     then begin
+                       let widx = Queue.pop idle in
+                       is_idle.(widx) <- false;
+                       let seq = Queue.pop queue in
+                       let dst, dport = task_targets.(widx) in
+                       Machine.Sim.send dst dport
+                         (V.Tuple [ V.Int seq; items.(seq) ]);
+                       Hashtbl.replace assignments seq
+                         (widx, Machine.Sim.now () +. df_timeout);
+                       progress := true
+                     end
+                   done
+                 in
+                 while !completed < n do
+                   feed_idle ();
+                   if Hashtbl.length assignments = 0 then
+                     (* nothing in flight and nothing issuable: every live
+                        worker has been retired *)
+                     raise Farm_stalled;
+                   let dl =
+                     Hashtbl.fold
+                       (fun _ (_, d) acc -> Float.min d acc)
+                       assignments infinity
+                   in
+                   match Machine.Sim.recv_deadline [ "result" ] ~deadline:dl with
+                   | Some (_, V.Tuple [ V.Int widx; V.Tuple [ V.Int seq; y ] ])
+                     ->
+                       (* any reply proves the worker alive: strikes count
+                          consecutive timeouts, so a transient message fault
+                          cannot slowly retire a healthy worker *)
+                       if widx >= 0 && widx < nworkers && not retired.(widx)
+                       then strikes.(widx) <- 0;
+                       re_idle widx;
+                       if seq >= 0 && seq < n && not done_.(seq) then begin
+                         done_.(seq) <- true;
+                         incr completed;
+                         Hashtbl.remove assignments seq;
+                         accv := call table acc (V.Tuple [ !accv; y ])
+                       end
+                   | Some (_, other) ->
+                       error "df master: bad result message %s"
+                         (V.to_string other)
+                   | None ->
+                       let nowt = Machine.Sim.now () in
+                       let expired =
+                         Hashtbl.fold
+                           (fun seq (widx, d) acc ->
+                             if d <= nowt then (seq, widx) :: acc else acc)
+                           assignments []
+                         |> List.sort compare
+                       in
+                       List.iter
+                         (fun (seq, widx) ->
+                           Hashtbl.remove assignments seq;
+                           Queue.add seq queue;
+                           collector.reissues <- collector.reissues + 1;
+                           strikes.(widx) <- strikes.(widx) + 1;
+                           if strikes.(widx) >= max_strikes then begin
+                             if not retired.(widx) then begin
+                               retired.(widx) <- true;
+                               collector.retired <- collector.retired + 1
+                             end
+                           end
+                           else
+                             (* optimistic: the worker may only be slow; its
+                                mailbox serialises any extra tasks *)
+                             re_idle widx)
+                         expired
+                 done;
+                 emit "out" !accv)
+           with Farm_stalled -> ()))
   | G.DfWorker { comp } ->
       let my_index =
         match Hashtbl.find_opt widx_table node.id with
@@ -141,9 +285,21 @@ let behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
         | None -> error "df worker %s is not wired to a master" node.label
       in
       let rec serve () =
-        let v = Machine.Sim.recv "task" in
-        let y = call table comp v in
-        send_all "out" (V.Tuple [ V.Int my_index; y ]);
+        (match recov with
+        | None ->
+            let v = Machine.Sim.recv "task" in
+            let y = call table comp v in
+            send_all "out" (V.Tuple [ V.Int my_index; y ])
+        | Some _ -> (
+            (* sequence-tagged protocol: echo the tag so the master can
+               discard stale duplicates *)
+            match Machine.Sim.recv "task" with
+            | V.Tuple [ V.Int seq; x ] ->
+                let y = call table comp x in
+                send_all "out"
+                  (V.Tuple [ V.Int my_index; V.Tuple [ V.Int seq; y ] ])
+            | other ->
+                error "df worker: bad task message %s" (V.to_string other)));
         serve ()
       in
       serve ()
@@ -227,7 +383,8 @@ let is_itermem g =
     (fun (node : G.node) -> match node.kind with G.Mem _ -> true | _ -> false)
     (G.nodes g)
 
-let run ?(trace = false) ?trace_limit ?input_period ?(faults = []) ~table ~arch
+let run ?(trace = false) ?trace_limit ?input_period ?(faults = [])
+    ?(restores = []) ?(link_faults = []) ?recovery:recov ~table ~arch
     ~placement ~graph:g ~frames ~input () =
   if frames <= 0 then error "frames must be positive";
   if Array.length placement <> G.nnodes g then
@@ -235,14 +392,18 @@ let run ?(trace = false) ?trace_limit ?input_period ?(faults = []) ~table ~arch
       (G.nnodes g);
   let sim = Machine.Sim.create ~trace ?trace_limit arch in
   List.iter (fun (p, at) -> Machine.Sim.halt_processor sim ~at p) faults;
-  let collector = { outs_rev = []; final_state = None } in
+  List.iter (fun (p, at) -> Machine.Sim.restore_processor sim ~at p) restores;
+  List.iter (Machine.Sim.add_fault sim) link_faults;
+  let collector =
+    { outs_rev = []; final_state = None; reissues = 0; retired = 0 }
+  in
   let widx_table = worker_indices g in
   Array.iter
     (fun (node : G.node) ->
       let pid =
         Machine.Sim.spawn sim ~name:node.label ~on:placement.(node.id)
           (behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
-             ~widx_table node)
+             ~widx_table ~recovery:recov node)
       in
       if pid <> node.id then error "process ids out of sync with node ids")
     (G.nodes g);
@@ -254,18 +415,21 @@ let run ?(trace = false) ?trace_limit ?input_period ?(faults = []) ~table ~arch
     done;
   let _finish = Machine.Sim.run sim in
   let outs = List.rev collector.outs_rev in
-  if List.length outs <> frames then
-    error "collected %d outputs for %d frames (pipeline stalled?)"
-      (List.length outs) frames;
+  let collected = List.length outs in
+  let outcome =
+    if collected = frames then Completed
+    else Stalled { collected; expected = frames }
+  in
   let outputs = List.map fst outs in
   let output_times = List.map snd outs in
   let first_latency = match output_times with t :: _ -> t | [] -> 0.0 in
   let period =
+    (* a single frame measures a latency, never a steady period *)
     match output_times with
-    | [] | [ _ ] -> first_latency
+    | [] | [ _ ] -> None
     | t0 :: _ ->
         let last = List.nth output_times (List.length output_times - 1) in
-        (last -. t0) /. float_of_int (List.length output_times - 1)
+        Some ((last -. t0) /. float_of_int (List.length output_times - 1))
   in
   let value =
     match collector.final_state with
@@ -276,30 +440,66 @@ let run ?(trace = false) ?trace_limit ?input_period ?(faults = []) ~table ~arch
     let p = Option.value ~default:0.0 input_period in
     List.mapi (fun i t -> t -. (float_of_int i *. p)) output_times
   in
+  let deadline_misses =
+    match input_period with
+    | None -> 0
+    | Some p -> List.length (List.filter (fun l -> l > p +. 1e-12) latencies)
+  in
   {
     value;
     outputs;
+    outcome;
     stats = Machine.Sim.stats sim;
     output_times;
     latencies;
     first_latency;
     period;
+    deadline_misses;
+    reissues = collector.reissues;
+    retired_workers = collector.retired;
     sim;
   }
 
-let run_schedule ?trace ?trace_limit ?input_period ~table ~schedule ~frames
-    ~input () =
-  run ?trace ?trace_limit ?input_period ~table
+let run_schedule ?trace ?trace_limit ?input_period ?faults ?restores
+    ?link_faults ?recovery ~table ~schedule ~frames ~input () =
+  run ?trace ?trace_limit ?input_period ?faults ?restores ?link_faults
+    ?recovery ~table
     ~arch:schedule.Syndex.Schedule.arch
     ~placement:schedule.Syndex.Schedule.placement
     ~graph:schedule.Syndex.Schedule.graph ~frames ~input ()
 
 let timeline r = Machine.Sim.timeline r.sim
 
+let metrics r =
+  Machine.Metrics.analyse ~deadline_misses:r.deadline_misses
+    ~reissues:r.reissues r.sim
+
 let summary r =
+  let period_s =
+    match r.period with
+    | Some p -> Printf.sprintf "%.2f ms" (p *. 1e3)
+    | None -> "n/a"
+  in
+  let outcome_s =
+    match r.outcome with
+    | Completed -> "completed"
+    | Stalled { collected; expected } ->
+        Printf.sprintf "STALLED after %d of %d outputs" collected expected
+  in
+  let fault_s =
+    let dropped = r.stats.Machine.Sim.dropped_msgs in
+    if dropped > 0 || r.reissues > 0 || r.deadline_misses > 0
+       || r.retired_workers > 0
+    then
+      Printf.sprintf
+        "\nfaults: %d dropped messages, %d reissues, %d retired workers, %d deadline misses"
+        dropped r.reissues r.retired_workers r.deadline_misses
+    else ""
+  in
   Printf.sprintf
-    "value: %s\nframes: %d\nfirst latency: %.2f ms, steady period: %.2f ms\nmessages: %d, bytes: %d"
+    "value: %s\nframes: %d (%s)\nfirst latency: %.2f ms, steady period: %s\nmessages: %d, bytes: %d%s"
     (Skel.Value.to_string r.value)
     (List.length r.outputs)
-    (r.first_latency *. 1e3) (r.period *. 1e3)
-    r.stats.Machine.Sim.messages r.stats.Machine.Sim.bytes
+    outcome_s
+    (r.first_latency *. 1e3) period_s
+    r.stats.Machine.Sim.messages r.stats.Machine.Sim.bytes fault_s

@@ -24,21 +24,44 @@
 module Macro : module type of Macro
 (** Re-exported macro-code emitter (this module is the library root). *)
 
+type outcome =
+  | Completed  (** every frame produced its output *)
+  | Stalled of { collected : int; expected : int }
+      (** the pipeline stopped making progress (typically a fault killed a
+          needed process); [collected] frames finished out of [expected].
+          The result still carries the partial outputs, stats and sim. *)
+
+type recovery = { df_timeout : float; max_strikes : int }
+(** Fault-tolerance policy for the [df] farm: a task outstanding longer than
+    [df_timeout] seconds is reissued to an idle worker, and a worker that
+    times out [max_strikes] times in a row (any reply resets its count) is
+    retired from the pool (the farm then runs degraded). *)
+
+val recovery : ?max_strikes:int -> float -> recovery
+(** [recovery df_timeout] with [max_strikes] defaulting to 3. Raises
+    [Executive_error] on non-positive arguments. *)
+
 type result = {
   value : Skel.Value.t;
       (** same shape as {!Skel.Sem.run}: for itermem programs,
           [Tuple [final_state; List outputs]]; for plain programs the output
           of the last frame *)
   outputs : Skel.Value.t list;  (** per-frame outputs, in frame order *)
+  outcome : outcome;
   stats : Machine.Sim.stats;
   output_times : float list;  (** completion time of each frame's output *)
   latencies : float list;
       (** per-frame latency: output completion minus the frame's availability
           time ([i * input_period]; equals [output_times] when unpaced) *)
   first_latency : float;  (** completion time of frame 0 *)
-  period : float;
+  period : float option;
       (** steady-state inter-frame period (mean of successive output-time
-          differences); equals [first_latency] when only one frame ran *)
+          differences); [None] when fewer than two frames completed — a
+          single frame measures a latency, never a steady period *)
+  deadline_misses : int;
+      (** frames whose latency exceeded [input_period] (0 when unpaced) *)
+  reissues : int;  (** df tasks reissued after a timeout *)
+  retired_workers : int;  (** df workers retired after repeated timeouts *)
   sim : Machine.Sim.t;  (** the finished machine, for traces and Gantt *)
 }
 
@@ -49,6 +72,9 @@ val run :
   ?trace_limit:int ->
   ?input_period:float ->
   ?faults:(int * float) list ->
+  ?restores:(int * float) list ->
+  ?link_faults:Machine.Sim.link_fault list ->
+  ?recovery:recovery ->
   table:Skel.Funtable.t ->
   arch:Archi.t ->
   placement:int array ->
@@ -61,10 +87,16 @@ val run :
     processors (length must equal the node count). [frames] is the number of
     stream iterations; non-itermem graphs re-process [input] that many
     times. [input_period], when given, paces the source: frame [i] is not
-    produced before [i * input_period] (a 25 Hz camera is 0.04). [faults]
-    halts processors at given times ([(processor, at)]); since SKiPPER has
-    no fault tolerance, a fault that kills a needed worker stalls the
-    pipeline, which surfaces as the "collected N outputs" error.
+    produced before [i * input_period] (a 25 Hz camera is 0.04).
+
+    Fault injection: [faults] halts processors at given times
+    ([(processor, at)]), [restores] lifts halts, and [link_faults] arms
+    message faults (see {!Machine.Sim.link_fault}). Without [recovery] the
+    executive behaves like plain SKiPPER — a fault that kills a needed
+    worker stalls the pipeline, reported as a [Stalled] outcome with partial
+    outputs (never an exception). With [recovery], the [df] farm reissues
+    timed-out tasks and retires repeatedly-failing workers, so a run can
+    complete degraded.
 
     Raises [Executive_error] on malformed graphs (e.g. explicit [Router]
     nodes, which only appear in the structural Fig. 1 template) and
@@ -75,6 +107,10 @@ val run_schedule :
   ?trace:bool ->
   ?trace_limit:int ->
   ?input_period:float ->
+  ?faults:(int * float) list ->
+  ?restores:(int * float) list ->
+  ?link_faults:Machine.Sim.link_fault list ->
+  ?recovery:recovery ->
   table:Skel.Funtable.t ->
   schedule:Syndex.Schedule.t ->
   frames:int ->
@@ -82,6 +118,10 @@ val run_schedule :
   unit ->
   result
 (** Convenience wrapper taking the placement from a static schedule. *)
+
+val metrics : result -> Machine.Metrics.report
+(** {!Machine.Metrics.analyse} on the run's machine with the executive-level
+    [deadline_misses]/[reissues] counters threaded in. *)
 
 val timeline : result -> Skipper_trace.Event.timeline
 (** The run's message-lifecycle events as a unified timeline (empty when the
@@ -91,5 +131,7 @@ val timeline : result -> Skipper_trace.Event.timeline
     {!Skipper_trace.Svg.gantt}. *)
 
 val summary : result -> string
-(** Multi-line digest of a run: value, frame count, latency/period, message
-    traffic. Used by the pass manager's [simulate] artifact rendering. *)
+(** Multi-line digest of a run: value, frame count and outcome,
+    latency/period ([n/a] when a steady period was never measured), message
+    traffic, and a fault line when anything was dropped, reissued, retired
+    or late. Used by the pass manager's [simulate] artifact rendering. *)

@@ -1,6 +1,7 @@
 type processor_load = {
   proc : int;
   busy : float;
+  live : float;
   fraction : float;
   processes : int;
 }
@@ -32,21 +33,27 @@ type report = {
   links : link_load list;
   port_depths : ((string * string) * int) list;
   breakdown : process_breakdown list;
+  dropped_msgs : int;
+  deadline_misses : int;
+  reissues : int;
 }
 
-let analyse sim =
+let analyse ?(deadline_misses = 0) ?(reissues = 0) sim =
   let stats = Sim.stats sim in
   let accounts = Sim.process_accounts sim in
   let finish = stats.Sim.finish_time in
+  let live_times = Sim.live_times sim in
   let nprocs = Array.length stats.Sim.busy in
   let hosted = Array.make nprocs 0 in
   List.iter (fun (_, on, _, _) -> hosted.(on) <- hosted.(on) + 1) accounts;
   let loads =
     List.init nprocs (fun p ->
+        let live = live_times.(p) in
         {
           proc = p;
           busy = stats.Sim.busy.(p);
-          fraction = (if finish > 0.0 then stats.Sim.busy.(p) /. finish else 0.0);
+          live;
+          fraction = (if live > 0.0 then stats.Sim.busy.(p) /. live else 0.0);
           processes = hosted.(p);
         })
   in
@@ -93,16 +100,24 @@ let analyse sim =
     links;
     port_depths = Sim.port_depths sim;
     breakdown;
+    dropped_msgs = stats.Sim.dropped_msgs;
+    deadline_misses;
+    reissues;
   }
 
+(* Imbalance over busy *fractions* of the processors that were alive at
+   all, so a halted processor does not masquerade as an idle one. On a
+   healthy run every [live] equals [finish_time] and this reduces to the
+   classic max-busy / mean-busy. *)
 let imbalance report =
-  match report.loads with
+  match List.filter (fun l -> l.live > 0.0) report.loads with
   | [] -> 0.0
   | loads ->
-      let total = List.fold_left (fun acc l -> acc +. l.busy) 0.0 loads in
+      let total = List.fold_left (fun acc l -> acc +. l.fraction) 0.0 loads in
       let mean = total /. float_of_int (List.length loads) in
       if mean <= 0.0 then 0.0
-      else List.fold_left (fun acc l -> Float.max acc l.busy) 0.0 loads /. mean
+      else
+        List.fold_left (fun acc l -> Float.max acc l.fraction) 0.0 loads /. mean
 
 let hottest_link report =
   List.fold_left
@@ -151,6 +166,12 @@ let to_string report =
   if depth > 1 then
     Buffer.add_string buf (Printf.sprintf "deepest mailbox backlog: %d messages\n" depth);
   Buffer.add_string buf (Printf.sprintf "imbalance (max/mean busy): %.2f\n" (imbalance report));
+  if report.dropped_msgs > 0 || report.deadline_misses > 0 || report.reissues > 0
+  then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "faults: %d dropped messages, %d reissued tasks, %d deadline misses\n"
+         report.dropped_msgs report.reissues report.deadline_misses);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -175,8 +196,8 @@ let to_json report =
       (List.map
          (fun l ->
            Printf.sprintf
-             {|{"proc":%d,"busy_s":%.9f,"fraction":%.6f,"processes":%d}|}
-             l.proc l.busy l.fraction l.processes)
+             {|{"proc":%d,"busy_s":%.9f,"live_s":%.9f,"fraction":%.6f,"processes":%d}|}
+             l.proc l.busy l.live l.fraction l.processes)
          report.loads)
   in
   let links =
@@ -206,6 +227,7 @@ let to_json report =
          report.breakdown)
   in
   Printf.sprintf
-    {|{"finish_time_s":%.9f,"mean_utilisation":%.6f,"messages":%d,"bytes":%d,"imbalance":%.6f,"link_contention":%.6f,"processors":[%s],"links":[%s],"ports":[%s],"processes":[%s]}|}
+    {|{"finish_time_s":%.9f,"mean_utilisation":%.6f,"messages":%d,"bytes":%d,"imbalance":%.6f,"link_contention":%.6f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d,"processors":[%s],"links":[%s],"ports":[%s],"processes":[%s]}|}
     report.finish_time report.mean_utilisation report.messages report.bytes
-    (imbalance report) (link_contention report) loads links ports procs
+    (imbalance report) (link_contention report) report.dropped_msgs
+    report.deadline_misses report.reissues loads links ports procs

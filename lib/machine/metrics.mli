@@ -11,7 +11,8 @@
 type processor_load = {
   proc : int;
   busy : float;  (** seconds *)
-  fraction : float;  (** busy / finish_time *)
+  live : float;  (** seconds the processor was alive (not halted) *)
+  fraction : float;  (** busy / live; 0 for a processor dead all run *)
   processes : int;  (** processes hosted *)
 }
 
@@ -44,14 +45,23 @@ type report = {
   port_depths : ((string * string) * int) list;
       (** high-water mailbox depth per (process, port), sorted *)
   breakdown : process_breakdown list;  (** per process, in spawn order *)
+  dropped_msgs : int;  (** deliveries lost to faults or halted processors *)
+  deadline_misses : int;  (** executive frames late vs the input period *)
+  reissues : int;  (** df tasks reissued after a timeout *)
 }
 
-val analyse : Sim.t -> report
-(** Raises nothing; works on any finished (or even empty) machine. *)
+val analyse : ?deadline_misses:int -> ?reissues:int -> Sim.t -> report
+(** Raises nothing; works on any finished (or even empty) machine.
+    [deadline_misses] and [reissues] (default 0) are executive-level
+    counters — the simulator cannot know them — threaded in so one report
+    carries the whole degraded-run story. *)
 
 val imbalance : report -> float
-(** Max processor busy time divided by the mean (1.0 = perfectly level;
-    0 when nothing ran). *)
+(** Max processor busy *fraction* divided by the mean fraction, over
+    processors that were alive at all (1.0 = perfectly level; 0 when
+    nothing ran). On a healthy run this equals the classic max/mean busy
+    time; on a degraded run halted capacity is excluded instead of
+    counting as idle. *)
 
 val hottest_link : report -> link_load option
 (** The busiest directed link, or [None] when no remote message was sent. *)

@@ -14,6 +14,9 @@ let local_copy_bandwidth = 4e8
 
 type _ Effect.t +=
   | E_recv : string list -> (string * Skel.Value.t) Effect.t
+  | E_recv_deadline :
+      (string list * float)
+      -> (string * Skel.Value.t) option Effect.t
   | E_send : (pid * string * Skel.Value.t) -> unit Effect.t
   | E_compute : float -> unit Effect.t
   | E_sleep : float -> unit Effect.t
@@ -22,10 +25,17 @@ type resume =
   | Start of (unit -> unit)
   | RUnit of (unit, unit) continuation
   | RMsg of ((string * Skel.Value.t), unit) continuation * string * Skel.Value.t
+  | ROpt of
+      ((string * Skel.Value.t) option, unit) continuation
+      * (string * Skel.Value.t) option
 
 type pstate =
   | Runnable
   | Blocked of string list * ((string * Skel.Value.t), unit) continuation
+  | BlockedOpt of
+      string list * int * ((string * Skel.Value.t) option, unit) continuation
+      (* a recv with a deadline; the int token pairs the wait with its
+         pending [Timeout] event so stale timers are ignored *)
   | Finished
 
 type process = {
@@ -35,9 +45,42 @@ type process = {
   mutable state : pstate;
   mutable blocked_at : float;  (* when the current Blocked episode began *)
   mutable blocked_total : float;  (* closed Blocked episodes, seconds *)
+  mutable wait_seq : int;  (* monotonic token for deadline waits *)
   mailboxes : (string, (float * int * Skel.Value.t) Queue.t) Hashtbl.t;
       (* (delivery time, message id, payload) *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Fault plan                                                          *)
+
+type fault_action = Drop | Delay of float | Duplicate
+
+type fault_schedule =
+  | Always
+  | Nth of int  (* the nth matching delivery only, 1-based *)
+  | Every of int  (* every kth matching delivery *)
+  | Prob of float * int  (* probability per matching delivery, seed *)
+
+type link_fault = {
+  action : fault_action;
+  link : (int * int) option;  (* directed (src, dst) processors; None = any *)
+  schedule : fault_schedule;
+  from_t : float;
+  until_t : float;
+}
+
+let link_fault ?link ?(schedule = Always) ?(from_t = 0.0) ?(until_t = infinity)
+    action =
+  { action; link; schedule; from_t; until_t }
+
+(* A fault armed on a machine: the spec plus its runtime matching state. *)
+type armed_fault = {
+  spec : link_fault;
+  mutable seen : int;  (* matching deliveries observed so far *)
+  frng : Support.Prng.t option;
+}
+
+type fault_tally = { dropped : int; delayed : int; duplicated : int }
 
 (* The full message lifecycle is recorded, one event per step: the sender's
    overhead span ([Send]), one [Hop] per link reservation along the route,
@@ -62,13 +105,26 @@ and what =
   | Recv of { msg : int; port : string; dur : float }
   | Done
   | Halted
+  | Restored
+  | Fault of { msg : int; action : string }
+      (** an injected (or halt-induced) message fault; [proc] is the
+          destination processor whose delivery was affected *)
 
 type event =
   | Dispatch of int  (** processor id: pull next ready process if CPU free *)
   | Step of pid * resume  (** continue this process now (CPU already held) *)
   | Enqueue of pid * resume  (** re-admit a sleeping process via the ready queue *)
-  | Deliver_msg of pid * int * string * Skel.Value.t  (** (dst, msg id, port, payload) *)
+  | Deliver_msg of {
+      dst : pid;
+      msg : int;
+      port : string;
+      v : Skel.Value.t;
+      src : int;  (* sending processor; -1 for environment injections *)
+      faultable : bool;  (* already-faulted re-deliveries are exempt *)
+    }
+  | Timeout of pid * int  (** deadline of a [recv_deadline] wait (pid, token) *)
   | Halt of int  (** processor fault: stop dispatching on this processor *)
+  | Restore of int  (** lift a [Halt]: the processor dispatches again *)
 
 type t = {
   arch : Archi.t;
@@ -77,6 +133,12 @@ type t = {
   events : event Support.Pqueue.t;
   cpu_free : float array;
   halted : bool array;
+  halted_since : float option array;  (* start of the current halt episode *)
+  halted_s : float array;  (* closed halt episodes, seconds *)
+  mutable fault_plan : armed_fault list;
+  mutable dropped_msgs : int;
+  mutable delayed_msgs : int;
+  mutable dup_msgs : int;
   ready : (pid * resume) Queue.t array;
   link_busy : (int * int, Support.Intervals.t ref) Hashtbl.t;
   link_transfers : (int * int, int) Hashtbl.t;
@@ -89,6 +151,7 @@ type t = {
   mutable next_msg : int;
   busy : float array;
   busy_intervals : (float * float) list array;  (* reversed, for gantt *)
+  last_charge : pid option array;  (* process holding the latest charge *)
   proc_busy : (pid, float) Hashtbl.t;  (* per-process busy seconds *)
   proc_sends : (pid, int) Hashtbl.t;
   tracing : bool;
@@ -107,6 +170,12 @@ let create ?(trace = false) ?(trace_limit = 20000) arch =
     events = Support.Pqueue.create ();
     cpu_free = Array.make n 0.0;
     halted = Array.make n false;
+    halted_since = Array.make n None;
+    halted_s = Array.make n 0.0;
+    fault_plan = [];
+    dropped_msgs = 0;
+    delayed_msgs = 0;
+    dup_msgs = 0;
     ready = Array.init n (fun _ -> Queue.create ());
     link_busy = Hashtbl.create 16;
     link_transfers = Hashtbl.create 16;
@@ -119,6 +188,7 @@ let create ?(trace = false) ?(trace_limit = 20000) arch =
     next_msg = 0;
     busy = Array.make n 0.0;
     busy_intervals = Array.make n [];
+    last_charge = Array.make n None;
     proc_busy = Hashtbl.create 32;
     proc_sends = Hashtbl.create 32;
     tracing = trace;
@@ -156,6 +226,7 @@ let compute cycles = perform (E_compute cycles)
 let sleep_until at = perform (E_sleep at)
 let send dst port v = perform (E_send (dst, port, v))
 let recv_any ports = perform (E_recv ports)
+let recv_deadline ports ~deadline = perform (E_recv_deadline (ports, deadline))
 
 let recv port =
   let _, v = recv_any [ port ] in
@@ -165,6 +236,7 @@ let cycle_time t p = (Archi.processors t.arch).(p).Archi.cycle_time
 
 let charge_busy ?pid t p dt =
   t.busy.(p) <- t.busy.(p) +. dt;
+  t.last_charge.(p) <- pid;
   (match pid with
   | Some pid ->
       Hashtbl.replace t.proc_busy pid
@@ -315,7 +387,9 @@ let run_segment t (proc : process) resume =
                     transfer t ~msg ~sender:proc.name p dst_proc.on nbytes
                       (t.time +. dt)
                   in
-                  push_event t arrive (Deliver_msg (dst, msg, port, v));
+                  push_event t arrive
+                    (Deliver_msg
+                       { dst; msg; port; v; src = p; faultable = true });
                   push_event t (t.time +. dt) (Step (proc.pid, RUnit k)))
           | E_sleep at ->
               Some
@@ -354,6 +428,42 @@ let run_segment t (proc : process) resume =
                         };
                       t.cpu_free.(p) <- t.time;
                       push_event t t.time (Dispatch p))
+          | E_recv_deadline (ports, deadline) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  match earliest_message proc ports with
+                  | Some (port, _) ->
+                      let msg, v = pop_message proc port in
+                      let dt = recv_overhead_cycles *. cycle_time t p in
+                      charge_busy ~pid:proc.pid t p dt;
+                      t.cpu_free.(p) <- t.time +. dt;
+                      record t
+                        {
+                          time = t.time;
+                          proc = p;
+                          pid = proc.pid;
+                          process = proc.name;
+                          what = Recv { msg; port; dur = dt };
+                        };
+                      push_event t (t.time +. dt)
+                        (Step (proc.pid, ROpt (k, Some (port, v))))
+                  | None ->
+                      proc.wait_seq <- proc.wait_seq + 1;
+                      proc.state <- BlockedOpt (ports, proc.wait_seq, k);
+                      proc.blocked_at <- t.time;
+                      record t
+                        {
+                          time = t.time;
+                          proc = p;
+                          pid = proc.pid;
+                          process = proc.name;
+                          what = Block { ports };
+                        };
+                      t.cpu_free.(p) <- t.time;
+                      push_event t
+                        (Float.max t.time deadline)
+                        (Timeout (proc.pid, proc.wait_seq));
+                      push_event t t.time (Dispatch p))
           | _ -> None);
     }
   in
@@ -365,7 +475,8 @@ let run_segment t (proc : process) resume =
       match resume with
       | Start body -> match_with body () handler
       | RUnit k -> continue k ()
-      | RMsg (k, port, v) -> continue k (port, v))
+      | RMsg (k, port, v) -> continue k (port, v)
+      | ROpt (k, r) -> continue k r)
 
 let spawn t ~name ~on body =
   if t.ran then invalid_arg "Sim.spawn: machine already ran";
@@ -380,6 +491,7 @@ let spawn t ~name ~on body =
       state = Runnable;
       blocked_at = 0.0;
       blocked_total = 0.0;
+      wait_seq = 0;
       mailboxes = Hashtbl.create 4;
     }
   in
@@ -406,12 +518,59 @@ let inject t ?(at = 0.0) pid port v =
       process = "env";
       what = Send { msg; dst = pid; port; bytes = Skel.Value.byte_size v; dur = 0.0 };
     };
-  push_event t at (Deliver_msg (pid, msg, port, v))
+  push_event t at
+    (Deliver_msg { dst = pid; msg; port; v; src = -1; faultable = true })
 
 let halt_processor t ?(at = 0.0) p =
   if p < 0 || p >= Archi.nprocs t.arch then
     invalid_arg "Sim.halt_processor: no such processor";
   push_event t at (Halt p)
+
+let restore_processor t ?(at = 0.0) p =
+  if p < 0 || p >= Archi.nprocs t.arch then
+    invalid_arg "Sim.restore_processor: no such processor";
+  push_event t at (Restore p)
+
+let add_fault t (f : link_fault) =
+  let frng =
+    match f.schedule with
+    | Prob (_, seed) -> Some (Support.Prng.create seed)
+    | Always | Nth _ | Every _ -> None
+  in
+  t.fault_plan <- t.fault_plan @ [ { spec = f; seen = 0; frng } ]
+
+(* Does any armed fault fire on this delivery?  Only genuinely remote
+   messages are eligible: environment injections (src < 0) and local
+   copies are exempt, so a faulty machine always remains *startable*.
+   Each matching delivery bumps the fault's [seen] counter; the first
+   fault whose schedule fires wins. *)
+let fault_for t ~src ~dst_proc =
+  if src < 0 || src = dst_proc then None
+  else
+    List.fold_left
+      (fun acc (af : armed_fault) ->
+        let s = af.spec in
+        let link_matches =
+          match s.link with
+          | None -> true
+          | Some (a, b) -> a = src && b = dst_proc
+        in
+        if link_matches && t.time >= s.from_t && t.time <= s.until_t then begin
+          af.seen <- af.seen + 1;
+          let fires =
+            match s.schedule with
+            | Always -> true
+            | Nth n -> af.seen = n
+            | Every k -> k > 0 && af.seen mod k = 0
+            | Prob (p, _) -> (
+                match af.frng with
+                | Some rng -> Support.Prng.float rng 1.0 < p
+                | None -> false)
+          in
+          if fires && acc = None then Some s.action else acc
+        end
+        else acc)
+      None t.fault_plan
 
 let note_depth t pid port depth =
   let key = (pid, port) in
@@ -448,7 +607,23 @@ let deliver t pid msg port v =
           what = Recv { msg; port; dur = 0.0 };
         };
       make_ready t proc (RMsg (k, port, v))
-  | Blocked _ | Runnable | Finished -> ()
+  | BlockedOpt (ports, _tok, k) when List.mem port ports ->
+      (* Wake a deadline wait; its pending [Timeout] becomes stale and is
+         ignored on arrival thanks to the token bump at the next wait. *)
+      proc.state <- Runnable;
+      proc.blocked_total <- proc.blocked_total +. (t.time -. proc.blocked_at);
+      let port, _ = Option.get (earliest_message proc ports) in
+      let msg, v = pop_message proc port in
+      record t
+        {
+          time = t.time;
+          proc = proc.on;
+          pid;
+          process = proc.name;
+          what = Recv { msg; port; dur = 0.0 };
+        };
+      make_ready t proc (ROpt (k, Some (port, v)))
+  | Blocked _ | BlockedOpt _ | Runnable | Finished -> ()
 
 let dispatch t p =
   if t.halted.(p) then ()
@@ -464,26 +639,130 @@ let run ?(until = infinity) t =
   if t.ran then failwith "Sim.run: machine already ran";
   t.ran <- true;
   let rec loop () =
-    match Support.Pqueue.pop t.events with
+    match Support.Pqueue.peek t.events with
     | None -> ()
-    | Some (at, ev) ->
-        if at > until then ()
-        else begin
-          t.time <- Float.max t.time at;
-          (match ev with
-          | Dispatch p -> dispatch t p
-          | Step (pid, resume) ->
-              if not t.halted.(t.processes.(pid).on) then
-                run_segment t t.processes.(pid) resume
-          | Enqueue (pid, resume) -> make_ready t t.processes.(pid) resume
-          | Deliver_msg (pid, msg, port, v) ->
-              if not t.halted.(t.processes.(pid).on) then deliver t pid msg port v
-          | Halt p ->
-              t.halted.(p) <- true;
-              record t
-                { time = t.time; proc = p; pid = -1; process = ""; what = Halted });
-          loop ()
+    | Some (at, _) when at > until ->
+        (* Out-of-window events stay queued; the clock advances to exactly
+           the requested horizon so utilisation/accounts cover it. *)
+        if Float.is_finite until then begin
+          t.time <- Float.max t.time until;
+          (* A busy charge is booked in full when the operation starts, so
+             an operation spanning the horizon has over-charged by the part
+             beyond it — cpu_free marks where that charge ends. Refund the
+             overshoot so windowed utilisation cannot exceed 1. *)
+          Array.iteri
+            (fun p free ->
+              let over = free -. t.time in
+              if over > 0.0 then begin
+                t.busy.(p) <- t.busy.(p) -. over;
+                (match t.last_charge.(p) with
+                | Some pid ->
+                    Hashtbl.replace t.proc_busy pid
+                      (Option.value ~default:0.0
+                         (Hashtbl.find_opt t.proc_busy pid)
+                      -. over)
+                | None -> ());
+                match t.busy_intervals.(p) with
+                | (s, f) :: rest when t.tracing && f > t.time ->
+                    t.busy_intervals.(p) <- (s, Float.max s t.time) :: rest
+                | _ -> ()
+              end)
+            t.cpu_free
         end
+    | Some _ ->
+        let at, ev = Option.get (Support.Pqueue.pop t.events) in
+        t.time <- Float.max t.time at;
+        (match ev with
+        | Dispatch p -> dispatch t p
+        | Step (pid, resume) ->
+            if not t.halted.(t.processes.(pid).on) then
+              run_segment t t.processes.(pid) resume
+        | Enqueue (pid, resume) -> make_ready t t.processes.(pid) resume
+        | Deliver_msg { dst; msg; port; v; src; faultable } ->
+            let proc = t.processes.(dst) in
+            if t.halted.(proc.on) then begin
+              t.dropped_msgs <- t.dropped_msgs + 1;
+              record t
+                {
+                  time = t.time;
+                  proc = proc.on;
+                  pid = -1;
+                  process = proc.name;
+                  what = Fault { msg; action = "drop (processor halted)" };
+                }
+            end
+            else begin
+              match
+                if faultable then fault_for t ~src ~dst_proc:proc.on else None
+              with
+              | Some Drop ->
+                  t.dropped_msgs <- t.dropped_msgs + 1;
+                  record t
+                    {
+                      time = t.time;
+                      proc = proc.on;
+                      pid = -1;
+                      process = proc.name;
+                      what = Fault { msg; action = "drop" };
+                    }
+              | Some (Delay dt) ->
+                  t.delayed_msgs <- t.delayed_msgs + 1;
+                  record t
+                    {
+                      time = t.time;
+                      proc = proc.on;
+                      pid = -1;
+                      process = proc.name;
+                      what =
+                        Fault
+                          { msg; action = Printf.sprintf "delay %gms" (dt *. 1e3) };
+                    };
+                  push_event t (t.time +. dt)
+                    (Deliver_msg { dst; msg; port; v; src; faultable = false })
+              | Some Duplicate ->
+                  t.dup_msgs <- t.dup_msgs + 1;
+                  record t
+                    {
+                      time = t.time;
+                      proc = proc.on;
+                      pid = -1;
+                      process = proc.name;
+                      what = Fault { msg; action = "duplicate" };
+                    };
+                  push_event t t.time
+                    (Deliver_msg { dst; msg; port; v; src; faultable = false });
+                  deliver t dst msg port v
+              | None -> deliver t dst msg port v
+            end
+        | Timeout (pid, tok) -> (
+            let proc = t.processes.(pid) in
+            if not t.halted.(proc.on) then
+              match proc.state with
+              | BlockedOpt (_, tok', k) when tok' = tok ->
+                  proc.state <- Runnable;
+                  proc.blocked_total <-
+                    proc.blocked_total +. (t.time -. proc.blocked_at);
+                  make_ready t proc (ROpt (k, None))
+              | _ -> () (* stale timer: the wait was already satisfied *))
+        | Halt p ->
+            if not t.halted.(p) then begin
+              t.halted.(p) <- true;
+              t.halted_since.(p) <- Some t.time;
+              record t
+                { time = t.time; proc = p; pid = -1; process = ""; what = Halted }
+            end
+        | Restore p ->
+            if t.halted.(p) then begin
+              t.halted.(p) <- false;
+              (match t.halted_since.(p) with
+              | Some since -> t.halted_s.(p) <- t.halted_s.(p) +. (t.time -. since)
+              | None -> ());
+              t.halted_since.(p) <- None;
+              record t
+                { time = t.time; proc = p; pid = -1; process = ""; what = Restored };
+              push_event t t.time (Dispatch p)
+            end);
+        loop ()
   in
   loop ();
   t.time
@@ -494,6 +773,7 @@ type stats = {
   bytes : int;
   busy : float array;
   hops_total : int;
+  dropped_msgs : int;
 }
 
 let stats t =
@@ -503,13 +783,24 @@ let stats t =
     bytes = t.bytes;
     busy = Array.copy t.busy;
     hops_total = t.hops_total;
+    dropped_msgs = t.dropped_msgs;
   }
 
+let fault_tally (t : t) =
+  { dropped = t.dropped_msgs; delayed = t.delayed_msgs; duplicated = t.dup_msgs }
+
+(* Per-processor wall-clock during which the processor was alive (not
+   halted).  A healthy run reports [t.time] everywhere. *)
+let live_times t =
+  Array.init (Archi.nprocs t.arch) (fun p ->
+      let open_halt =
+        match t.halted_since.(p) with Some s -> t.time -. s | None -> 0.0
+      in
+      Float.max 0.0 (t.time -. t.halted_s.(p) -. open_halt))
+
 let utilisation t =
-  if t.time <= 0.0 then 0.0
-  else
-    Array.fold_left ( +. ) 0.0 t.busy
-    /. (t.time *. float_of_int (Archi.nprocs t.arch))
+  let live = Array.fold_left ( +. ) 0.0 (live_times t) in
+  if live <= 0.0 then 0.0 else Array.fold_left ( +. ) 0.0 t.busy /. live
 
 let trace t = List.rev t.trace_rev
 let trace_truncated t = t.trace_dropped
@@ -530,14 +821,24 @@ type account = {
   blocked_s : float;
   sends : int;
   finished : bool;
+  halted : bool;
 }
 
 let accounts t =
   List.init t.nprocesses (fun pid ->
       let proc = t.processes.(pid) in
+      let halted = t.halted.(proc.on) in
+      (* A process on a halted processor stops accruing blocked time at the
+         halt instant: it is dead, not waiting. *)
+      let horizon =
+        if halted then
+          match t.halted_since.(proc.on) with Some s -> s | None -> t.time
+        else t.time
+      in
       let blocked =
         match proc.state with
-        | Blocked _ -> proc.blocked_total +. (t.time -. proc.blocked_at)
+        | Blocked _ | BlockedOpt _ ->
+            proc.blocked_total +. Float.max 0.0 (horizon -. proc.blocked_at)
         | Runnable | Finished -> proc.blocked_total
       in
       {
@@ -547,6 +848,7 @@ let accounts t =
         blocked_s = blocked;
         sends = Option.value ~default:0 (Hashtbl.find_opt t.proc_sends pid);
         finished = (proc.state = Finished);
+        halted;
       })
 
 let link_occupancy t =
@@ -626,7 +928,17 @@ let emit_trace t tl =
       | Halted ->
           Event.instant tl
             ~lane:(Event.cpu_lane ev.proc)
-            ~cat:"fault" ~name:"halted" ~time:ev.time ())
+            ~cat:"fault" ~name:"halted" ~time:ev.time ()
+      | Restored ->
+          Event.instant tl
+            ~lane:(Event.cpu_lane ev.proc)
+            ~cat:"fault" ~name:"restored" ~time:ev.time ()
+      | Fault { msg; action } ->
+          Event.instant tl
+            ~lane:(Event.cpu_lane ev.proc)
+            ~cat:"fault"
+            ~args:[ ("msg", Event.Count msg) ]
+            ~name:action ~time:ev.time ())
     (trace t);
   if t.trace_dropped then Event.mark_truncated tl
 

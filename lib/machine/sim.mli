@@ -58,6 +58,14 @@ val recv_any : string list -> string * Skel.Value.t
 (** [recv_any ports] blocks until any of [ports] has a message; among ports
     with waiting messages, the earliest-delivered message is taken. *)
 
+val recv_deadline :
+  string list -> deadline:float -> (string * Skel.Value.t) option
+(** [recv_deadline ports ~deadline] behaves like {!recv_any} but gives up at
+    absolute time [deadline]: it returns [None] if no message arrived by
+    then (the caller is resumed at the deadline), [Some (port, v)]
+    otherwise. The timeout costs no busy time. This is the primitive a
+    fault-tolerant executive needs to notice lost tasks. *)
+
 val sleep_until : float -> unit
 (** [sleep_until t] releases the processor and resumes no earlier than
     absolute time [t] (immediately if [t] has passed). Sleeping does not
@@ -76,20 +84,85 @@ val inject : t -> ?at:float -> pid -> string -> Skel.Value.t -> unit
     input) at time [at] (default 0) without charging any link. In traces the
     injection appears as a zero-overhead send from the environment lane. *)
 
+(** {1 Fault injection}
+
+    A machine carries a declarative, deterministic fault plan armed before
+    {!run}: processor halts/restores and per-link message faults. Every
+    fault that fires is recorded as a [Fault] trace event on the affected
+    processor's lane (category ["fault"]) and counted (see {!fault_tally}
+    and [stats.dropped_msgs]). *)
+
 val halt_processor : t -> ?at:float -> int -> unit
 (** Fault injection: at time [at] (default 0) the processor stops — its
-    processes never run again and messages addressed to them are dropped.
-    Messages already in flight on links still occupy them. The rest of the
-    machine keeps running, so tests can observe how an executive behaves
-    when part of the ring dies (SKiPPER itself has no fault tolerance: the
-    pipeline stalls, which {!Executive.run} reports). *)
+    processes never run again and messages addressed to them are dropped
+    (counted in [dropped_msgs]). Messages already in flight on links still
+    occupy them. The rest of the machine keeps running, so tests can observe
+    how an executive behaves when part of the ring dies (plain SKiPPER has
+    no fault tolerance: the pipeline stalls, which {!Executive.run} reports
+    as a [Stalled] outcome). *)
+
+val restore_processor : t -> ?at:float -> int -> unit
+(** Lifts a {!halt_processor} at time [at]: the processor dispatches again.
+    Messages dropped while halted stay lost; processes that were ready
+    resume, ones blocked in {!recv} keep waiting for a fresh message. *)
+
+type fault_action =
+  | Drop  (** the message never reaches the destination mailbox *)
+  | Delay of float  (** delivery is postponed by this many seconds *)
+  | Duplicate  (** the message is delivered twice *)
+
+type fault_schedule =
+  | Always
+  | Nth of int  (** the nth matching delivery only, 1-based *)
+  | Every of int  (** every kth matching delivery *)
+  | Prob of float * int
+      (** independent probability per matching delivery; deterministic via
+          the embedded PRNG seed *)
+
+type link_fault = {
+  action : fault_action;
+  link : (int * int) option;
+      (** directed (src, dst) processor pair; [None] matches any remote
+          link *)
+  schedule : fault_schedule;
+  from_t : float;  (** active window start (inclusive) *)
+  until_t : float;  (** active window end (inclusive) *)
+}
+
+val link_fault :
+  ?link:int * int ->
+  ?schedule:fault_schedule ->
+  ?from_t:float ->
+  ?until_t:float ->
+  fault_action ->
+  link_fault
+(** Constructor with the permissive defaults: any link, [Always], active for
+    the whole run. *)
+
+val add_fault : t -> link_fault -> unit
+(** Arms a message fault. Faults apply at delivery time and only to genuine
+    remote messages — environment injections ({!inject}) and same-processor
+    copies are exempt, and a delayed/duplicated delivery is not re-faulted
+    (each message suffers at most one fault per plan entry). When several
+    armed faults match, the first armed one fires. *)
+
+type fault_tally = { dropped : int; delayed : int; duplicated : int }
+
+val fault_tally : t -> fault_tally
+(** Messages affected by the fault plan (plus halt-induced drops in
+    [dropped]). *)
 
 val run : ?until:float -> t -> float
-(** Executes until the event queue drains (or simulated time exceeds
-    [until], default infinite). Returns the time of the last event.
-    A process still blocked in {!recv} when the queue drains is simply
-    terminated (streams end this way); a [compute]/[send] deadlock cannot
-    occur since both always progress. Raises [Failure] if called twice. *)
+(** Executes until the event queue drains, or until the next event would
+    lie past [until] (default infinite) — in that case pending events stay
+    queued and the clock is clamped to exactly [until], so
+    {!utilisation}/{!accounts} cover precisely the requested window (the
+    out-of-window part of an operation spanning the horizon is refunded
+    from the busy tallies, keeping windowed utilisation at most 1).
+    Returns the final simulation time. A process still blocked in {!recv}
+    when the queue drains is simply terminated (streams end this way); a
+    [compute]/[send] deadlock cannot occur since both always progress.
+    Raises [Failure] if called twice. *)
 
 exception Process_failure of string * exn
 (** Raised by {!run} when a process body raises: carries the process name
@@ -103,12 +176,20 @@ type stats = {
   bytes : int;  (** total payload bytes sent *)
   busy : float array;  (** per-processor busy seconds *)
   hops_total : int;  (** total link traversals *)
+  dropped_msgs : int;  (** deliveries lost to faults or halted processors *)
 }
 
 val stats : t -> stats
 
+val live_times : t -> float array
+(** Per-processor seconds during which the processor was alive (total time
+    minus halt episodes). Equals [finish_time] everywhere on a healthy
+    run. *)
+
 val utilisation : t -> float
-(** Mean processor busy fraction over the run ([0, 1]). *)
+(** Mean processor busy fraction over the run ([0, 1]), measured against
+    per-processor {!live_times} so a degraded run is not deflated by the
+    dead capacity it could not have used. *)
 
 (** {1 Event trace}
 
@@ -145,6 +226,10 @@ and what =
   | Recv of { msg : int; port : string; dur : float }
   | Done
   | Halted
+  | Restored
+  | Fault of { msg : int; action : string }
+      (** an injected (or halt-induced) message fault; [proc] is the
+          destination processor whose delivery was affected *)
 
 val trace : t -> trace_event list
 (** Recorded events in emission order (empty unless [~trace:true]). [Hop]
@@ -179,9 +264,12 @@ type account = {
   busy_s : float;  (** busy seconds (compute + kernel overheads) *)
   blocked_s : float;
       (** seconds spent blocked in {!recv}; a process still blocked when the
-          run drained is charged up to the finish time *)
+          run drained is charged up to the finish time — or up to the halt
+          instant when its processor died (a killed process is dead, not
+          waiting) *)
   sends : int;
   finished : bool;  (** body ran to completion *)
+  halted : bool;  (** hosting processor was halted at the end of the run *)
 }
 
 val accounts : t -> account list

@@ -47,6 +47,10 @@ type ctx = {
   input : Skel.Value.t option;
   input_period : float option;
   trace : bool;
+  faults : (int * float) list;  (* processor halts, (proc, at) *)
+  restores : (int * float) list;
+  link_faults : Machine.Sim.link_fault list;
+  recovery : Executive.recovery option;
   cache : cache option;
   mutable key : string;  (* running content hash; "" until the first pass *)
   reports : Stage.report list ref;  (* newest first; shared with retargets *)
@@ -63,12 +67,17 @@ let make_ctx ?cache ?(frames = 1) ?(optimize = false) table =
     input = None;
     input_period = None;
     trace = false;
+    faults = [];
+    restores = [];
+    link_faults = [];
+    recovery = None;
     cache;
     key = "";
     reports = ref [];
   }
 
-let retarget ?cost ?input ?input_period ?(trace = false) ~strategy ctx arch =
+let retarget ?cost ?input ?input_period ?(trace = false) ?(faults = [])
+    ?(restores = []) ?(link_faults = []) ?recovery ~strategy ctx arch =
   {
     ctx with
     arch = Some arch;
@@ -77,6 +86,10 @@ let retarget ?cost ?input ?input_period ?(trace = false) ~strategy ctx arch =
     input = (match input with Some _ -> input | None -> ctx.input);
     input_period;
     trace;
+    faults;
+    restores;
+    link_faults;
+    recovery;
   }
 
 let reports ctx = List.rev !(ctx.reports)
@@ -254,11 +267,19 @@ let simulate =
             in
             let r =
               Executive.run ~trace:ctx.trace ?input_period:ctx.input_period
+                ~faults:ctx.faults ~restores:ctx.restores
+                ~link_faults:ctx.link_faults ?recovery:ctx.recovery
                 ~table:ctx.table ~arch:s.Syndex.Schedule.arch
                 ~placement:s.Syndex.Schedule.placement
                 ~graph:s.Syndex.Schedule.graph ~frames:ctx.frames ~input ()
             in
-            (Stage.Result r, "")
+            let detail =
+              match r.Executive.outcome with
+              | Executive.Completed -> ""
+              | Executive.Stalled { collected; expected } ->
+                  Printf.sprintf "stalled at %d/%d" collected expected
+            in
+            (Stage.Result r, detail)
         | art -> mismatch "simulate" art);
   }
 

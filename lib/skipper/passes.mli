@@ -49,13 +49,20 @@ val retarget :
   ?input:Skel.Value.t ->
   ?input_period:float ->
   ?trace:bool ->
+  ?faults:(int * float) list ->
+  ?restores:(int * float) list ->
+  ?link_faults:Machine.Sim.link_fault list ->
+  ?recovery:Executive.recovery ->
   strategy:strategy ->
   ctx ->
   Archi.t ->
   ctx
 (** Derives a back-end context for one (architecture, strategy) target.
     The returned context shares the report list and cache with the parent,
-    so per-stage timings accumulate across compile + map + execute. *)
+    so per-stage timings accumulate across compile + map + execute.
+    [faults]/[restores]/[link_faults]/[recovery] (default: none) are the
+    fault-injection plan and recovery policy handed to {!Executive.run} by
+    the simulate pass. *)
 
 val reports : ctx -> Stage.report list
 (** All reports recorded through this context (and its retargets), in

@@ -94,12 +94,12 @@ let resolve_input compiled input =
   | None, None ->
       error "program %s needs an explicit input value" compiled.name
 
-let execute ?(trace = false) ?input_period ?(strategy = Canonical) ?cost ?input
-    compiled arch =
+let execute ?(trace = false) ?input_period ?faults ?restores ?link_faults
+    ?recovery ?(strategy = Canonical) ?cost ?input compiled arch =
   let input = resolve_input compiled input in
   let ctx =
-    Passes.retarget ?cost ~input ?input_period ~trace ~strategy compiled.ctx
-      arch
+    Passes.retarget ?cost ~input ?input_period ~trace ?faults ?restores
+      ?link_faults ?recovery ~strategy compiled.ctx arch
   in
   match
     Passes.run ctx

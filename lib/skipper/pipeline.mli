@@ -68,6 +68,10 @@ val map :
 val execute :
   ?trace:bool ->
   ?input_period:float ->
+  ?faults:(int * float) list ->
+  ?restores:(int * float) list ->
+  ?link_faults:Machine.Sim.link_fault list ->
+  ?recovery:Executive.recovery ->
   ?strategy:strategy ->
   ?cost:Syndex.Cost.t ->
   ?input:Skel.Value.t ->
@@ -76,7 +80,10 @@ val execute :
   Executive.result
 (** Map then run on the simulated machine (the cost, map and simulate
     passes). [input] overrides the compiled input; raises [Compile_error]
-    when neither is available. *)
+    when neither is available. [faults]/[restores]/[link_faults] inject the
+    fault plan into the simulated machine and [recovery] enables the
+    fault-tolerant df farm (see {!Executive.run}); a stalled degraded run
+    comes back as a [Stalled] outcome, not an exception. *)
 
 val check_equivalence :
   ?input:Skel.Value.t -> compiled -> Archi.t -> (Skel.Value.t, string) result

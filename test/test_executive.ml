@@ -296,7 +296,8 @@ let prop_tf_parallel_equals_sequential =
 
 let test_fault_stalls_pipeline () =
   (* Killing a processor that hosts a df worker mid-run stalls the farm:
-     SKiPPER has no fault tolerance, and the executive reports it. *)
+     plain SKiPPER has no fault tolerance. The run must come back as a
+     [Stalled] outcome with the partial counts — never an exception. *)
   let table = base_table () in
   let program =
     Ir.program "f" (Ir.Df { nworkers = 3; comp = "sq"; acc = "add"; init = V.Int 0 })
@@ -305,14 +306,17 @@ let test_fault_stalls_pipeline () =
   let arch = Archi.ring 4 in
   let placement = Syndex.Place.canonical g arch in
   let input = V.List (List.init 30 (fun i -> V.Int i)) in
-  Alcotest.(check bool) "stall reported" true
-    (try
-       ignore
-         (Executive.run ~faults:[ (1, 0.0005) ] ~table ~arch ~placement ~graph:g
-            ~frames:1 ~input ());
-       false
-     with Executive.Executive_error msg ->
-       Astring.String.is_infix ~affix:"collected" msg)
+  let r =
+    Executive.run ~faults:[ (1, 0.0005) ] ~table ~arch ~placement ~graph:g
+      ~frames:1 ~input ()
+  in
+  (match r.Executive.outcome with
+  | Executive.Stalled { collected; expected } ->
+      Alcotest.(check int) "expected one frame" 1 expected;
+      Alcotest.(check bool) "partial" true (collected < expected);
+      Alcotest.(check int) "outputs match collected" collected
+        (List.length r.Executive.outputs)
+  | Executive.Completed -> Alcotest.fail "expected a stall")
 
 let test_fault_on_idle_processor_harmless () =
   (* Halting a processor that hosts nothing must not change the result. *)
