@@ -35,6 +35,45 @@ let trace_dir : string option ref = ref None
 let recorded : (string * Machine.Metrics.report) list ref = ref []
 let tracing () = !trace_dir <> None
 
+(* ------------------------------------------------------------------ *)
+(* Parallel sweeps (--jobs): the per-variant runs of a sweep are
+   self-contained jobs (each builds its own tables, graphs and machine)
+   farmed across the domain pool. Jobs only *return* data — every print,
+   [observe] and file write happens in the main domain, in submit order —
+   so stdout rows, the --json file and the trace dumps are byte-identical
+   at any --jobs level. Wall-clock pool telemetry goes to stderr and to
+   its own trace file, never into the deterministic artifacts. *)
+
+let jobs = ref 1
+let pool_stats : (string * Support.Domain_pool.stats) list ref = ref []
+
+let farm ~name xs f =
+  let results, stats =
+    Support.Domain_pool.run_stats ~jobs:!jobs (List.map (fun x () -> f x) xs)
+  in
+  if !jobs > 1 then begin
+    pool_stats := (name, stats) :: !pool_stats;
+    Printf.eprintf
+      "bench: %s: %d jobs on %d domains, %.3f s wall, speedup %.2fx\n" name
+      stats.Support.Domain_pool.njobs stats.Support.Domain_pool.domains
+      stats.Support.Domain_pool.wall_s
+      (Support.Domain_pool.speedup stats)
+  end;
+  results
+
+let write_pool_traces () =
+  Option.iter
+    (fun dir ->
+      List.iter
+        (fun (name, stats) ->
+          Out_channel.with_open_bin
+            (Filename.concat dir (Printf.sprintf "pool.%s.trace.json" name))
+            (fun oc ->
+              Out_channel.output_string oc
+                (Skipper_trace.Pool.to_json ~label:name stats)))
+        (List.rev !pool_stats))
+    !trace_dir
+
 let write_file path s =
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
 
@@ -53,18 +92,17 @@ let observe ~experiment (r : Executive.result) =
 
 let write_summary_json path =
   let entry (name, rep) =
-    Printf.sprintf
-      {|  {"experiment":"%s","finish_time":%.6f,"utilisation":%.4f,"messages":%d,"bytes":%d,"imbalance":%.4f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d}|}
-      name rep.Machine.Metrics.finish_time rep.Machine.Metrics.mean_utilisation
-      rep.Machine.Metrics.messages rep.Machine.Metrics.bytes
-      (Machine.Metrics.imbalance rep)
-      rep.Machine.Metrics.dropped_msgs rep.Machine.Metrics.deadline_misses
-      rep.Machine.Metrics.reissues
+    "  " ^ Machine.Metrics.summary_json ~experiment:name rep
   in
   write_file path
     ("[\n" ^ String.concat ",\n" (List.map entry (List.rev !recorded)) ^ "\n]\n");
   Printf.eprintf "bench: wrote %d experiment summaries to %s\n"
     (List.length !recorded) path
+
+(* Farmed jobs must not touch [recorded] or write files themselves; they
+   return the (experiment, result) pairs they would have observed and the
+   main domain commits them in submit order. *)
+let commit1 obs = Option.iter (fun (e, r) -> observe ~experiment:e r) obs
 
 (* ------------------------------------------------------------------ *)
 (* Shared tracking-run helper                                          *)
@@ -75,6 +113,8 @@ type tracking_run = {
   messages : int;
   utilisation : float;
   metrics : Machine.Metrics.report;  (* full analysis of the stream run *)
+  obs : (string * Executive.result) option;
+      (* headline run to [commit1] in the main domain *)
 }
 
 let run_tracking ?(frames = 20) ?(fps = 25.0) ?observe_as ~nproc () =
@@ -93,7 +133,6 @@ let run_tracking ?(frames = 20) ?(fps = 25.0) ?observe_as ~nproc () =
       ~input:(Tracking.Funcs.input_value config)
       ()
   in
-  Option.iter (fun experiment -> observe ~experiment r) observe_as;
   let steady = List.nth r.Executive.latencies (frames - 1) in
   (* isolated reinitialisation frame (the initial state is Reinit mode) *)
   let table1 = Tracking.Funcs.table config in
@@ -112,6 +151,7 @@ let run_tracking ?(frames = 20) ?(fps = 25.0) ?observe_as ~nproc () =
     messages = r.Executive.stats.Machine.Sim.messages;
     utilisation = Machine.Sim.utilisation r.Executive.sim;
     metrics = Machine.Metrics.analyse r.Executive.sim;
+    obs = Option.map (fun experiment -> (experiment, r)) observe_as;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -121,6 +161,7 @@ let e1 () =
   header "E1"
     "vehicle tracking on a ring of 8 T9000s, 25 Hz 512x512 stream (paper s4)";
   let r = run_tracking ~nproc:8 ~observe_as:"e1" () in
+  commit1 r.obs;
   let frame_period_ms = 40.0 in
   Printf.printf "%-38s %12s %12s\n" "quantity" "paper" "measured";
   Printf.printf "%-38s %12s %9.1f ms\n" "tracking-phase latency" "30 ms" r.steady_ms;
@@ -154,21 +195,27 @@ let e2 () =
      'almost instantaneous' to produce)";
   Printf.printf "%6s %16s %16s %14s\n" "procs" "tracking (ms)" "reinit (ms)"
     "reinit speedup";
+  let rows =
+    farm ~name:"e2" [ 1; 2; 4; 8; 12; 16 ] (fun p ->
+        ( p,
+          run_tracking ~frames:12
+            ?observe_as:(if p = 8 then Some "e2" else None)
+            ~nproc:p () ))
+  in
   let base = ref 0.0 in
   List.iter
-    (fun p ->
-      let r =
-        run_tracking ~frames:12
-          ?observe_as:(if p = 8 then Some "e2" else None)
-          ~nproc:p ()
-      in
+    (fun (p, r) ->
+      commit1 r.obs;
       if p = 1 then base := r.reinit_ms;
       Printf.printf "%6d %16.1f %16.1f %14.2f\n" p r.steady_ms r.reinit_ms
         (!base /. r.reinit_ms))
-    [ 1; 2; 4; 8; 12; 16 ];
+    rows;
   (* The "almost instantaneous" claim itself: with the memoizing pass
      manager, producing a variant for another processor count re-runs only
-     the mapping — every front-end artifact is a cache hit. *)
+     the mapping — every front-end artifact is a cache hit. This part stays
+     sequential whatever --jobs says: the artifact cache is a plain Hashtbl
+     shared across the variants (that sharing *is* the experiment), and it
+     is not safe to mutate from several domains. *)
   let config = Tracking.Funcs.default_config in
   let table = Tracking.Funcs.table config in
   let src = Tracking.Funcs.source config in
@@ -209,6 +256,7 @@ let e3 () =
   let nproc = 8 in
   let frames = 12 in
   let skel = run_tracking ~frames ~nproc ~observe_as:"e3" () in
+  commit1 skel.obs;
   let hand =
     Handcoded.run ~input_period:0.04
       ~config:Tracking.Funcs.(with_nproc nproc default_config)
@@ -275,39 +323,45 @@ let e4 () =
   let nworkers = 8 in
   let arch = Archi.ring (nworkers + 1) in
   Printf.printf "%8s %14s %14s %10s\n" "items" "scm (ms)" "df (ms)" "df gain";
-  List.iter
-    (fun nitems ->
-      let rng = Support.Prng.create (1000 + nitems) in
-      let items = V.List (uneven_items rng nitems) in
-      let run ?observe_as prog =
-        let table = uneven_table () in
-        let g = Procnet.Expand.expand table prog in
-        let r =
-          Executive.run
-            ~trace:(observe_as <> None && tracing ())
-            ~table ~arch
-            ~placement:(Syndex.Place.canonical g arch)
-            ~graph:g ~frames:1 ~input:items ()
+  let rows =
+    farm ~name:"e4" [ 16; 32; 64; 128 ] (fun nitems ->
+        let rng = Support.Prng.create (1000 + nitems) in
+        let items = V.List (uneven_items rng nitems) in
+        let run ?observe_as prog =
+          let table = uneven_table () in
+          let g = Procnet.Expand.expand table prog in
+          let r =
+            Executive.run
+              ~trace:(observe_as <> None && tracing ())
+              ~table ~arch
+              ~placement:(Syndex.Place.canonical g arch)
+              ~graph:g ~frames:1 ~input:items ()
+          in
+          ( ms r.Executive.first_latency,
+            r.Executive.value,
+            Option.map (fun e -> (e, r)) observe_as )
         in
-        Option.iter (fun experiment -> observe ~experiment r) observe_as;
-        (ms r.Executive.first_latency, r.Executive.value)
-      in
-      let scm_ms, scm_v =
-        run
-          (Skel.Ir.program "scm"
-             (Skel.Ir.Scm
-                { nparts = nworkers; split = "deal"; compute = "work_chunk";
-                  merge = "sum_chunks" }))
-      in
-      let df_ms, df_v =
-        run
-          ?observe_as:(if nitems = 128 then Some "e4" else None)
-          (Skel.Ir.program "df"
-             (Skel.Ir.Df { nworkers; comp = "work"; acc = "collect"; init = V.Int 0 }))
-      in
+        let scm_ms, scm_v, _ =
+          run
+            (Skel.Ir.program "scm"
+               (Skel.Ir.Scm
+                  { nparts = nworkers; split = "deal"; compute = "work_chunk";
+                    merge = "sum_chunks" }))
+        in
+        let df_ms, df_v, obs =
+          run
+            ?observe_as:(if nitems = 128 then Some "e4" else None)
+            (Skel.Ir.program "df"
+               (Skel.Ir.Df { nworkers; comp = "work"; acc = "collect"; init = V.Int 0 }))
+        in
+        (nitems, scm_ms, scm_v, df_ms, df_v, obs))
+  in
+  List.iter
+    (fun (nitems, scm_ms, scm_v, df_ms, df_v, obs) ->
+      commit1 obs;
       assert (V.equal scm_v df_v);
       Printf.printf "%8d %14.1f %14.1f %9.2fx\n" nitems scm_ms df_ms (scm_ms /. df_ms))
-    [ 16; 32; 64; 128 ]
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E5: the Fig. 1 process network template                             *)
@@ -406,28 +460,34 @@ let e7 () =
   let reference = (Vision.Ccl.label ~threshold:128 img).Vision.Ccl.ncomponents in
   Printf.printf "sequential labelling: %d components\n" reference;
   Printf.printf "%8s %14s %12s %12s\n" "bands" "latency (ms)" "speedup" "components";
+  let rows =
+    farm ~name:"e7" [ 1; 2; 4; 8 ] (fun nparts ->
+        let table = Skel.Funtable.create () in
+        Apps.Ccl_scm.register table;
+        let prog = Apps.Ccl_scm.ir ~nparts in
+        let g = Procnet.Expand.expand table prog in
+        let arch = Archi.ring (nparts + 1) in
+        let r =
+          Executive.run
+            ~trace:(nparts = 8 && tracing ())
+            ~table ~arch
+            ~placement:(Syndex.Place.canonical g arch)
+            ~graph:g ~frames:1 ~input:(V.Image img) ()
+        in
+        let n, _ = Apps.Ccl_scm.result_summary r.Executive.value in
+        ( nparts,
+          ms r.Executive.first_latency,
+          n,
+          if nparts = 8 then Some ("e7", r) else None ))
+  in
   let base = ref 0.0 in
   List.iter
-    (fun nparts ->
-      let table = Skel.Funtable.create () in
-      Apps.Ccl_scm.register table;
-      let prog = Apps.Ccl_scm.ir ~nparts in
-      let g = Procnet.Expand.expand table prog in
-      let arch = Archi.ring (nparts + 1) in
-      let r =
-        Executive.run
-          ~trace:(nparts = 8 && tracing ())
-          ~table ~arch
-          ~placement:(Syndex.Place.canonical g arch)
-          ~graph:g ~frames:1 ~input:(V.Image img) ()
-      in
-      if nparts = 8 then observe ~experiment:"e7" r;
-      let n, _ = Apps.Ccl_scm.result_summary r.Executive.value in
+    (fun (nparts, latency, n, obs) ->
+      commit1 obs;
       assert (n = reference);
-      let latency = ms r.Executive.first_latency in
       if nparts = 1 then base := latency;
       Printf.printf "%8d %14.1f %12.2f %12d\n" nparts latency (!base /. latency) n)
-    [ 1; 2; 4; 8 ]
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E8: road following (companion app, ref [6])                         *)
@@ -500,7 +560,10 @@ let e9 () =
   Printf.printf "schedule deadlock-free: %b\n" (Syndex.Schedule.deadlock_free sched);
   Printf.printf "emulation == distributed executive: %b\n"
     (V.equal seq r.Executive.value);
-  (* Recompiling the same program is free: every front-end pass memoizes. *)
+  (* Recompiling the same program is free: every front-end pass memoizes.
+     Reset the hit/miss counters first so the line below accounts for the
+     warm recompile alone, not the cold compile above (misses must be 0). *)
+  Skipper_lib.Passes.reset_cache_stats cache;
   let t0 = Unix.gettimeofday () in
   let _again = Skipper_lib.Pipeline.compile_source ~frames:5 ~cache ~table src in
   let hits, misses = Skipper_lib.Passes.cache_stats cache in
@@ -553,36 +616,43 @@ let e11 () =
   let config = Tracking.Funcs.default_config in
   let frames = 10 in
   Printf.printf "%-10s %18s %18s\n" "topology" "tracking (ms)" "reinit (ms)";
-  List.iter
-    (fun (name, arch) ->
-      let run frames' prog_frames =
-        let table = Tracking.Funcs.table config in
-        let prog = Tracking.Funcs.ir ~frames:prog_frames config in
-        let g = Procnet.Expand.expand table prog in
-        let headline = name = "ring" && prog_frames > 1 in
-        let r =
-          Executive.run
-            ~trace:(headline && tracing ())
-            ~table ~arch
-            ~placement:(Syndex.Place.canonical g arch)
-            ~graph:g ~frames:prog_frames
-            ?input_period:(if prog_frames > 1 then Some 0.04 else None)
-            ~input:(Tracking.Funcs.input_value config)
-            ()
+  let rows =
+    farm ~name:"e11"
+      [
+        ("ring", Archi.ring 8);
+        ("chain", Archi.chain 8);
+        ("star", Archi.star 8);
+        ("grid-2x4", Archi.grid 2 4);
+        ("full", Archi.fully_connected 8);
+      ]
+      (fun (name, arch) ->
+        let run frames' prog_frames =
+          let table = Tracking.Funcs.table config in
+          let prog = Tracking.Funcs.ir ~frames:prog_frames config in
+          let g = Procnet.Expand.expand table prog in
+          let headline = name = "ring" && prog_frames > 1 in
+          let r =
+            Executive.run
+              ~trace:(headline && tracing ())
+              ~table ~arch
+              ~placement:(Syndex.Place.canonical g arch)
+              ~graph:g ~frames:prog_frames
+              ?input_period:(if prog_frames > 1 then Some 0.04 else None)
+              ~input:(Tracking.Funcs.input_value config)
+              ()
+          in
+          ( List.nth r.Executive.latencies (frames' - 1),
+            if headline then Some ("e11", r) else None )
         in
-        if headline then observe ~experiment:"e11" r;
-        List.nth r.Executive.latencies (frames' - 1)
-      in
-      let tracking = ms (run frames frames) in
-      let reinit = ms (run 1 1) in
+        let tracking, obs = run frames frames in
+        let reinit, _ = run 1 1 in
+        (name, ms tracking, ms reinit, obs))
+  in
+  List.iter
+    (fun (name, tracking, reinit, obs) ->
+      commit1 obs;
       Printf.printf "%-10s %18.1f %18.1f\n" name tracking reinit)
-    [
-      ("ring", Archi.ring 8);
-      ("chain", Archi.chain 8);
-      ("star", Archi.star 8);
-      ("grid-2x4", Archi.grid 2 4);
-      ("full", Archi.fully_connected 8);
-    ]
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E12: transformational-rule ablation (paper 6, future work)          *)
@@ -670,26 +740,31 @@ let e13 () =
     (t, program)
   in
   Printf.printf "%8s %16s %12s\n" "workers" "latency (ms)" "speedup";
+  let rows =
+    farm ~name:"e13" [ 1; 2; 4; 8 ] (fun nworkers ->
+        let t, program = build nworkers in
+        let g = Procnet.Expand.expand t program in
+        let arch = Archi.ring (nworkers + 1) in
+        let r =
+          Executive.run
+            ~trace:(nworkers = 8 && tracing ())
+            ~table:t ~arch
+            ~placement:(Syndex.Place.canonical g arch)
+            ~graph:g ~frames:1
+            ~input:(V.List (List.init 24 (fun i -> V.Int i)))
+            ()
+        in
+        ( nworkers,
+          ms r.Executive.first_latency,
+          if nworkers = 8 then Some ("e13", r) else None ))
+  in
   let base = ref 0.0 in
   List.iter
-    (fun nworkers ->
-      let t, program = build nworkers in
-      let g = Procnet.Expand.expand t program in
-      let arch = Archi.ring (nworkers + 1) in
-      let r =
-        Executive.run
-          ~trace:(nworkers = 8 && tracing ())
-          ~table:t ~arch
-          ~placement:(Syndex.Place.canonical g arch)
-          ~graph:g ~frames:1
-          ~input:(V.List (List.init 24 (fun i -> V.Int i)))
-          ()
-      in
-      if nworkers = 8 then observe ~experiment:"e13" r;
-      let latency = ms r.Executive.first_latency in
+    (fun (nworkers, latency, obs) ->
+      commit1 obs;
       if nworkers = 1 then base := latency;
       Printf.printf "%8d %16.1f %11.2fx\n" nworkers latency (!base /. latency))
-    [ 1; 2; 4; 8 ];
+    rows;
   print_endline
     "(inner skeletons run serialised on their worker -- SKiPPER-II's initial\n\
     \ nesting model; the outer farm still scales)"
@@ -726,10 +801,11 @@ let e14 () =
         ~placement:(Syndex.Place.canonical g arch)
         ~graph:g ~frames ~input ()
     in
-    Option.iter (fun experiment -> observe ~experiment r) observe_as;
-    r
+    (r, Option.map (fun e -> (e, r)) observe_as)
   in
-  let baseline = run () in
+  (* the healthy run must come first: pace and recovery timeout below are
+     derived from it, so it cannot join the farmed scenarios *)
+  let baseline, _ = run () in
   (* pace and timeout derived from the healthy run so the sweep is
      self-calibrating across cost-model changes *)
   let pace = baseline.Executive.first_latency *. 1.5 in
@@ -751,41 +827,49 @@ let e14 () =
   Printf.printf "%-28s %10s %6s %8s %9s %9s %7s %7s\n" "scenario" "outcome"
     "frames" "values" "dropped" "reissues" "retired" "missed";
   show "healthy" baseline;
-  show "drop 3rd task (recover)"
-    (run
-       ~link_faults:[ Machine.Sim.link_fault ~schedule:(Machine.Sim.Nth 3)
-                        Machine.Sim.Drop ]
-       ~recovery ~input_period:pace ());
-  show "delay every 5th (recover)"
-    (run
-       ~link_faults:[ Machine.Sim.link_fault ~schedule:(Machine.Sim.Every 5)
-                        (Machine.Sim.Delay (baseline.Executive.first_latency)) ]
-       ~recovery ~input_period:pace ());
-  show "duplicate every 4th (recover)"
-    (run
-       ~link_faults:[ Machine.Sim.link_fault ~schedule:(Machine.Sim.Every 4)
-                        Machine.Sim.Duplicate ]
-       ~recovery ~input_period:pace ());
-  show "halt worker P2 (recover)"
-    (run
-       ~faults:[ (2, baseline.Executive.first_latency *. 0.3) ]
-       ~recovery ~input_period:pace ~observe_as:"e14" ());
-  show "halt worker P2 (no recovery)"
-    (run ~faults:[ (2, baseline.Executive.first_latency *. 0.3) ]
-       ~input_period:pace ());
+  let scenarios =
+    [
+      ( "drop 3rd task (recover)",
+        fun () ->
+          run
+            ~link_faults:[ Machine.Sim.link_fault ~schedule:(Machine.Sim.Nth 3)
+                             Machine.Sim.Drop ]
+            ~recovery ~input_period:pace () );
+      ( "delay every 5th (recover)",
+        fun () ->
+          run
+            ~link_faults:[ Machine.Sim.link_fault ~schedule:(Machine.Sim.Every 5)
+                             (Machine.Sim.Delay (baseline.Executive.first_latency)) ]
+            ~recovery ~input_period:pace () );
+      ( "duplicate every 4th (recover)",
+        fun () ->
+          run
+            ~link_faults:[ Machine.Sim.link_fault ~schedule:(Machine.Sim.Every 4)
+                             Machine.Sim.Duplicate ]
+            ~recovery ~input_period:pace () );
+      ( "halt worker P2 (recover)",
+        fun () ->
+          run
+            ~faults:[ (2, baseline.Executive.first_latency *. 0.3) ]
+            ~recovery ~input_period:pace ~observe_as:"e14" () );
+      ( "halt worker P2 (no recovery)",
+        fun () ->
+          run
+            ~faults:[ (2, baseline.Executive.first_latency *. 0.3) ]
+            ~input_period:pace () );
+    ]
+  in
+  List.iter
+    (fun (name, (r, obs)) ->
+      commit1 obs;
+      show name r)
+    (farm ~name:"e14.scenarios" scenarios (fun (name, f) -> (name, f ())));
   (* probability sweep: seeded random drops on every link *)
   Printf.printf "\ndrop-probability sweep (recovery on, seeded):\n";
   Printf.printf "%8s %10s %8s %9s %9s %14s\n" "p(drop)" "outcome" "values"
     "dropped" "reissues" "latency x";
   List.iter
-    (fun p ->
-      let r =
-        run
-          ~link_faults:
-            [ Machine.Sim.link_fault
-                ~schedule:(Machine.Sim.Prob (p, 42)) Machine.Sim.Drop ]
-          ~recovery ~input_period:pace ()
-      in
+    (fun (p, (r : Executive.result)) ->
       Printf.printf "%8.2f %10s %8s %9d %9d %13.2fx\n" p
         (match r.Executive.outcome with
         | Executive.Completed -> "completed"
@@ -796,7 +880,15 @@ let e14 () =
         r.Executive.stats.Machine.Sim.dropped_msgs r.Executive.reissues
         (r.Executive.stats.Machine.Sim.finish_time
         /. baseline.Executive.stats.Machine.Sim.finish_time))
-    [ 0.0; 0.02; 0.05; 0.1 ]
+    (farm ~name:"e14.prob" [ 0.0; 0.02; 0.05; 0.1 ] (fun p ->
+         let r, _ =
+           run
+             ~link_faults:
+               [ Machine.Sim.link_fault
+                   ~schedule:(Machine.Sim.Prob (p, 42)) Machine.Sim.Drop ]
+             ~recovery ~input_period:pace ()
+         in
+         (p, r)))
 
 (* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks                                           *)
@@ -894,6 +986,11 @@ let () =
     | "--trace-dir" :: dir :: rest ->
         trace_dir := Some dir;
         parse_flags rest
+    | "--jobs" :: n :: rest ->
+        jobs :=
+          (if n = "auto" then Support.Domain_pool.default_jobs ()
+           else int_of_string n);
+        parse_flags rest
     | x :: rest -> x :: parse_flags rest
     | [] -> []
   in
@@ -917,4 +1014,5 @@ let () =
       print_newline ();
       print_endline
         "All experiments completed. Run with 'micro' for bechamel kernels.");
-  Option.iter write_summary_json !json_out
+  Option.iter write_summary_json !json_out;
+  write_pool_traces ()

@@ -140,11 +140,14 @@ let fault_plan ~halts ~restores ~drops ~delays ~dups ~df_timeout =
   let recovery = Option.map (fun ms -> Executive.recovery (ms /. 1e3)) df_timeout in
   (faults, restores, link_faults, recovery)
 
-let print_outcome (r : Executive.result) =
+let outcome_lines (r : Executive.result) =
+  let b = Buffer.create 64 in
   (match r.Executive.outcome with
   | Executive.Completed -> ()
   | Executive.Stalled { collected; expected } ->
-      Printf.printf "outcome: STALLED after %d of %d outputs\n" collected expected);
+      Buffer.add_string b
+        (Printf.sprintf "outcome: STALLED after %d of %d outputs\n" collected
+           expected));
   let tally = Machine.Sim.fault_tally r.Executive.sim in
   if
     tally.Machine.Sim.dropped + tally.Machine.Sim.delayed
@@ -152,12 +155,16 @@ let print_outcome (r : Executive.result) =
     + r.Executive.retired_workers + r.Executive.deadline_misses
     > 0
   then
-    Printf.printf
-      "faults: %d dropped, %d delayed, %d duplicated messages; %d reissues, \
-       %d retired workers, %d deadline misses\n"
-      tally.Machine.Sim.dropped tally.Machine.Sim.delayed
-      tally.Machine.Sim.duplicated r.Executive.reissues
-      r.Executive.retired_workers r.Executive.deadline_misses
+    Buffer.add_string b
+      (Printf.sprintf
+         "faults: %d dropped, %d delayed, %d duplicated messages; %d reissues, \
+          %d retired workers, %d deadline misses\n"
+         tally.Machine.Sim.dropped tally.Machine.Sim.delayed
+         tally.Machine.Sim.duplicated r.Executive.reissues
+         r.Executive.retired_workers r.Executive.deadline_misses);
+  Buffer.contents b
+
+let print_outcome r = print_string (outcome_lines r)
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
@@ -235,6 +242,25 @@ let frames_arg =
 
 let procs_arg =
   Arg.(value & opt int 8 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Processor count.")
+
+(* [run] accepts a comma-separated sweep of processor counts; the other
+   commands keep the single-count flag above. *)
+let procs_list_arg =
+  Arg.(
+    value
+    & opt (list int) [ 8 ]
+    & info [ "procs"; "p" ] ~docv:"P[,P...]"
+        ~doc:"Processor count, or a comma-separated list to run one variant \
+              per count (see --jobs).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Farm the variants of a multi-count --procs sweep over N \
+              domains. Each variant compiles and simulates independently and \
+              output is printed in sweep order whatever the completion \
+              order, so stdout is identical at any N.")
 
 let topo_arg =
   Arg.(
@@ -438,44 +464,94 @@ let emulate_cmd =
     Term.(const run $ app_arg $ frames_arg $ timings_arg $ file_arg)
 
 let run_cmd =
-  let run app frames procs topo strat fps optimize timings dump trace_out
-      gantt_svg halts restores drops delays dups df_timeout file =
+  let run app frames procs_list topo strat fps optimize timings dump trace_out
+      gantt_svg halts restores drops delays dups df_timeout jobs file =
     wrap (fun () ->
-        let c = compile ~app ~frames ~optimize file in
-        let arch = topology topo procs in
         let strategy = strategy_of strat in
-        (match dump with
-        | Some stage ->
-            dump_stage ~arch ~strategy ?input:(default_input app) c stage
-        | None ->
-            let input_period = Option.map (fun f -> 1.0 /. f) fps in
-            let tracing = trace_out <> None || gantt_svg <> None in
-            let faults, restores, link_faults, recovery =
-              fault_plan ~halts ~restores ~drops ~delays ~dups ~df_timeout
+        match procs_list with
+        | [] -> failwith "--procs: empty list"
+        | [ procs ] ->
+            let c = compile ~app ~frames ~optimize file in
+            let arch = topology topo procs in
+            (match dump with
+            | Some stage ->
+                dump_stage ~arch ~strategy ?input:(default_input app) c stage
+            | None ->
+                let input_period = Option.map (fun f -> 1.0 /. f) fps in
+                let tracing = trace_out <> None || gantt_svg <> None in
+                let faults, restores, link_faults, recovery =
+                  fault_plan ~halts ~restores ~drops ~delays ~dups ~df_timeout
+                in
+                let r =
+                  Skipper_lib.Pipeline.execute ~trace:tracing ?input_period
+                    ~faults ~restores ~link_faults ?recovery ~strategy
+                    ?input:(default_input app) c arch
+                in
+                Printf.printf "result: %s\n" (Skel.Value.to_string r.Executive.value);
+                List.iteri
+                  (fun i l -> Printf.printf "frame %3d latency %8.2f ms\n" i (l *. 1e3))
+                  r.Executive.latencies;
+                Printf.printf "messages: %d, bytes: %d\n"
+                  r.Executive.stats.Machine.Sim.messages
+                  r.Executive.stats.Machine.Sim.bytes;
+                print_outcome r;
+                export_traces ~compiled:c ~trace_out ~gantt_svg r);
+            if timings then print_timings c
+        | _ ->
+            (* Multi-variant sweep: one self-contained job per processor
+               count, farmed over the domain pool. Each job compiles its own
+               pipeline (a compiled artifact carries a mutable report list,
+               so variants must not share one) and returns its output as a
+               string; the main domain prints the strings in sweep order, so
+               stdout is byte-identical at any --jobs level. The
+               wall-clock-flavoured flags make no sense spread over several
+               variants and are rejected. *)
+            if dump <> None || trace_out <> None || gantt_svg <> None || timings
+            then
+              failwith
+                "--dump-stage, --trace-out, --gantt-svg and --timings need a \
+                 single --procs value";
+            let run_one procs =
+              let c = compile ~app ~frames ~optimize file in
+              let arch = topology topo procs in
+              let input_period = Option.map (fun f -> 1.0 /. f) fps in
+              (* parsed per job: a fault plan carries per-schedule state *)
+              let faults, restores, link_faults, recovery =
+                fault_plan ~halts ~restores ~drops ~delays ~dups ~df_timeout
+              in
+              let r =
+                Skipper_lib.Pipeline.execute ~trace:false ?input_period
+                  ~faults ~restores ~link_faults ?recovery ~strategy
+                  ?input:(default_input app) c arch
+              in
+              let b = Buffer.create 256 in
+              Buffer.add_string b (Printf.sprintf "== --procs %d ==\n" procs);
+              Buffer.add_string b
+                (Printf.sprintf "result: %s\n"
+                   (Skel.Value.to_string r.Executive.value));
+              List.iteri
+                (fun i l ->
+                  Buffer.add_string b
+                    (Printf.sprintf "frame %3d latency %8.2f ms\n" i (l *. 1e3)))
+                r.Executive.latencies;
+              Buffer.add_string b
+                (Printf.sprintf "messages: %d, bytes: %d\n"
+                   r.Executive.stats.Machine.Sim.messages
+                   r.Executive.stats.Machine.Sim.bytes);
+              Buffer.add_string b (outcome_lines r);
+              Buffer.contents b
             in
-            let r =
-              Skipper_lib.Pipeline.execute ~trace:tracing ?input_period
-                ~faults ~restores ~link_faults ?recovery ~strategy
-                ?input:(default_input app) c arch
-            in
-            Printf.printf "result: %s\n" (Skel.Value.to_string r.Executive.value);
-            List.iteri
-              (fun i l -> Printf.printf "frame %3d latency %8.2f ms\n" i (l *. 1e3))
-              r.Executive.latencies;
-            Printf.printf "messages: %d, bytes: %d\n"
-              r.Executive.stats.Machine.Sim.messages
-              r.Executive.stats.Machine.Sim.bytes;
-            print_outcome r;
-            export_traces ~compiled:c ~trace_out ~gantt_svg r);
-        if timings then print_timings c)
+            List.iter print_string
+              (Support.Domain_pool.run ~jobs
+                 (List.map (fun p () -> run_one p) procs_list)))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, map and execute on the simulated MIMD-DM machine.")
     Term.(
-      const run $ app_arg $ frames_arg $ procs_arg $ topo_arg $ strategy_arg $ fps_arg
-      $ optimize_arg $ timings_arg $ dump_arg $ trace_out_arg $ gantt_svg_arg
-      $ halt_arg $ restore_arg $ drop_link_arg $ delay_link_arg $ dup_link_arg
-      $ df_timeout_arg $ file_arg)
+      const run $ app_arg $ frames_arg $ procs_list_arg $ topo_arg $ strategy_arg
+      $ fps_arg $ optimize_arg $ timings_arg $ dump_arg $ trace_out_arg
+      $ gantt_svg_arg $ halt_arg $ restore_arg $ drop_link_arg $ delay_link_arg
+      $ dup_link_arg $ df_timeout_arg $ jobs_arg $ file_arg)
 
 let equiv_cmd =
   let run app frames procs topo timings file =

@@ -231,3 +231,16 @@ let to_json report =
     report.finish_time report.mean_utilisation report.messages report.bytes
     (imbalance report) (link_contention report) report.dropped_msgs
     report.deadline_misses report.reissues loads links ports procs
+
+(* The one-line per-experiment summary the bench harness's [--json] file is
+   made of. Every field is simulation-deterministic (finish_time is
+   simulated seconds, never wall-clock), which is what lets CI byte-compare
+   a --jobs 4 sweep against a --jobs 1 one; wall-clock measurements belong
+   in the separate timing artifact, never here. The field set is pinned by
+   the golden test in test_determinism. *)
+let summary_json ~experiment report =
+  Printf.sprintf
+    {|{"experiment":"%s","finish_time":%.6f,"utilisation":%.4f,"messages":%d,"bytes":%d,"imbalance":%.4f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d}|}
+    (json_escape experiment) report.finish_time report.mean_utilisation
+    report.messages report.bytes (imbalance report) report.dropped_msgs
+    report.deadline_misses report.reissues

@@ -82,3 +82,10 @@ val to_json : report -> string
 (** The whole report as one JSON object: scalar headline numbers plus
     [processors], [links], [ports] and [processes] arrays. Deterministic
     field order and number formatting. *)
+
+val summary_json : experiment:string -> report -> string
+(** One experiment entry of the bench harness's [--json] file. Every field
+    is simulation-deterministic (no wall-clock anywhere), so two sweeps of
+    the same experiments produce byte-identical entries regardless of the
+    [--jobs] level; wall-clock data lives in the separate timing artifact.
+    Field set pinned by the golden test in [test_determinism]. *)

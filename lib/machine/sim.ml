@@ -214,10 +214,15 @@ let fresh_msg t =
   t.next_msg <- id + 1;
   id
 
-(* The process currently executing a zero-duration segment. *)
-let current : (t * process) option ref = ref None
+(* The process currently executing a zero-duration segment. Domain-local,
+   not a plain ref: independent machines may run concurrently on separate
+   domains (Support.Domain_pool farms whole simulations), and each domain
+   runs at most one machine at a time, so DLS is exactly the right scope. *)
+let current : (t * process) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let the_current () = match !current with Some c -> c | None -> raise Not_in_process
+let the_current () =
+  match Domain.DLS.get current with Some c -> c | None -> raise Not_in_process
 let self () = (snd (the_current ())).pid
 let now () = (fst (the_current ())).time
 
@@ -467,10 +472,10 @@ let run_segment t (proc : process) resume =
           | _ -> None);
     }
   in
-  let saved = !current in
-  current := Some (t, proc);
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some (t, proc));
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () -> Domain.DLS.set current saved)
     (fun () ->
       match resume with
       | Start body -> match_with body () handler

@@ -159,10 +159,23 @@ val run : ?until:float -> t -> float
     {!utilisation}/{!accounts} cover precisely the requested window (the
     out-of-window part of an operation spanning the horizon is refunded
     from the busy tallies, keeping windowed utilisation at most 1).
+
+    The horizon is inclusive, pinned by [test_machine]'s horizon-edge
+    tests: an event scheduled {e exactly at} [until] still fires (only
+    events strictly past it stay queued), and a busy charge that ends
+    exactly at the horizon is not a spanning charge — nothing is refunded
+    and windowed utilisation remains at most 1.
+
     Returns the final simulation time. A process still blocked in {!recv}
     when the queue drains is simply terminated (streams end this way); a
     [compute]/[send] deadlock cannot occur since both always progress.
-    Raises [Failure] if called twice. *)
+    Raises [Failure] if called twice.
+
+    Concurrency: one machine must only ever run on one domain, but
+    distinct machines may run on distinct domains concurrently (the
+    executing-process pointer is domain-local and everything else hangs
+    off [t]) — {!Support.Domain_pool} relies on this to farm whole
+    simulations. *)
 
 exception Process_failure of string * exn
 (** Raised by {!run} when a process body raises: carries the process name

@@ -5,16 +5,18 @@
     manager, [skipperc check], the REPL) used to re-implement the same
     catch-and-render glue. These wrappers centralise it: each stage returns
     [Ok artifact] or [Error message] with the location already rendered into
-    the message, and resets whatever per-run state the stage keeps (the
-    type-variable counter). *)
+    the message. The stages keep no per-run mutable state (the type-variable
+    counter is atomic and monotonic), so they are safe to run concurrently
+    from a {!Support.Domain_pool} sweep. *)
 
 val parse : string -> (Ast.program, string) result
 (** Lex and parse a specification source. *)
 
 val typecheck : Ast.program -> ((string * string) list, string) result
 (** Infer the top-level schemes under the initial (skeleton) environment;
-    returns [(name, rendered_scheme)] pairs in binding order. Resets the
-    type-variable counter so scheme names are deterministic per run. *)
+    returns [(name, rendered_scheme)] pairs in binding order. Scheme names
+    are deterministic per run because rendering letters variables by first
+    appearance, independent of raw variable ids. *)
 
 val extract :
   ?frames:int ->

@@ -3,12 +3,18 @@ and tv = Unbound of int * int | Link of ty
 
 type scheme = { vars : int list; body : ty }
 
-let counter = ref 0
-let reset_counter () = counter := 0
+(* Atomic and monotonic: concurrent inference jobs on separate domains
+   (e.g. a Domain_pool sweep compiling several specs) draw from one
+   counter, so variable ids stay globally unique — ids are identity in the
+   occurs check, [generalize] and [instantiate], and a reset racing a
+   concurrent inference could alias two live variables. Raw ids therefore
+   differ run to run, but nothing observable depends on them: [to_string]
+   letters variables by order of first appearance within each type. *)
+let counter = Atomic.make 0
+let reset_counter () = ()
 
 let new_var level =
-  incr counter;
-  Tvar (ref (Unbound (!counter, level)))
+  Tvar (ref (Unbound (1 + Atomic.fetch_and_add counter 1, level)))
 
 let int_t = Tcon ("int", [])
 let float_t = Tcon ("float", [])

@@ -19,8 +19,11 @@ type scheme = { vars : int list; body : ty }
 (** [vars] are the ids of the quantified unification variables. *)
 
 val reset_counter : unit -> unit
-(** Resets the global variable counter (call once per inference run for
-    reproducible type variable names in tests). *)
+(** Historical no-op, kept for callers. The variable counter is atomic and
+    monotonic so concurrent inference runs on separate domains can never
+    alias two live variable ids; reproducible variable {e names} come from
+    {!to_string}, which letters variables by order of first appearance
+    rather than by raw id. *)
 
 val new_var : int -> ty
 (** [new_var level] is a fresh unification variable at [level]. *)

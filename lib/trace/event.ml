@@ -64,6 +64,10 @@ let env_track = 1
 let links_track = 2
 let processor_track p = 3 + p
 
+(* Far above any plausible processor count, so pool lanes never collide
+   with processor tracks. *)
+let pool_track = 1_000_000
+
 let compile_lane =
   { track = compile_track; track_label = "toolchain"; index = 0; label = "passes" }
 
@@ -92,4 +96,12 @@ let cpu_lane proc =
     track_label = Printf.sprintf "P%d" proc;
     index = -1;
     label = "cpu";
+  }
+
+let pool_lane domain =
+  {
+    track = pool_track;
+    track_label = "domain pool";
+    index = domain;
+    label = Printf.sprintf "domain %d" domain;
   }

@@ -123,6 +123,9 @@ val links_track : int
 val processor_track : int -> int
 (** [processor_track p = 3 + p]. *)
 
+val pool_track : int
+(** The domain pool's track, far above every processor track. *)
+
 val compile_lane : lane
 (** The toolchain's single lane (pass-manager stage spans). *)
 
@@ -137,3 +140,7 @@ val processor_lane : proc:int -> pid:int -> name:string -> lane
 
 val cpu_lane : int -> lane
 (** Processor-level events not tied to a process (faults). *)
+
+val pool_lane : int -> lane
+(** One lane per {!Support.Domain_pool} worker, on {!pool_track} — a
+    parallel sweep gets a Gantt lane per domain (see {!Pool}). *)

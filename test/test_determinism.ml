@@ -1,0 +1,306 @@
+(* Determinism suite: parallel sweeps must be observationally invisible.
+   The domain pool farms self-contained simulation jobs across OCaml 5
+   domains; everything an observer can capture — trace JSON, metrics JSON,
+   fault tallies, result ordering — must be byte-identical to a sequential
+   run. These tests, plus the golden field-set pins at the bottom, are what
+   CI's --jobs 1 vs --jobs 4 byte-comparison of bench artifacts rests on. *)
+
+module V = Skel.Value
+module Sim = Machine.Sim
+module Dp = Support.Domain_pool
+module Chrome = Skipper_trace.Chrome
+
+(* Parallelism degree of the suite itself: SKIPPER_JOBS if set, else 4 so
+   the pool really spawns domains even on a small CI machine (domains
+   timeshare when cores are short; determinism must hold regardless). *)
+let pool_jobs = Dp.jobs_from_env ~default:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* A self-contained simulation job: a df farm on a ring with an optional
+   fault plan and recovery — the same shape the bench sweeps farm out.    *)
+
+type plan =
+  | Healthy
+  | Drop_nth of int
+  | Dup_every of int
+  | Delay_every of int
+  | Prob_drop of float * int  (* probability, seed *)
+
+type params = {
+  nworkers : int;
+  nitems : int;
+  frames : int;
+  plan : plan;
+  recover : bool;
+}
+
+let run_job p =
+  let table = Skel.Funtable.create () in
+  Skel.Funtable.register table "w" ~cost:(fun _ -> 10_000.0) (fun v -> v);
+  Skel.Funtable.register table "k" ~arity:2 ~cost:(fun _ -> 100.0) (fun v ->
+      fst (V.to_pair v));
+  let prog =
+    Skel.Ir.program "p"
+      (Skel.Ir.Df { nworkers = p.nworkers; comp = "w"; acc = "k"; init = V.Int 0 })
+  in
+  let g = Procnet.Expand.expand table prog in
+  let arch = Archi.ring (p.nworkers + 1) in
+  let link_faults =
+    match p.plan with
+    | Healthy -> []
+    | Drop_nth k -> [ Sim.link_fault ~schedule:(Sim.Nth k) Sim.Drop ]
+    | Dup_every k -> [ Sim.link_fault ~schedule:(Sim.Every k) Sim.Duplicate ]
+    | Delay_every k -> [ Sim.link_fault ~schedule:(Sim.Every k) (Sim.Delay 2e-3) ]
+    | Prob_drop (pr, seed) ->
+        [ Sim.link_fault ~schedule:(Sim.Prob (pr, seed)) Sim.Drop ]
+  in
+  let recovery = if p.recover then Some (Executive.recovery 5e-3) else None in
+  Executive.run ~trace:true ~link_faults ?recovery ~table ~arch
+    ~placement:(Syndex.Place.canonical g arch)
+    ~graph:g ~frames:p.frames
+    ?input_period:(if p.frames > 1 then Some 0.01 else None)
+    ~input:(V.List (List.init p.nitems (fun i -> V.Int i)))
+    ()
+
+(* Everything an observer can capture from a run, as bytes. *)
+let fingerprint (r : Executive.result) =
+  ( Chrome.to_json (Executive.timeline r),
+    Machine.Metrics.to_json (Executive.metrics r) )
+
+(* ------------------------------------------------------------------ *)
+(* Pool semantics                                                      *)
+
+let test_submit_order () =
+  let results = Dp.run ~jobs:pool_jobs (List.init 16 (fun i () -> i)) in
+  Alcotest.(check (list int)) "results in submit order" (List.init 16 Fun.id)
+    results
+
+let test_jobs1_equals_jobs4 () =
+  let thunks () = List.init 9 (fun i () -> i * i) in
+  Alcotest.(check (list int))
+    "sequential and parallel results equal"
+    (Dp.run ~jobs:1 (thunks ()))
+    (Dp.run ~jobs:pool_jobs (thunks ()))
+
+exception Boom of int
+
+let test_earliest_exception_wins () =
+  let ran = Atomic.make 0 in
+  let job i () =
+    Atomic.incr ran;
+    if i = 1 || i = 3 then raise (Boom i) else i
+  in
+  (match Dp.run ~jobs:pool_jobs (List.init 6 job) with
+  | _ -> Alcotest.fail "expected the pool to re-raise"
+  | exception Boom i ->
+      Alcotest.(check int) "earliest submitted failure re-raised" 1 i);
+  Alcotest.(check int) "every job still ran" 6 (Atomic.get ran)
+
+let test_stats_sanity () =
+  let _, stats =
+    Dp.run_stats ~jobs:3 (List.init 7 (fun i () -> Sys.opaque_identity i))
+  in
+  Alcotest.(check int) "njobs" 7 stats.Dp.njobs;
+  Alcotest.(check bool) "domains within bounds" true
+    (stats.Dp.domains >= 1 && stats.Dp.domains <= 3);
+  Alcotest.(check int) "one span per job" 7 (List.length stats.Dp.spans);
+  Alcotest.(check (list int)) "spans in submit order" (List.init 7 Fun.id)
+    (List.map (fun (s : Dp.span) -> s.Dp.job) stats.Dp.spans);
+  List.iter
+    (fun (s : Dp.span) ->
+      Alcotest.(check bool) "span worker in range" true
+        (s.Dp.domain >= 0 && s.Dp.domain < stats.Dp.domains);
+      Alcotest.(check bool) "span well-formed" true
+        (s.Dp.start_s >= 0.0 && s.Dp.finish_s >= s.Dp.start_s))
+    stats.Dp.spans;
+  Alcotest.(check int) "jobs_run sums to njobs" 7
+    (Array.fold_left ( + ) 0 stats.Dp.jobs_run);
+  Alcotest.(check bool) "speedup positive" true (Dp.speedup stats > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identical observations through the pool                        *)
+
+let gen_params =
+  QCheck.Gen.(
+    let plan =
+      oneof
+        [
+          return Healthy;
+          map (fun k -> Drop_nth k) (int_range 1 6);
+          map (fun k -> Dup_every k) (int_range 2 6);
+          map (fun k -> Delay_every k) (int_range 2 6);
+          map2
+            (fun p seed -> Prob_drop (float_of_int p /. 100.0, seed))
+            (int_range 0 15) (int_range 0 999);
+        ]
+    in
+    map
+      (fun (nworkers, nitems, frames, recover, plan) ->
+        { nworkers; nitems; frames; plan; recover })
+      (tup5 (int_range 1 4) (int_range 1 12) (int_range 1 2) bool plan))
+
+let print_params p =
+  let plan =
+    match p.plan with
+    | Healthy -> "healthy"
+    | Drop_nth k -> Printf.sprintf "drop-nth %d" k
+    | Dup_every k -> Printf.sprintf "dup-every %d" k
+    | Delay_every k -> Printf.sprintf "delay-every %d" k
+    | Prob_drop (pr, seed) -> Printf.sprintf "prob-drop %.2f seed %d" pr seed
+  in
+  Printf.sprintf "{workers=%d; items=%d; frames=%d; %s; recover=%b}" p.nworkers
+    p.nitems p.frames plan p.recover
+
+let prop_pool_run_byte_identical =
+  QCheck.Test.make ~name:"pooled run == sequential run (trace+metrics bytes)"
+    ~count:20
+    (QCheck.make ~print:print_params gen_params)
+    (fun p ->
+      let trace_seq, metrics_seq = fingerprint (run_job p) in
+      (* three copies racing on distinct domains: any cross-domain leak in
+         the simulator or the inference counter shows up as a byte diff *)
+      let pooled =
+        Dp.run ~jobs:pool_jobs
+          (List.init 3 (fun _ () -> fingerprint (run_job p)))
+      in
+      List.for_all
+        (fun (trace, metrics) -> trace = trace_seq && metrics = metrics_seq)
+        pooled)
+
+let test_seeded_fault_tally_reproducible () =
+  let p =
+    { nworkers = 3; nitems = 10; frames = 1; plan = Prob_drop (0.25, 7);
+      recover = false }
+  in
+  let a = run_job p and b = run_job p in
+  let ta = Sim.fault_tally a.Executive.sim
+  and tb = Sim.fault_tally b.Executive.sim in
+  Alcotest.(check bool) "the seeded plan really dropped something" true
+    (ta.Sim.dropped > 0);
+  Alcotest.(check int) "dropped" ta.Sim.dropped tb.Sim.dropped;
+  Alcotest.(check int) "delayed" ta.Sim.delayed tb.Sim.delayed;
+  Alcotest.(check int) "duplicated" ta.Sim.duplicated tb.Sim.duplicated;
+  let ja = Machine.Metrics.to_json (Executive.metrics a)
+  and jb = Machine.Metrics.to_json (Executive.metrics b) in
+  Alcotest.(check string) "metrics JSON byte-identical" ja jb
+
+(* ------------------------------------------------------------------ *)
+(* Golden field sets: the machine-readable artifacts CI byte-compares.
+   Deterministic fields and wall-clock fields are asserted separately —
+   adding a timing field to a byte-compared blob is the mistake these
+   pins exist to catch. *)
+
+(* Depth-1 key scanner: keys of the first object in a JSON text, in order.
+   Naive but sufficient for the fixed-format exporters under test. *)
+let top_keys s =
+  let n = String.length s in
+  let rec skip_string i =
+    if i >= n then i
+    else
+      match s.[i] with
+      | '\\' -> skip_string (i + 2)
+      | '"' -> i + 1
+      | _ -> skip_string (i + 1)
+  in
+  let keys = ref [] in
+  let rec go i depth expect_key =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | '{' ->
+          if depth = 0 then go (i + 1) 1 true else go (i + 1) (depth + 1) expect_key
+      | '[' -> go (i + 1) (if depth = 0 then 0 else depth + 1) expect_key
+      | '}' -> if depth = 1 then () else go (i + 1) (depth - 1) expect_key
+      | ']' -> go (i + 1) (depth - 1) expect_key
+      | ':' -> go (i + 1) depth (if depth = 1 then false else expect_key)
+      | ',' -> go (i + 1) depth (if depth = 1 then true else expect_key)
+      | '"' ->
+          let j = skip_string (i + 1) in
+          if depth = 1 && expect_key then
+            keys := String.sub s (i + 1) (j - i - 2) :: !keys;
+          go j depth expect_key
+      | _ -> go (i + 1) depth expect_key
+  in
+  go 0 0 false;
+  List.rev !keys
+
+let timing_fields keys = List.filter (fun k -> k = "wall_ms" || k = "wall_s") keys
+let deterministic_fields keys = List.filter (fun k -> not (List.mem k (timing_fields keys))) keys
+
+let healthy =
+  { nworkers = 3; nitems = 8; frames = 1; plan = Healthy; recover = false }
+
+let test_golden_metrics_json () =
+  let json = Machine.Metrics.to_json (Executive.metrics (run_job healthy)) in
+  let keys = top_keys json in
+  Alcotest.(check (list string))
+    "Metrics.to_json deterministic fields"
+    [
+      "finish_time_s"; "mean_utilisation"; "messages"; "bytes"; "imbalance";
+      "link_contention"; "dropped_msgs"; "deadline_misses"; "reissues";
+      "processors"; "links"; "ports"; "processes";
+    ]
+    (deterministic_fields keys);
+  Alcotest.(check (list string))
+    "Metrics.to_json carries no wall-clock field" [] (timing_fields keys)
+
+let test_golden_summary_json () =
+  let rep = Executive.metrics (run_job healthy) in
+  let json = Machine.Metrics.summary_json ~experiment:"e0" rep in
+  let keys = top_keys json in
+  Alcotest.(check (list string))
+    "bench --json entry deterministic fields"
+    [
+      "experiment"; "finish_time"; "utilisation"; "messages"; "bytes";
+      "imbalance"; "dropped_msgs"; "deadline_misses"; "reissues";
+    ]
+    (deterministic_fields keys);
+  Alcotest.(check (list string))
+    "bench --json entry carries no wall-clock field" [] (timing_fields keys)
+
+let test_golden_stage_report_json () =
+  let table = Skel.Funtable.create () in
+  Skel.Funtable.register table "w" ~cost:(fun _ -> 1.0) (fun v -> v);
+  Skel.Funtable.register table "k" ~arity:2 ~cost:(fun _ -> 1.0) (fun v ->
+      fst (V.to_pair v));
+  let c =
+    Skipper_lib.Pipeline.compile_ir ~table
+      (Skel.Ir.program "p"
+         (Skel.Ir.Df { nworkers = 2; comp = "w"; acc = "k"; init = V.Int 0 }))
+  in
+  let json = Skipper_lib.Stage.reports_to_json (Skipper_lib.Pipeline.reports c) in
+  let keys = top_keys json in
+  Alcotest.(check (list string))
+    "stage report deterministic fields"
+    [ "pass"; "size"; "metric"; "cached"; "detail" ]
+    (deterministic_fields keys);
+  Alcotest.(check (list string))
+    "stage report timing fields (never byte-compared)" [ "wall_ms" ]
+    (timing_fields keys)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "submit order" `Quick test_submit_order;
+          Alcotest.test_case "jobs 1 == jobs N" `Quick test_jobs1_equals_jobs4;
+          Alcotest.test_case "earliest exception wins" `Quick
+            test_earliest_exception_wins;
+          Alcotest.test_case "stats sanity" `Quick test_stats_sanity;
+        ] );
+      ( "byte-identity",
+        [
+          QCheck_alcotest.to_alcotest prop_pool_run_byte_identical;
+          Alcotest.test_case "seeded fault tally reproducible" `Quick
+            test_seeded_fault_tally_reproducible;
+        ] );
+      ( "golden-fields",
+        [
+          Alcotest.test_case "Metrics.to_json" `Quick test_golden_metrics_json;
+          Alcotest.test_case "bench --json entry" `Quick test_golden_summary_json;
+          Alcotest.test_case "stage report" `Quick test_golden_stage_report_json;
+        ] );
+    ]

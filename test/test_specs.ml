@@ -86,6 +86,16 @@ let check_spec (name, path) () =
       | Ok _ -> ()
       | Error m -> Alcotest.failf "%s: %s" name m)
 
+(* The same corpus as one farmed sweep — the opt-in parallel mode for
+   heavyweight suites: SKIPPER_JOBS>1 runs one self-contained job per spec
+   on the domain pool (sequential when unset). Failures surface exactly as
+   in the per-spec cases because the pool re-raises the earliest one. *)
+let test_corpus_through_pool () =
+  let jobs = Support.Domain_pool.jobs_from_env () in
+  Support.Domain_pool.run ~jobs
+    (List.map (fun spec () -> check_spec spec ()) (spec_files ()))
+  |> List.iter (fun () -> ())
+
 let () =
   let per_spec =
     List.map
@@ -96,4 +106,6 @@ let () =
     [
       ("corpus", [ Alcotest.test_case "present and covered" `Quick test_corpus_is_present ]);
       ("end-to-end", per_spec);
+      ( "pooled",
+        [ Alcotest.test_case "corpus as a farmed sweep" `Quick test_corpus_through_pool ] );
     ]
