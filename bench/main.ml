@@ -35,6 +35,13 @@ let trace_dir : string option ref = ref None
 let recorded : (string * Machine.Metrics.report) list ref = ref []
 let tracing () = !trace_dir <> None
 
+(* Experiment-specific numeric fields appended to an experiment's --json
+   entry (e.g. E15's conformance scalars). Must be simulation-deterministic
+   like everything else in the summary. *)
+let extra_fields : (string * (string * float) list) list ref = ref []
+let record_extras ~experiment extras =
+  extra_fields := (experiment, extras) :: !extra_fields
+
 (* ------------------------------------------------------------------ *)
 (* Parallel sweeps (--jobs): the per-variant runs of a sweep are
    self-contained jobs (each builds its own tables, graphs and machine)
@@ -90,14 +97,62 @@ let observe ~experiment (r : Executive.result) =
         (Skipper_trace.Chrome.to_json (Executive.timeline r)))
     !trace_dir
 
-let write_summary_json path =
+let summary_entries () =
   let entry (name, rep) =
-    "  " ^ Machine.Metrics.summary_json ~experiment:name rep
+    let extras =
+      Option.value ~default:[] (List.assoc_opt name !extra_fields)
+    in
+    "  " ^ Machine.Metrics.summary_json ~extras ~experiment:name rep
   in
-  write_file path
-    ("[\n" ^ String.concat ",\n" (List.map entry (List.rev !recorded)) ^ "\n]\n");
+  "[\n" ^ String.concat ",\n" (List.map entry (List.rev !recorded)) ^ "\n]\n"
+
+let write_summary_json path =
+  write_file path (summary_entries ());
   Printf.eprintf "bench: wrote %d experiment summaries to %s\n"
     (List.length !recorded) path
+
+(* ------------------------------------------------------------------ *)
+(* Baseline regression gate (--check-baseline / --update-baseline): the
+   committed bench/baseline.json pins every experiment's summary entry.
+   Counter-like fields must match exactly (any drift is a behaviour
+   change); timing-shaped fields get a small relative tolerance so
+   deliberate cost-model refinements do not trip on rounding. *)
+
+let exact_baseline_fields =
+  [ "messages"; "bytes"; "dropped_msgs"; "deadline_misses"; "reissues" ]
+
+let check_against_baseline path =
+  let parse label s =
+    match Support.Json.parse s with
+    | Ok v -> v
+    | Error msg -> failwith (Printf.sprintf "%s: %s" label msg)
+  in
+  let baseline =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | s -> parse path s
+    | exception Sys_error msg ->
+        failwith
+          (Printf.sprintf
+             "%s (run with --update-baseline to create the baseline)" msg)
+  in
+  let current = parse "current run" (summary_entries ()) in
+  let verdict =
+    Support.Baseline.compare ~exact:exact_baseline_fields ~baseline ~current ()
+  in
+  if Support.Baseline.ok verdict then begin
+    Printf.eprintf "bench: baseline check passed (%d experiments vs %s)\n"
+      verdict.Support.Baseline.checked path;
+    true
+  end
+  else begin
+    Printf.eprintf "bench: baseline check FAILED against %s:\n" path;
+    List.iter
+      (fun f -> Printf.eprintf "  %s\n" f)
+      verdict.Support.Baseline.failures;
+    Printf.eprintf
+      "bench: if the change is intentional, refresh with --update-baseline\n";
+    false
+  end
 
 (* Farmed jobs must not touch [recorded] or write files themselves; they
    return the (experiment, result) pairs they would have observed and the
@@ -891,6 +946,77 @@ let e14 () =
          (p, r)))
 
 (* ------------------------------------------------------------------ *)
+(* E15: schedule conformance — predicted vs measured divergence         *)
+
+let e15 () =
+  header "E15"
+    "schedule conformance: predicted (adequation) vs measured (simulated) \
+     divergence across ring sizes, with the measured critical path";
+  Printf.printf "%6s %15s %15s %11s %11s %6s  %s\n" "procs" "predicted (ms)"
+    "measured (ms)" "error" "divergence" "path" "dominant path element";
+  let frames = 5 in
+  let rows =
+    farm ~name:"e15" [ 4; 8; 16 ] (fun nproc ->
+        let config = Tracking.Funcs.(with_nproc nproc default_config) in
+        let table = Tracking.Funcs.table config in
+        let compiled =
+          Skipper_lib.Pipeline.compile_ir ~table (Tracking.Funcs.ir ~frames config)
+        in
+        let arch = Archi.ring nproc in
+        let input_period = 0.04 in
+        let schedule, r =
+          Skipper_lib.Pipeline.execute_with_schedule ~trace:true ~input_period
+            ~input:(Tracking.Funcs.input_value config)
+            compiled arch
+        in
+        let report =
+          match
+            Machine.Profile.conformance ~schedule
+              ~output_times:r.Executive.output_times ~input_period
+              r.Executive.sim
+          with
+          | Ok rep -> rep
+          | Error msg -> failwith msg
+        in
+        (nproc, report, if nproc = 8 then Some ("e15", r) else None))
+  in
+  List.iter
+    (fun (nproc, (rep : Skipper_trace.Conformance.report), obs) ->
+      commit1 obs;
+      if obs <> None then
+        record_extras ~experiment:"e15"
+          [
+            ("makespan_error", rep.Skipper_trace.Conformance.makespan_error);
+            ("divergence", rep.Skipper_trace.Conformance.divergence);
+          ];
+      let dominant =
+        List.fold_left
+          (fun best (e : Skipper_trace.Conformance.path_elem) ->
+            match best with
+            | Some (b : Skipper_trace.Conformance.path_elem)
+              when b.Skipper_trace.Conformance.share
+                   >= e.Skipper_trace.Conformance.share -> best
+            | _ -> Some e)
+          None rep.Skipper_trace.Conformance.path
+      in
+      Printf.printf "%6d %15.3f %15.3f %+10.1f%% %11.3f %6d  %s\n" nproc
+        (ms rep.Skipper_trace.Conformance.predicted_makespan)
+        (ms rep.Skipper_trace.Conformance.measured_makespan)
+        (rep.Skipper_trace.Conformance.makespan_error *. 100.0)
+        rep.Skipper_trace.Conformance.divergence
+        (List.length rep.Skipper_trace.Conformance.path)
+        (match dominant with
+        | Some e ->
+            Printf.sprintf "%s (%.0f%%)" e.Skipper_trace.Conformance.elem_label
+              (e.Skipper_trace.Conformance.share *. 100.0)
+        | None -> "-"))
+    rows;
+  print_endline
+    "(error is measured-vs-predicted makespan; the gap quantifies how far\n\
+    \ the generic static cost model sits from the data-dependent simulated\n\
+    \ costs -- the paper's rationale for measuring the real executive)"
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks                                           *)
 
 let micro () =
@@ -975,10 +1101,13 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e14", e14);
+    ("e13", e13); ("e14", e14); ("e15", e15);
   ]
 
 let () =
+  let baseline_path = ref "bench/baseline.json" in
+  let check_baseline = ref false in
+  let update_baseline = ref false in
   let rec parse_flags = function
     | "--json" :: path :: rest ->
         json_out := Some path;
@@ -990,6 +1119,15 @@ let () =
         jobs :=
           (if n = "auto" then Support.Domain_pool.default_jobs ()
            else int_of_string n);
+        parse_flags rest
+    | "--baseline" :: path :: rest ->
+        baseline_path := path;
+        parse_flags rest
+    | "--check-baseline" :: rest ->
+        check_baseline := true;
+        parse_flags rest
+    | "--update-baseline" :: rest ->
+        update_baseline := true;
         parse_flags rest
     | x :: rest -> x :: parse_flags rest
     | [] -> []
@@ -1006,7 +1144,7 @@ let () =
       match List.assoc_opt (String.lowercase_ascii name) experiments with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown experiment %s (e1..e14 or micro)\n" name;
+          Printf.eprintf "unknown experiment %s (e1..e15 or micro)\n" name;
           exit 1)
   | _ ->
       print_endline "SKiPPER experiment harness (see DESIGN.md, experiment index)";
@@ -1015,4 +1153,10 @@ let () =
       print_endline
         "All experiments completed. Run with 'micro' for bechamel kernels.");
   Option.iter write_summary_json !json_out;
-  write_pool_traces ()
+  write_pool_traces ();
+  if !update_baseline then begin
+    write_file !baseline_path (summary_entries ());
+    Printf.eprintf "bench: wrote baseline (%d experiments) to %s\n"
+      (List.length !recorded) !baseline_path
+  end;
+  if !check_baseline && not (check_against_baseline !baseline_path) then exit 1

@@ -171,38 +171,81 @@ let read_file path = In_channel.with_open_bin path In_channel.input_all
 let write_file path s =
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
 
-(* Export the run's telemetry. The Chrome trace carries the whole toolchain
-   (compile-stage spans + the simulated run); the SVG Gantt shows the run
-   alone — compile passes live on a microsecond scale that would flatten the
-   millisecond-scale simulation lanes into invisibility. *)
-let export_traces ?compiled ~trace_out ~gantt_svg (r : Executive.result) =
+(* Render the run's telemetry as (path, content, log line) triples. The
+   Chrome trace carries the whole toolchain (compile-stage spans + the
+   simulated run); the SVG Gantt shows the run alone — compile passes live
+   on a microsecond scale that would flatten the millisecond-scale
+   simulation lanes into invisibility. With [schedule]/[report] the Gantt
+   gains the predicted ghost bars and the measured critical path. Pure
+   (no writes), so farmed sweep jobs can render and let the main domain
+   write. *)
+let render_traces ?compiled ?schedule ?report ~trace_out ~gantt_svg
+    (r : Executive.result) =
+  let chrome path =
+    let tl =
+      match compiled with
+      | Some c -> Skipper_lib.Pipeline.timeline ~result:r c
+      | None -> Executive.timeline r
+    in
+    ( path,
+      Skipper_trace.Chrome.to_json tl,
+      Printf.sprintf "skipperc: wrote Chrome trace (%d events) to %s"
+        (Skipper_trace.Event.length tl)
+        path )
+  in
+  let svg path =
+    let predicted =
+      Option.map Skipper_trace.Conformance.predicted_overlay schedule
+    in
+    let critical =
+      Option.map Skipper_trace.Conformance.critical_overlay report
+    in
+    match
+      Skipper_trace.Svg.gantt ?predicted ?critical (Executive.timeline r)
+    with
+    | Ok svg ->
+        (path, svg, Printf.sprintf "skipperc: wrote timeline SVG to %s" path)
+    | Error msg -> failwith msg
+  in
+  Option.to_list (Option.map chrome trace_out)
+  @ Option.to_list (Option.map svg gantt_svg)
+
+let export_traces ?compiled ?schedule ?report ~trace_out ~gantt_svg
+    (r : Executive.result) =
   if trace_out <> None || gantt_svg <> None then begin
     if Machine.Sim.trace_truncated r.Executive.sim then
       Printf.eprintf
         "skipperc: warning: trace truncated at %d events; later message \
          lifecycles are missing from the export\n"
         (Machine.Sim.trace_limit r.Executive.sim);
-    Option.iter
-      (fun path ->
-        let tl =
-          match compiled with
-          | Some c -> Skipper_lib.Pipeline.timeline ~result:r c
-          | None -> Executive.timeline r
-        in
-        write_file path (Skipper_trace.Chrome.to_json tl);
-        Printf.eprintf "skipperc: wrote Chrome trace (%d events) to %s\n"
-          (Skipper_trace.Event.length tl)
-          path)
-      trace_out;
-    Option.iter
-      (fun path ->
-        match Skipper_trace.Svg.gantt (Executive.timeline r) with
-        | Ok svg ->
-            write_file path svg;
-            Printf.eprintf "skipperc: wrote timeline SVG to %s\n" path
-        | Error msg -> failwith msg)
-      gantt_svg
+    List.iter
+      (fun (path, content, log) ->
+        write_file path content;
+        Printf.eprintf "%s\n" log)
+      (render_traces ?compiled ?schedule ?report ~trace_out ~gantt_svg r)
   end
+
+(* "%{procs}" templating for per-variant artifact paths in a sweep. *)
+let subst_procs ~procs path =
+  let pat = "%{procs}" in
+  let rep = string_of_int procs in
+  let plen = String.length pat and n = String.length path in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + plen <= n && String.sub path !i plen = pat then begin
+      Buffer.add_string buf rep;
+      i := !i + plen
+    end
+    else begin
+      Buffer.add_char buf path.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let has_procs_template path =
+  subst_procs ~procs:0 path <> path
 
 let compile ~app ~frames ?(optimize = false) path =
   let table = app_table app in
@@ -309,7 +352,8 @@ let trace_out_arg =
     & info [ "trace-out" ] ~docv:"FILE.json"
         ~doc:"Write a Chrome trace-event JSON of the run (compile stages + \
               full message lifecycle) to FILE.json; load it in Perfetto or \
-              chrome://tracing.")
+              chrome://tracing. In a multi-count --procs sweep the path must \
+              contain %{procs}, substituted per variant.")
 
 let gantt_svg_arg =
   Arg.(
@@ -318,7 +362,18 @@ let gantt_svg_arg =
     & info [ "gantt-svg" ] ~docv:"FILE.svg"
         ~doc:"Write a standalone SVG timeline of the simulated run (one lane \
               per processor and link, message arrows between lanes) to \
-              FILE.svg.")
+              FILE.svg. Includes the predicted schedule as ghost bars, and \
+              with --conformance the measured critical path highlighted. In \
+              a multi-count --procs sweep the path must contain %{procs}, \
+              substituted per variant.")
+
+let conformance_arg =
+  Arg.(
+    value & flag
+    & info [ "conformance" ]
+        ~doc:"Profile the run against its static schedule: per-op and \
+              per-link slack, measured critical path with contribution \
+              shares, and the makespan error. Forces tracing on.")
 
 let halt_arg =
   Arg.(
@@ -465,9 +520,19 @@ let emulate_cmd =
 
 let run_cmd =
   let run app frames procs_list topo strat fps optimize timings dump trace_out
-      gantt_svg halts restores drops delays dups df_timeout jobs file =
+      gantt_svg conformance halts restores drops delays dups df_timeout jobs
+      file =
     wrap (fun () ->
         let strategy = strategy_of strat in
+        let conformance_report ~schedule ~input_period r =
+          match
+            Machine.Profile.conformance ~schedule
+              ~output_times:r.Executive.output_times ?input_period
+              r.Executive.sim
+          with
+          | Ok report -> report
+          | Error msg -> failwith msg
+        in
         match procs_list with
         | [] -> failwith "--procs: empty list"
         | [ procs ] ->
@@ -478,14 +543,16 @@ let run_cmd =
                 dump_stage ~arch ~strategy ?input:(default_input app) c stage
             | None ->
                 let input_period = Option.map (fun f -> 1.0 /. f) fps in
-                let tracing = trace_out <> None || gantt_svg <> None in
+                let tracing =
+                  trace_out <> None || gantt_svg <> None || conformance
+                in
                 let faults, restores, link_faults, recovery =
                   fault_plan ~halts ~restores ~drops ~delays ~dups ~df_timeout
                 in
-                let r =
-                  Skipper_lib.Pipeline.execute ~trace:tracing ?input_period
-                    ~faults ~restores ~link_faults ?recovery ~strategy
-                    ?input:(default_input app) c arch
+                let schedule, r =
+                  Skipper_lib.Pipeline.execute_with_schedule ~trace:tracing
+                    ?input_period ~faults ~restores ~link_faults ?recovery
+                    ~strategy ?input:(default_input app) c arch
                 in
                 Printf.printf "result: %s\n" (Skel.Value.to_string r.Executive.value);
                 List.iteri
@@ -495,22 +562,43 @@ let run_cmd =
                   r.Executive.stats.Machine.Sim.messages
                   r.Executive.stats.Machine.Sim.bytes;
                 print_outcome r;
-                export_traces ~compiled:c ~trace_out ~gantt_svg r);
+                let report =
+                  if conformance then begin
+                    let report = conformance_report ~schedule ~input_period r in
+                    print_string (Skipper_trace.Conformance.to_string report);
+                    Some report
+                  end
+                  else None
+                in
+                export_traces ~compiled:c ~schedule ?report ~trace_out
+                  ~gantt_svg r);
             if timings then print_timings c
         | _ ->
             (* Multi-variant sweep: one self-contained job per processor
                count, farmed over the domain pool. Each job compiles its own
                pipeline (a compiled artifact carries a mutable report list,
-               so variants must not share one) and returns its output as a
-               string; the main domain prints the strings in sweep order, so
-               stdout is byte-identical at any --jobs level. The
-               wall-clock-flavoured flags make no sense spread over several
-               variants and are rejected. *)
-            if dump <> None || trace_out <> None || gantt_svg <> None || timings
-            then
-              failwith
-                "--dump-stage, --trace-out, --gantt-svg and --timings need a \
-                 single --procs value";
+               so variants must not share one) and returns its stdout as a
+               string plus rendered artifacts as (path, content) pairs; the
+               main domain prints and writes in sweep order, so every output
+               is byte-identical at any --jobs level. Artifact paths must
+               carry a %{procs} template so variants do not overwrite each
+               other; the remaining wall-clock-flavoured flags make no sense
+               spread over several variants and are rejected. *)
+            if dump <> None || timings then
+              failwith "--dump-stage and --timings need a single --procs value";
+            List.iter
+              (fun (flag, path) ->
+                match path with
+                | Some p when not (has_procs_template p) ->
+                    failwith
+                      (Printf.sprintf
+                         "%s %s: a multi-count --procs sweep needs a %%{procs} \
+                          template in the path (e.g. %s)"
+                         flag p
+                         (Printf.sprintf "trace-%%{procs}%s"
+                            (Filename.extension p)))
+                | _ -> ())
+              [ ("--trace-out", trace_out); ("--gantt-svg", gantt_svg) ];
             let run_one procs =
               let c = compile ~app ~frames ~optimize file in
               let arch = topology topo procs in
@@ -519,10 +607,13 @@ let run_cmd =
               let faults, restores, link_faults, recovery =
                 fault_plan ~halts ~restores ~drops ~delays ~dups ~df_timeout
               in
-              let r =
-                Skipper_lib.Pipeline.execute ~trace:false ?input_period
-                  ~faults ~restores ~link_faults ?recovery ~strategy
-                  ?input:(default_input app) c arch
+              let tracing =
+                trace_out <> None || gantt_svg <> None || conformance
+              in
+              let schedule, r =
+                Skipper_lib.Pipeline.execute_with_schedule ~trace:tracing
+                  ?input_period ~faults ~restores ~link_faults ?recovery
+                  ~strategy ?input:(default_input app) c arch
               in
               let b = Buffer.create 256 in
               Buffer.add_string b (Printf.sprintf "== --procs %d ==\n" procs);
@@ -539,9 +630,31 @@ let run_cmd =
                    r.Executive.stats.Machine.Sim.messages
                    r.Executive.stats.Machine.Sim.bytes);
               Buffer.add_string b (outcome_lines r);
-              Buffer.contents b
+              let report =
+                if conformance then begin
+                  let report = conformance_report ~schedule ~input_period r in
+                  Buffer.add_string b
+                    (Skipper_trace.Conformance.to_string report);
+                  Some report
+                end
+                else None
+              in
+              let files =
+                render_traces ~compiled:c ~schedule ?report
+                  ~trace_out:(Option.map (subst_procs ~procs) trace_out)
+                  ~gantt_svg:(Option.map (subst_procs ~procs) gantt_svg)
+                  r
+              in
+              (Buffer.contents b, files)
             in
-            List.iter print_string
+            List.iter
+              (fun (out, files) ->
+                print_string out;
+                List.iter
+                  (fun (path, content, log) ->
+                    write_file path content;
+                    Printf.eprintf "%s\n" log)
+                  files)
               (Support.Domain_pool.run ~jobs
                  (List.map (fun p () -> run_one p) procs_list)))
   in
@@ -550,8 +663,9 @@ let run_cmd =
     Term.(
       const run $ app_arg $ frames_arg $ procs_list_arg $ topo_arg $ strategy_arg
       $ fps_arg $ optimize_arg $ timings_arg $ dump_arg $ trace_out_arg
-      $ gantt_svg_arg $ halt_arg $ restore_arg $ drop_link_arg $ delay_link_arg
-      $ dup_link_arg $ df_timeout_arg $ jobs_arg $ file_arg)
+      $ gantt_svg_arg $ conformance_arg $ halt_arg $ restore_arg
+      $ drop_link_arg $ delay_link_arg $ dup_link_arg $ df_timeout_arg
+      $ jobs_arg $ file_arg)
 
 let equiv_cmd =
   let run app frames procs topo timings file =

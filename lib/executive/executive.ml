@@ -472,7 +472,7 @@ let timeline r = Machine.Sim.timeline r.sim
 
 let metrics r =
   Machine.Metrics.analyse ~deadline_misses:r.deadline_misses
-    ~reissues:r.reissues r.sim
+    ~reissues:r.reissues ~latencies:r.latencies r.sim
 
 let summary r =
   let period_s =

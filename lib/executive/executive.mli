@@ -121,7 +121,8 @@ val run_schedule :
 
 val metrics : result -> Machine.Metrics.report
 (** {!Machine.Metrics.analyse} on the run's machine with the executive-level
-    [deadline_misses]/[reissues] counters threaded in. *)
+    [deadline_misses]/[reissues] counters and the per-frame [latencies]
+    (populating the report's latency distribution) threaded in. *)
 
 val timeline : result -> Skipper_trace.Event.timeline
 (** The run's message-lifecycle events as a unified timeline (empty when the

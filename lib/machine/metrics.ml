@@ -23,6 +23,15 @@ type process_breakdown = {
   sends : int;
 }
 
+type latency_stats = {
+  n : int;
+  mean_latency : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  jitter : float;
+}
+
 type report = {
   finish_time : float;
   mean_utilisation : float;
@@ -36,9 +45,38 @@ type report = {
   dropped_msgs : int;
   deadline_misses : int;
   reissues : int;
+  latency : latency_stats option;
 }
 
-let analyse ?(deadline_misses = 0) ?(reissues = 0) sim =
+(* Nearest-rank percentiles over the per-frame latencies; jitter is the
+   population standard deviation. All simulation-deterministic, so the
+   stats can sit in byte-compared artifacts. *)
+let latency_stats = function
+  | [] -> None
+  | latencies ->
+      let sorted = List.sort compare latencies in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let pct q =
+        let rank = int_of_float (Float.round (q *. float_of_int n +. 0.5)) in
+        arr.(Int.min (n - 1) (Int.max 0 (rank - 1)))
+      in
+      let mean = List.fold_left ( +. ) 0.0 latencies /. float_of_int n in
+      let var =
+        List.fold_left (fun s l -> s +. ((l -. mean) ** 2.0)) 0.0 latencies
+        /. float_of_int n
+      in
+      Some
+        {
+          n;
+          mean_latency = mean;
+          p50 = pct 0.50;
+          p95 = pct 0.95;
+          p99 = pct 0.99;
+          jitter = Float.sqrt var;
+        }
+
+let analyse ?(deadline_misses = 0) ?(reissues = 0) ?(latencies = []) sim =
   let stats = Sim.stats sim in
   let accounts = Sim.process_accounts sim in
   let finish = stats.Sim.finish_time in
@@ -103,6 +141,7 @@ let analyse ?(deadline_misses = 0) ?(reissues = 0) sim =
     dropped_msgs = stats.Sim.dropped_msgs;
     deadline_misses;
     reissues;
+    latency = latency_stats latencies;
   }
 
 (* Imbalance over busy *fractions* of the processors that were alive at
@@ -119,11 +158,17 @@ let imbalance report =
       else
         List.fold_left (fun acc l -> Float.max acc l.fraction) 0.0 loads /. mean
 
+(* Strictly-greater busy time wins; equal loads break towards the lower
+   (src, dst) pair, so the answer never depends on the order the simulator
+   happened to enumerate the links in. *)
 let hottest_link report =
   List.fold_left
     (fun best l ->
       match best with
-      | Some b when b.link_busy >= l.link_busy -> best
+      | Some b
+        when b.link_busy > l.link_busy
+             || (b.link_busy = l.link_busy && (b.src, b.dst) <= (l.src, l.dst))
+        -> best
       | _ -> Some l)
     None report.links
 
@@ -161,6 +206,15 @@ let to_string report =
         (Printf.sprintf
            "hottest link: P%d->P%d (%.3f ms occupied, %.0f%%, %d transfers)\n"
            l.src l.dst (l.link_busy *. 1e3) (l.occupancy *. 100.0) l.transfers)
+  | None -> ());
+  (match report.latency with
+  | Some l ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "latency over %d frames: mean %.3f ms, p50 %.3f, p95 %.3f, p99 \
+            %.3f, jitter %.3f ms\n"
+           l.n (l.mean_latency *. 1e3) (l.p50 *. 1e3) (l.p95 *. 1e3)
+           (l.p99 *. 1e3) (l.jitter *. 1e3))
   | None -> ());
   let depth = max_port_depth report in
   if depth > 1 then
@@ -226,11 +280,19 @@ let to_json report =
              (json_escape p.name) p.on p.busy_t p.blocked_t p.idle_t p.sends)
          report.breakdown)
   in
+  let latency =
+    match report.latency with
+    | None -> "null"
+    | Some l ->
+        Printf.sprintf
+          {|{"n":%d,"mean_s":%.9f,"p50_s":%.9f,"p95_s":%.9f,"p99_s":%.9f,"jitter_s":%.9f}|}
+          l.n l.mean_latency l.p50 l.p95 l.p99 l.jitter
+  in
   Printf.sprintf
-    {|{"finish_time_s":%.9f,"mean_utilisation":%.6f,"messages":%d,"bytes":%d,"imbalance":%.6f,"link_contention":%.6f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d,"processors":[%s],"links":[%s],"ports":[%s],"processes":[%s]}|}
+    {|{"finish_time_s":%.9f,"mean_utilisation":%.6f,"messages":%d,"bytes":%d,"imbalance":%.6f,"link_contention":%.6f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d,"latency":%s,"processors":[%s],"links":[%s],"ports":[%s],"processes":[%s]}|}
     report.finish_time report.mean_utilisation report.messages report.bytes
     (imbalance report) (link_contention report) report.dropped_msgs
-    report.deadline_misses report.reissues loads links ports procs
+    report.deadline_misses report.reissues latency loads links ports procs
 
 (* The one-line per-experiment summary the bench harness's [--json] file is
    made of. Every field is simulation-deterministic (finish_time is
@@ -238,9 +300,13 @@ let to_json report =
    a --jobs 4 sweep against a --jobs 1 one; wall-clock measurements belong
    in the separate timing artifact, never here. The field set is pinned by
    the golden test in test_determinism. *)
-let summary_json ~experiment report =
+let summary_json ?(extras = []) ~experiment report =
+  let extras =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf {|,"%s":%.6f|} (json_escape k) v) extras)
+  in
   Printf.sprintf
-    {|{"experiment":"%s","finish_time":%.6f,"utilisation":%.4f,"messages":%d,"bytes":%d,"imbalance":%.4f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d}|}
+    {|{"experiment":"%s","finish_time":%.6f,"utilisation":%.4f,"messages":%d,"bytes":%d,"imbalance":%.4f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d%s}|}
     (json_escape experiment) report.finish_time report.mean_utilisation
     report.messages report.bytes (imbalance report) report.dropped_msgs
-    report.deadline_misses report.reissues
+    report.deadline_misses report.reissues extras

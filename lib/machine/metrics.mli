@@ -33,6 +33,15 @@ type process_breakdown = {
   sends : int;
 }
 
+type latency_stats = {
+  n : int;  (** frames measured *)
+  mean_latency : float;  (** seconds *)
+  p50 : float;  (** nearest-rank percentiles, seconds *)
+  p95 : float;
+  p99 : float;
+  jitter : float;  (** population standard deviation, seconds *)
+}
+
 type report = {
   finish_time : float;
   mean_utilisation : float;
@@ -48,13 +57,21 @@ type report = {
   dropped_msgs : int;  (** deliveries lost to faults or halted processors *)
   deadline_misses : int;  (** executive frames late vs the input period *)
   reissues : int;  (** df tasks reissued after a timeout *)
+  latency : latency_stats option;
+      (** per-frame latency distribution; [None] without frame data *)
 }
 
-val analyse : ?deadline_misses:int -> ?reissues:int -> Sim.t -> report
+val latency_stats : float list -> latency_stats option
+(** [None] on the empty list. Simulation-deterministic. *)
+
+val analyse :
+  ?deadline_misses:int -> ?reissues:int -> ?latencies:float list -> Sim.t -> report
 (** Raises nothing; works on any finished (or even empty) machine.
     [deadline_misses] and [reissues] (default 0) are executive-level
     counters — the simulator cannot know them — threaded in so one report
-    carries the whole degraded-run story. *)
+    carries the whole degraded-run story. [latencies] (default none) are
+    the per-frame output latencies the executive measured; they populate
+    [latency]. *)
 
 val imbalance : report -> float
 (** Max processor busy *fraction* divided by the mean fraction, over
@@ -64,7 +81,9 @@ val imbalance : report -> float
     counting as idle. *)
 
 val hottest_link : report -> link_load option
-(** The busiest directed link, or [None] when no remote message was sent. *)
+(** The busiest directed link, or [None] when no remote message was sent.
+    Equal loads break towards the lower [(src, dst)] pair, so the choice
+    is a function of the loads alone, not of enumeration order. *)
 
 val link_contention : report -> float
 (** Occupancy fraction of the hottest link ([0, 1]; 0 without traffic) —
@@ -83,9 +102,13 @@ val to_json : report -> string
     [processors], [links], [ports] and [processes] arrays. Deterministic
     field order and number formatting. *)
 
-val summary_json : experiment:string -> report -> string
+val summary_json :
+  ?extras:(string * float) list -> experiment:string -> report -> string
 (** One experiment entry of the bench harness's [--json] file. Every field
     is simulation-deterministic (no wall-clock anywhere), so two sweeps of
     the same experiments produce byte-identical entries regardless of the
     [--jobs] level; wall-clock data lives in the separate timing artifact.
-    Field set pinned by the golden test in [test_determinism]. *)
+    Core field set pinned by the golden test in [test_determinism];
+    [extras] (default none) appends experiment-specific numeric fields
+    (e.g. the conformance bench's [makespan_error]) after the core set,
+    and every extra must itself be simulation-deterministic. *)

@@ -1,0 +1,10 @@
+module Event = Skipper_trace.Event
+module Conformance = Skipper_trace.Conformance
+
+let timeline sim =
+  let tl = Event.create () in
+  Sim.emit_trace sim tl;
+  tl
+
+let conformance ~schedule ?output_times ?input_period sim =
+  Conformance.analyse ~schedule ?output_times ?input_period (timeline sim)

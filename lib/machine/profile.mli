@@ -1,0 +1,19 @@
+(** Profiling façade: schedule conformance straight from a machine.
+
+    Thin wrapper over {!Skipper_trace.Conformance} that replays the
+    machine's recorded events into a timeline first, so callers holding a
+    finished {!Sim.t} (the executive, the CLI) get a conformance report
+    without touching the trace plumbing themselves. *)
+
+val timeline : Sim.t -> Skipper_trace.Event.timeline
+(** The machine's recorded events as a fresh timeline (empty when the
+    machine was created without [~trace:true]). *)
+
+val conformance :
+  schedule:Syndex.Schedule.t ->
+  ?output_times:float list ->
+  ?input_period:float ->
+  Sim.t ->
+  (Skipper_trace.Conformance.report, string) result
+(** See {!Skipper_trace.Conformance.analyse}. [Error] when the machine
+    recorded no activity (tracing disabled). *)

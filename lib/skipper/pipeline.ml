@@ -94,20 +94,26 @@ let resolve_input compiled input =
   | None, None ->
       error "program %s needs an explicit input value" compiled.name
 
-let execute ?(trace = false) ?input_period ?faults ?restores ?link_faults
-    ?recovery ?(strategy = Canonical) ?cost ?input compiled arch =
+let execute_with_schedule ?(trace = false) ?input_period ?faults ?restores
+    ?link_faults ?recovery ?(strategy = Canonical) ?cost ?input compiled arch =
   let input = resolve_input compiled input in
   let ctx =
     Passes.retarget ?cost ~input ?input_period ~trace ?faults ?restores
       ?link_faults ?recovery ~strategy compiled.ctx arch
   in
   match
-    Passes.run ctx
+    Passes.run_trace ctx
       [ Passes.cost; Passes.map; Passes.simulate ]
       (Stage.Graph compiled.graph)
   with
-  | Stage.Result r -> r
+  | [ _; Stage.Schedule s; Stage.Result r ] -> (s, r)
   | _ -> assert false
+
+let execute ?trace ?input_period ?faults ?restores ?link_faults ?recovery
+    ?strategy ?cost ?input compiled arch =
+  snd
+    (execute_with_schedule ?trace ?input_period ?faults ?restores ?link_faults
+       ?recovery ?strategy ?cost ?input compiled arch)
 
 let check_equivalence ?input compiled arch =
   let input = resolve_input compiled input in

@@ -85,6 +85,23 @@ val execute :
     fault-tolerant df farm (see {!Executive.run}); a stalled degraded run
     comes back as a [Stalled] outcome, not an exception. *)
 
+val execute_with_schedule :
+  ?trace:bool ->
+  ?input_period:float ->
+  ?faults:(int * float) list ->
+  ?restores:(int * float) list ->
+  ?link_faults:Machine.Sim.link_fault list ->
+  ?recovery:Executive.recovery ->
+  ?strategy:strategy ->
+  ?cost:Syndex.Cost.t ->
+  ?input:Skel.Value.t ->
+  compiled ->
+  Archi.t ->
+  Syndex.Schedule.t * Executive.result
+(** {!execute}, also returning the static schedule the map pass produced —
+    the predicted side of a conformance comparison
+    ({!Skipper_trace.Conformance}) against the run's measured trace. *)
+
 val check_equivalence :
   ?input:Skel.Value.t -> compiled -> Archi.t -> (Skel.Value.t, string) result
 (** Runs both paths with fresh state and compares results; [Ok v] returns

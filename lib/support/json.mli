@@ -1,0 +1,33 @@
+(** Minimal JSON reader/printer for the machine-readable artifacts the
+    toolchain itself produces (bench [--json] summaries, conformance
+    reports, the committed bench baseline).
+
+    This is deliberately not a general-purpose JSON library: it parses the
+    deterministic subset our exporters emit (finite numbers, BMP-only
+    [\u] escapes) and prints with a fixed, deterministic format. The bench
+    baseline gate round-trips through it, so the only hard requirement is
+    [parse (to_string v) = Ok v] for values built of those pieces. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** key order preserved *)
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+(** Whole-string parse; trailing non-whitespace is an error. *)
+
+val to_string : t -> string
+(** Compact rendering. Integral numbers print without a fractional part,
+    other floats with [%.9g]; object key order is preserved. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

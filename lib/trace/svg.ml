@@ -21,25 +21,37 @@ let colour = function
   | _ -> "#bab0ac"
 
 let flow_colour = "#e15759"
+let ghost_colour = "#8c8c8c"
+let critical_colour = "#d4a017"
 let f2 = Printf.sprintf "%.2f"
 
-let lanes events =
+type overlay_bar = {
+  bar_lane : Event.lane;
+  bar_label : string;
+  bar_start : float;
+  bar_finish : float;
+}
+
+let lanes ~extra events =
   let seen = Hashtbl.create 16 in
-  List.iter
-    (fun (e : Event.t) ->
-      let key = (e.Event.lane.Event.track, e.Event.lane.Event.index) in
-      if not (Hashtbl.mem seen key) then Hashtbl.add seen key e.Event.lane)
-    events;
+  let note (lane : Event.lane) =
+    let key = (lane.Event.track, lane.Event.index) in
+    if not (Hashtbl.mem seen key) then Hashtbl.add seen key lane
+  in
+  List.iter (fun (e : Event.t) -> note e.Event.lane) events;
+  (* Overlay bars may address lanes no measured event landed on (a predicted
+     comm on a link the run never used); give them a row anyway. *)
+  List.iter (fun b -> note b.bar_lane) extra;
   List.sort compare (Hashtbl.fold (fun _ l acc -> l :: acc) seen [])
 
-let gantt ?(width = 960) timeline =
+let gantt ?(width = 960) ?(predicted = []) ?(critical = []) timeline =
   let events = Event.by_time timeline in
   if events = [] then
     Error
       "tracing was not enabled: the timeline holds no events (create the \
        machine with ~trace:true)"
   else begin
-    let lanes = lanes events in
+    let lanes = lanes ~extra:(predicted @ critical) events in
     let left = 150.0 and right = 20.0 and top = 34.0 and bottom = 14.0 in
     let lane_h = 26.0 and bar_h = 16.0 in
     let widthf = float_of_int width in
@@ -54,6 +66,11 @@ let gantt ?(width = 960) timeline =
           in
           Float.max acc stop)
         0.0 events
+    in
+    let tmax =
+      List.fold_left
+        (fun acc b -> Float.max acc b.bar_finish)
+        tmax (predicted @ critical)
     in
     let tmax = if tmax > 0.0 then tmax else 1.0 in
     let x t = left +. (t /. tmax *. (widthf -. left -. right)) in
@@ -122,6 +139,27 @@ let gantt ?(width = 960) timeline =
            (f2 (top -. 6.0))
            (f2 (t *. 1e3)))
     done;
+    (* predicted ghost bars (behind the measured spans): the static
+       schedule's op/comm slots drawn as dashed outlines on the same lanes,
+       so slippage is visible as measured bars sliding off their ghosts *)
+    List.iter
+      (fun bar ->
+        let x0 = x bar.bar_start in
+        let w = Float.max 0.6 (x bar.bar_finish -. x0) in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<rect class=\"ghost\" x=\"%s\" y=\"%s\" width=\"%s\" \
+              height=\"%s\" fill=\"%s\" fill-opacity=\"0.18\" stroke=\"%s\" \
+              stroke-dasharray=\"3,2\"><title>predicted %s @ %s ms (%s \
+              ms)</title></rect>\n"
+             (f2 x0)
+             (f2 (lane_mid bar.bar_lane -. (bar_h /. 2.0) -. 2.0))
+             (f2 w)
+             (f2 (bar_h +. 4.0))
+             ghost_colour ghost_colour (escape bar.bar_label)
+             (f2 (bar.bar_start *. 1e3))
+             (f2 ((bar.bar_finish -. bar.bar_start) *. 1e3))))
+      predicted;
     (* spans and instants *)
     List.iter
       (fun (e : Event.t) ->
@@ -182,6 +220,37 @@ let gantt ?(width = 960) timeline =
             | None -> ())
         | _ -> ())
       events;
+    (* measured critical path: drawn last so the highlight outlines sit on
+       top of the spans they bound *)
+    List.iter
+      (fun bar ->
+        let x0 = x bar.bar_start in
+        let w = Float.max 1.2 (x bar.bar_finish -. x0) in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<rect class=\"critical\" x=\"%s\" y=\"%s\" width=\"%s\" \
+              height=\"%s\" fill=\"none\" stroke=\"%s\" \
+              stroke-width=\"2\"><title>critical: %s @ %s ms (%s \
+              ms)</title></rect>\n"
+             (f2 x0)
+             (f2 (lane_mid bar.bar_lane -. (bar_h /. 2.0) -. 3.0))
+             (f2 w)
+             (f2 (bar_h +. 6.0))
+             critical_colour (escape bar.bar_label)
+             (f2 (bar.bar_start *. 1e3))
+             (f2 ((bar.bar_finish -. bar.bar_start) *. 1e3))))
+      critical;
+    if predicted <> [] || critical <> [] then
+      Buffer.add_string b
+        (Printf.sprintf
+           "<text x=\"4\" y=\"%s\">%s</text>\n"
+           (f2 (top -. 20.0))
+           (escape
+              (String.concat "   "
+                 ((if predicted <> [] then [ "dashed grey = predicted" ] else [])
+                 @
+                 if critical <> [] then [ "gold outline = critical path" ]
+                 else []))));
     if Event.truncated timeline then
       Buffer.add_string b
         (Printf.sprintf

@@ -6,9 +6,32 @@
     arrows from the sending lane at departure time to the receiving lane at
     consumption time. This is the graphical successor of the ASCII
     [Sim.gantt] / [--dump-stage map] charts (ROADMAP, dynamic-schedule
-    visualisation). *)
+    visualisation).
 
-val gantt : ?width:int -> Event.timeline -> (string, string) result
+    Two overlay families can be drawn on the same lanes:
+
+    - [predicted]: the static schedule's op/comm slots as dashed grey ghost
+      bars behind the measured spans, so slippage shows up as a measured
+      bar sliding off its ghost;
+    - [critical]: the measured critical path as gold outlines drawn on top
+      of the spans they bound. *)
+
+type overlay_bar = {
+  bar_lane : Event.lane;
+      (** row to draw on; gets a row even if no measured event landed there *)
+  bar_label : string;
+  bar_start : float;  (** seconds *)
+  bar_finish : float;
+}
+
+val gantt :
+  ?width:int ->
+  ?predicted:overlay_bar list ->
+  ?critical:overlay_bar list ->
+  Event.timeline ->
+  (string, string) result
 (** Renders the timeline; [Error] with an explanatory message when the
     timeline holds no events (typically: tracing was not enabled on the
-    machine). [width] is the total image width in pixels (default 960). *)
+    machine). [width] is the total image width in pixels (default 960).
+    With neither overlay the output is byte-identical to the overlay-free
+    renderer. *)

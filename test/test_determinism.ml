@@ -238,7 +238,7 @@ let test_golden_metrics_json () =
     [
       "finish_time_s"; "mean_utilisation"; "messages"; "bytes"; "imbalance";
       "link_contention"; "dropped_msgs"; "deadline_misses"; "reissues";
-      "processors"; "links"; "ports"; "processes";
+      "latency"; "processors"; "links"; "ports"; "processes";
     ]
     (deterministic_fields keys);
   Alcotest.(check (list string))
