@@ -100,7 +100,9 @@ let observe ~experiment (r : Executive.result) =
 let summary_entries () =
   let entry (name, rep) =
     let extras =
-      Option.value ~default:[] (List.assoc_opt name !extra_fields)
+      (* merge every record_extras call for this experiment, in call order *)
+      List.concat_map snd
+        (List.filter (fun (n, _) -> n = name) (List.rev !extra_fields))
     in
     "  " ^ Machine.Metrics.summary_json ~extras ~experiment:name rep
   in
@@ -598,9 +600,7 @@ let e9 () =
     Skipper_lib.Pipeline.compile_source ~frames:5 ~cache ~table src
   in
   let arch = Archi.ring 8 in
-  let sched =
-    Skipper_lib.Pipeline.map ~strategy:Skipper_lib.Pipeline.Heft compiled arch
-  in
+  let sched = Skipper_lib.Pipeline.map ~strategy:"heft" compiled arch in
   let macro = Skipper_lib.Pipeline.macro_code compiled sched in
   let input = Option.get compiled.Skipper_lib.Pipeline.input in
   let seq = Skipper_lib.Pipeline.emulate compiled input in
@@ -628,39 +628,152 @@ let e9 () =
 
 
 (* ------------------------------------------------------------------ *)
-(* E10: mapping-strategy ablation                                      *)
+(* E10: mapper shoot-out                                               *)
+
+(* Every registered mapping strategy on two workloads: a saturated 6-stage
+   pipeline (where frame pipelining pays — successive frames overlap across
+   the stage intervals, so the steady-state period drops below the
+   end-to-end latency) and the tracking application (a paced, feedback-bound
+   stream). Each run reports the predicted makespan and period, the measured
+   steady-state period and latency percentiles, and the conformance
+   divergence of the predicted schedule against the measured trace. *)
 
 let e10 () =
   header "E10"
-    "ablation: mapping strategy (canonical Fig-1 layout vs HEFT adequation \
-     vs naive round-robin)";
+    "mapper shoot-out: every registered strategy on a saturated 6-stage \
+     pipeline and on the paced tracking application";
+  let mappers = Syndex.Mapper.names () in
+  let conformance_of ~schedule ?input_period (r : Executive.result) =
+    match
+      Machine.Profile.conformance ~schedule
+        ~output_times:r.Executive.output_times ?input_period r.Executive.sim
+    with
+    | Ok rep -> rep
+    | Error msg -> failwith msg
+  in
+  let pct l f = match l with Some (s : Machine.Metrics.latency_stats) -> ms (f s) | None -> nan in
+  (* Sustained ms/frame for saturated runs (all frames injected at t = 0):
+     last completion / frame count. Inter-output spacing would flatter a
+     serialised mapping — the final stage drains its backlog back-to-back,
+     so spacing shows one stage time regardless of actual throughput. *)
+  let sustained (r : Executive.result) =
+    match List.rev r.Executive.output_times with
+    | last :: _ -> last /. float_of_int (List.length r.Executive.output_times)
+    | [] -> nan
+  in
+  (* -- workload 1: synthetic 6-stage chain, all frames injected at t=0 -- *)
+  let nstages = 6 in
+  let stage_cycles = 40_000.0 (* 2 ms per stage at 20 MHz *) in
+  let chain_frames = 12 in
+  let chain_rows =
+    farm ~name:"e10"
+      (List.map (fun m -> (m, ())) mappers)
+      (fun (strategy, ()) ->
+        let table = Skel.Funtable.create () in
+        for i = 1 to nstages do
+          Skel.Funtable.register table
+            (Printf.sprintf "s%d" i)
+            ~arity:1
+            ~cost:(fun _ -> stage_cycles)
+            (fun v -> v)
+        done;
+        let ir =
+          Skel.Ir.program ~frames:chain_frames "stagechain"
+            (Skel.Ir.Pipe
+               (List.init nstages (fun i ->
+                    Skel.Ir.Seq (Printf.sprintf "s%d" (i + 1)))))
+        in
+        let compiled = Skipper_lib.Pipeline.compile_ir ~table ir in
+        let arch = Archi.ring 8 in
+        let cost = Syndex.Cost.make ~fn_cycles:(fun _ -> Some stage_cycles) () in
+        let schedule, r =
+          Skipper_lib.Pipeline.execute_with_schedule ~trace:true ~strategy ~cost
+            ~input:(V.Int 0) compiled arch
+        in
+        let rep = conformance_of ~schedule r in
+        (strategy, schedule, r, rep))
+  in
+  Printf.printf "6-stage chain (%d x %.1f ms), ring 8, %d frames, saturated input:\n"
+    nstages
+    (ms (stage_cycles *. 5e-8))
+    chain_frames;
+  Printf.printf "%-12s %10s %10s %10s %8s %8s %8s %9s\n" "strategy" "mkspan"
+    "period*" "sustained" "p50" "p95" "p99" "diverg.";
+  Printf.printf "%-12s %10s %10s %10s %8s %8s %8s %9s\n" "" "(ms)" "pred(ms)"
+    "(ms/frm)" "(ms)" "(ms)" "(ms)" "";
+  List.iter
+    (fun (strategy, (schedule : Syndex.Schedule.t), (r : Executive.result),
+          (rep : Skipper_trace.Conformance.report)) ->
+      let stats = Machine.Metrics.latency_stats r.Executive.latencies in
+      let meas_period = sustained r in
+      Printf.printf "%-12s %10.2f %10.2f %10.2f %8.2f %8.2f %8.2f %9.3f\n"
+        strategy
+        (ms schedule.Syndex.Schedule.makespan)
+        (ms (Syndex.Schedule.period schedule))
+        (ms meas_period)
+        (pct stats (fun s -> s.Machine.Metrics.p50))
+        (pct stats (fun s -> s.Machine.Metrics.p95))
+        (pct stats (fun s -> s.Machine.Metrics.p99))
+        rep.Skipper_trace.Conformance.divergence;
+      record_extras ~experiment:"e10"
+        [
+          (strategy ^ "_makespan_ms", ms schedule.Syndex.Schedule.makespan);
+          (strategy ^ "_period_ms", ms meas_period);
+          (strategy ^ "_p50_ms", pct stats (fun s -> s.Machine.Metrics.p50));
+          (strategy ^ "_p95_ms", pct stats (fun s -> s.Machine.Metrics.p95));
+          (strategy ^ "_p99_ms", pct stats (fun s -> s.Machine.Metrics.p99));
+          (strategy ^ "_divergence", rep.Skipper_trace.Conformance.divergence);
+        ])
+    chain_rows;
+  let meas name =
+    match List.find_opt (fun (s, _, _, _) -> s = name) chain_rows with
+    | Some (_, _, (r : Executive.result), _) -> sustained r
+    | None -> nan
+  in
+  Printf.printf
+    "measured sustained period, throughput vs heft: %.2f ms vs %.2f ms (%s)\n"
+    (ms (meas "throughput")) (ms (meas "heft"))
+    (if meas "throughput" < meas "heft" then "pipelining wins" else "no gain");
+  (* -- workload 2: the tracking application, paced at 25 fps -- *)
   let config = Tracking.Funcs.default_config in
   let frames = 10 in
   let arch = Archi.ring config.Tracking.Funcs.nproc in
-  Printf.printf "%-14s %20s %22s\n" "strategy" "tracking (ms)" "predicted (ms)";
+  let tracking_rows =
+    farm ~name:"e10-tracking"
+      (List.map (fun m -> (m, ())) mappers)
+      (fun (strategy, ()) ->
+        let table = Tracking.Funcs.table config in
+        let compiled =
+          Skipper_lib.Pipeline.compile_ir ~table (Tracking.Funcs.ir ~frames config)
+        in
+        let schedule, r =
+          Skipper_lib.Pipeline.execute_with_schedule ~trace:true ~strategy
+            ~input_period:0.04
+            ~input:(Tracking.Funcs.input_value config)
+            compiled arch
+        in
+        let rep = conformance_of ~schedule ~input_period:0.04 r in
+        (strategy, schedule, r, rep, if strategy = "heft" then Some ("e10", r) else None))
+  in
+  Printf.printf "\ntracking application, ring %d, %d frames at 25 fps:\n"
+    config.Tracking.Funcs.nproc frames;
+  Printf.printf "%-12s %10s %10s %8s %8s %8s %9s\n" "strategy" "mkspan"
+    "steady" "p50" "p95" "p99" "diverg.";
+  Printf.printf "%-12s %10s %10s %8s %8s %8s %9s\n" "" "(ms)" "(ms)" "(ms)"
+    "(ms)" "(ms)" "";
   List.iter
-    (fun (name, strategy) ->
-      let table = Tracking.Funcs.table config in
-      let compiled =
-        Skipper_lib.Pipeline.compile_ir ~table (Tracking.Funcs.ir ~frames config)
-      in
-      let sched = Skipper_lib.Pipeline.map ~strategy compiled arch in
-      let r =
-        Skipper_lib.Pipeline.execute
-          ~trace:(name = "heft" && tracing ())
-          ~strategy ~input_period:0.04
-          ~input:(Tracking.Funcs.input_value config)
-          compiled arch
-      in
-      if name = "heft" then observe ~experiment:"e10" r;
-      Printf.printf "%-14s %20.1f %22.2f\n" name
+    (fun (strategy, (schedule : Syndex.Schedule.t), (r : Executive.result),
+          (rep : Skipper_trace.Conformance.report), obs) ->
+      commit1 obs;
+      let stats = Machine.Metrics.latency_stats r.Executive.latencies in
+      Printf.printf "%-12s %10.2f %10.1f %8.1f %8.1f %8.1f %9.3f\n" strategy
+        (ms schedule.Syndex.Schedule.makespan)
         (ms (List.nth r.Executive.latencies (frames - 1)))
-        (ms sched.Syndex.Schedule.makespan))
-    [
-      ("canonical", Skipper_lib.Pipeline.Canonical);
-      ("heft", Skipper_lib.Pipeline.Heft);
-      ("round-robin", Skipper_lib.Pipeline.Round_robin);
-    ]
+        (pct stats (fun s -> s.Machine.Metrics.p50))
+        (pct stats (fun s -> s.Machine.Metrics.p95))
+        (pct stats (fun s -> s.Machine.Metrics.p99))
+        rep.Skipper_trace.Conformance.divergence)
+    tracking_rows
 
 (* ------------------------------------------------------------------ *)
 (* E11: topology ablation                                              *)

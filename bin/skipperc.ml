@@ -43,11 +43,16 @@ let topology name n =
   | "full" -> Archi.fully_connected n
   | other -> failwith (Printf.sprintf "unknown topology %S" other)
 
-let strategy_of = function
-  | "heft" -> Skipper_lib.Pipeline.Heft
-  | "canonical" -> Skipper_lib.Pipeline.Canonical
-  | "roundrobin" -> Skipper_lib.Pipeline.Round_robin
-  | other -> failwith (Printf.sprintf "unknown strategy %S" other)
+(* Strategy names resolve against the mapper registry — the same single
+   source of truth the --strategy/--map-strategy help text lists. *)
+let strategy_of name =
+  match Syndex.Mapper.find name with
+  | Some m -> m.Syndex.Mapper.name
+  | None ->
+      failwith
+        (Printf.sprintf "unknown mapping strategy %S (valid strategies: %s)"
+           name
+           (String.concat ", " (Syndex.Mapper.names ())))
 
 (* Fault-plan flag parsing. Times on the command line are milliseconds;
    the simulator runs in seconds. *)
@@ -315,7 +320,24 @@ let strategy_arg =
   Arg.(
     value
     & opt string "canonical"
-    & info [ "strategy"; "s" ] ~docv:"S" ~doc:"Mapping: canonical, heft or roundrobin.")
+    & info
+        [ "strategy"; "s"; "map-strategy" ]
+        ~docv:"S"
+        ~doc:
+          (Printf.sprintf "Mapping strategy: %s."
+             (String.concat ", " (Syndex.Mapper.names ()))))
+
+let frontier_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "frontier-out" ] ~docv:"PATH"
+        ~doc:
+          "Write the selected strategy's latency/throughput trade-off \
+           frontier as deterministic JSON (the full Pareto frontier for \
+           bicriteria, a single point for single-schedule strategies). In a \
+           multi-count --procs sweep the path must carry a %{procs} \
+           template.")
 
 let optimize_arg =
   Arg.(
@@ -518,10 +540,28 @@ let emulate_cmd =
     (Cmd.info "emulate" ~doc:"Run the sequential emulation (workstation path).")
     Term.(const run $ app_arg $ frames_arg $ timings_arg $ file_arg)
 
+(* The frontier artifact: every candidate schedule the strategy considered,
+   as (label, latency, period, frames-in-flight, placement) points. *)
+let render_frontier ~strategy ~arch c =
+  let mapper = Option.get (Syndex.Mapper.find strategy) in
+  let cost = Skipper_lib.Pipeline.default_cost c in
+  let points =
+    Syndex.Mapper.frontier mapper cost arch c.Skipper_lib.Pipeline.graph
+  in
+  (Syndex.Mapper.frontier_json ~strategy ~arch points ^ "\n", List.length points)
+
+let frontier_file ~strategy ~arch c path =
+  let content, npoints = render_frontier ~strategy ~arch c in
+  ( path,
+    content,
+    Printf.sprintf "skipperc: wrote frontier (%d point%s) to %s" npoints
+      (if npoints = 1 then "" else "s")
+      path )
+
 let run_cmd =
   let run app frames procs_list topo strat fps optimize timings dump trace_out
-      gantt_svg conformance halts restores drops delays dups df_timeout jobs
-      file =
+      gantt_svg conformance frontier_out halts restores drops delays dups
+      df_timeout jobs file =
     wrap (fun () ->
         let strategy = strategy_of strat in
         let conformance_report ~schedule ~input_period r =
@@ -571,7 +611,15 @@ let run_cmd =
                   else None
                 in
                 export_traces ~compiled:c ~schedule ?report ~trace_out
-                  ~gantt_svg r);
+                  ~gantt_svg r;
+                Option.iter
+                  (fun path ->
+                    let path, content, log =
+                      frontier_file ~strategy ~arch c path
+                    in
+                    write_file path content;
+                    Printf.eprintf "%s\n" log)
+                  frontier_out);
             if timings then print_timings c
         | _ ->
             (* Multi-variant sweep: one self-contained job per processor
@@ -598,7 +646,8 @@ let run_cmd =
                          (Printf.sprintf "trace-%%{procs}%s"
                             (Filename.extension p)))
                 | _ -> ())
-              [ ("--trace-out", trace_out); ("--gantt-svg", gantt_svg) ];
+              [ ("--trace-out", trace_out); ("--gantt-svg", gantt_svg);
+                ("--frontier-out", frontier_out) ];
             let run_one procs =
               let c = compile ~app ~frames ~optimize file in
               let arch = topology topo procs in
@@ -644,6 +693,11 @@ let run_cmd =
                   ~trace_out:(Option.map (subst_procs ~procs) trace_out)
                   ~gantt_svg:(Option.map (subst_procs ~procs) gantt_svg)
                   r
+                @ (match frontier_out with
+                  | Some path ->
+                      [ frontier_file ~strategy ~arch c
+                          (subst_procs ~procs path) ]
+                  | None -> [])
               in
               (Buffer.contents b, files)
             in
@@ -663,9 +717,9 @@ let run_cmd =
     Term.(
       const run $ app_arg $ frames_arg $ procs_list_arg $ topo_arg $ strategy_arg
       $ fps_arg $ optimize_arg $ timings_arg $ dump_arg $ trace_out_arg
-      $ gantt_svg_arg $ conformance_arg $ halt_arg $ restore_arg
-      $ drop_link_arg $ delay_link_arg $ dup_link_arg $ df_timeout_arg
-      $ jobs_arg $ file_arg)
+      $ gantt_svg_arg $ conformance_arg $ frontier_out_arg $ halt_arg
+      $ restore_arg $ drop_link_arg $ delay_link_arg $ dup_link_arg
+      $ df_timeout_arg $ jobs_arg $ file_arg)
 
 let equiv_cmd =
   let run app frames procs topo timings file =

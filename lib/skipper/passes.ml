@@ -1,4 +1,4 @@
-type strategy = Heft | Canonical | Round_robin
+type strategy = string
 
 exception Pass_error of string
 
@@ -62,7 +62,7 @@ let make_ctx ?cache ?(frames = 1) ?(optimize = false) table =
     frames;
     optimize;
     arch = None;
-    strategy = Canonical;
+    strategy = "canonical";
     cost_model = None;
     input = None;
     input_period = None;
@@ -202,36 +202,32 @@ let the_arch pass ctx =
   | Some arch -> arch
   | None -> error "pass %s: no target architecture (retarget the context)" pass
 
+(* Strategy lookup against the mapper registry: the single source of truth
+   for valid names (CLI help and this error message both derive from it). *)
+let mapper_of strategy =
+  match Syndex.Mapper.find strategy with
+  | Some m -> m
+  | None ->
+      error "unknown mapping strategy %S (expected one of %s)" strategy
+        (String.concat ", " (Syndex.Mapper.names ()))
+
 let map =
   {
     name = "map";
     cacheable = false;
     token =
       (fun ctx ->
-        let strat =
-          match ctx.strategy with
-          | Heft -> "heft"
-          | Canonical -> "canonical"
-          | Round_robin -> "roundrobin"
-        in
         match ctx.arch with
         | Some arch ->
-            Printf.sprintf "%s/%d/%s" (Archi.name arch) (Archi.nprocs arch) strat
-        | None -> strat);
+            Printf.sprintf "%s/%d/%s" (Archi.name arch) (Archi.nprocs arch)
+              ctx.strategy
+        | None -> ctx.strategy);
     apply =
       (fun ctx -> function
         | Stage.Costed (g, model) ->
             let arch = the_arch "map" ctx in
-            let schedule =
-              match ctx.strategy with
-              | Heft -> Syndex.Heft.map model arch g
-              | Canonical ->
-                  Syndex.Place.of_placement model arch g
-                    (Syndex.Place.canonical g arch)
-              | Round_robin ->
-                  Syndex.Place.of_placement model arch g
-                    (Syndex.Place.round_robin g arch)
-            in
+            let mapper = mapper_of ctx.strategy in
+            let schedule = Syndex.Mapper.map mapper model arch g in
             (Stage.Schedule schedule, Archi.name arch)
         | art -> mismatch "map" art);
   }

@@ -16,7 +16,10 @@
     passes (cost, map, emit, simulate) always run: cost models contain
     closures and simulation is effectful, so they are not content-addressable. *)
 
-type strategy = Heft | Canonical | Round_robin
+type strategy = string
+(** A mapping-strategy name, resolved against {!Syndex.Mapper} by the map
+    pass; the default is ["canonical"]. Unknown names raise {!Pass_error}
+    listing the registered strategies. *)
 
 exception Pass_error of string
 (** Rendered, located error message from any stage; re-exported by

@@ -9,7 +9,7 @@ type compiled = {
   stages : (string * Stage.artifact) list;
 }
 
-type strategy = Passes.strategy = Heft | Canonical | Round_robin
+type strategy = Passes.strategy
 
 exception Compile_error = Passes.Pass_error
 
@@ -79,7 +79,7 @@ let emulate compiled input = Skel.Sem.run compiled.table compiled.program input
 
 let default_cost _compiled = Syndex.Cost.make ()
 
-let map ?(strategy = Canonical) ?cost compiled arch =
+let map ?(strategy = "canonical") ?cost compiled arch =
   let ctx = Passes.retarget ?cost ~strategy compiled.ctx arch in
   match
     Passes.run ctx [ Passes.cost; Passes.map ] (Stage.Graph compiled.graph)
@@ -95,7 +95,7 @@ let resolve_input compiled input =
       error "program %s needs an explicit input value" compiled.name
 
 let execute_with_schedule ?(trace = false) ?input_period ?faults ?restores
-    ?link_faults ?recovery ?(strategy = Canonical) ?cost ?input compiled arch =
+    ?link_faults ?recovery ?(strategy = "canonical") ?cost ?input compiled arch =
   let input = resolve_input compiled input in
   let ctx =
     Passes.retarget ?cost ~input ?input_period ~trace ?faults ?restores
@@ -128,7 +128,7 @@ let check_equivalence ?input compiled arch =
 
 let macro_code compiled schedule =
   let ctx =
-    Passes.retarget ~strategy:Canonical compiled.ctx
+    Passes.retarget ~strategy:"canonical" compiled.ctx
       schedule.Syndex.Schedule.arch
   in
   match Passes.run_pass ctx Passes.emit (Stage.Schedule schedule) with
@@ -147,7 +147,7 @@ let timeline ?result compiled =
 let pp_timings ppf compiled = Stage.pp_report_table ppf (reports compiled)
 let timings_json compiled = Stage.reports_to_json (reports compiled)
 
-let dump_stage ?arch ?(strategy = Canonical) ?cost ?input compiled name =
+let dump_stage ?arch ?(strategy = "canonical") ?cost ?input compiled name =
   match find_stage compiled name with
   | Some art -> Ok (Stage.render art)
   | None -> (

@@ -22,7 +22,10 @@ type compiled = {
       (** every front-end pass's output, by pass name, in pipeline order *)
 }
 
-type strategy = Passes.strategy = Heft | Canonical | Round_robin
+type strategy = Passes.strategy
+(** A mapping-strategy name from the {!Syndex.Mapper} registry (e.g.
+    ["heft"], ["canonical"], ["roundrobin"], ["throughput"],
+    ["bicriteria"]); see {!Syndex.Mapper.names}. *)
 
 exception Compile_error of string
 (** Carries a rendered, located error message from any stage (an alias of
@@ -61,9 +64,10 @@ val default_cost : compiled -> Syndex.Cost.t
 val map :
   ?strategy:strategy -> ?cost:Syndex.Cost.t -> compiled -> Archi.t ->
   Syndex.Schedule.t
-(** Produce the static schedule/placement (default strategy [Canonical],
-    the paper's Fig. 1 layout; [Heft] enables the automatic adequation
-    heuristic). Runs the cost and map passes. *)
+(** Produce the static schedule/placement (default strategy ["canonical"],
+    the paper's Fig. 1 layout; ["heft"] enables the automatic adequation
+    heuristic, ["throughput"]/["bicriteria"] the frame-pipelined interval
+    mappers). Runs the cost and map passes. *)
 
 val execute :
   ?trace:bool ->

@@ -1,6 +1,8 @@
 type t = {
   node_cycles : Procnet.Graph.node -> float;
   edge_bytes : Procnet.Graph.edge -> int;
+  send_overhead_cycles : float;
+  recv_overhead_cycles : float;
 }
 
 let node_function (node : Procnet.Graph.node) =
@@ -13,9 +15,19 @@ let node_function (node : Procnet.Graph.node) =
   | TfWorker { work } -> Some work
   | Mem _ | Join | Fork | Router _ -> None
 
+(* Per-message kernel overheads of the simulated machine (Machine.Sim
+   charges 200 cycles to post a send and 150 to complete a recv); the
+   predicted comm slots are calibrated against the same constants so the
+   conformance joiner compares like with like. *)
+let default_send_overhead_cycles = 200.0
+let default_recv_overhead_cycles = 150.0
+let local_copy_bandwidth = 4e8
+
 let make ?(fn_cycles = fun _ -> None) ?(control_cycles = 500.0)
     ?(default_fn_cycles = 10_000.0) ?(edge_bytes = fun _ -> None)
-    ?(default_edge_bytes = 1024) () =
+    ?(default_edge_bytes = 1024)
+    ?(send_overhead_cycles = default_send_overhead_cycles)
+    ?(recv_overhead_cycles = default_recv_overhead_cycles) () =
   let node_cycles node =
     match node_function node with
     | None -> control_cycles
@@ -25,7 +37,7 @@ let make ?(fn_cycles = fun _ -> None) ?(control_cycles = 500.0)
   let edge_bytes e =
     match edge_bytes e with Some b -> b | None -> default_edge_bytes
   in
-  { node_cycles; edge_bytes }
+  { node_cycles; edge_bytes; send_overhead_cycles; recv_overhead_cycles }
 
 let of_table table ~sample =
   let fn_cycles name =

@@ -13,7 +13,22 @@ type t = {
       (** mean cycles per activation of a process *)
   edge_bytes : Procnet.Graph.edge -> int;
       (** mean payload bytes per message on a channel *)
+  send_overhead_cycles : float;
+      (** kernel cycles charged on the sender per posted message *)
+  recv_overhead_cycles : float;
+      (** kernel cycles charged on the receiver per completed receive *)
 }
+
+val default_send_overhead_cycles : float
+
+val default_recv_overhead_cycles : float
+(** The per-message kernel overheads of the simulated machine model; the
+    defaults mirror [Machine.Sim] (200 / 150 cycles) so predicted comm
+    slots line up with measured traces. *)
+
+val local_copy_bandwidth : float
+(** Bytes per second of a same-processor message copy (mirrors
+    [Machine.Sim]); used to price intra-processor dependencies. *)
 
 val make :
   ?fn_cycles:(string -> float option) ->
@@ -21,6 +36,8 @@ val make :
   ?default_fn_cycles:float ->
   ?edge_bytes:(Procnet.Graph.edge -> int option) ->
   ?default_edge_bytes:int ->
+  ?send_overhead_cycles:float ->
+  ?recv_overhead_cycles:float ->
   unit ->
   t
 (** [make ()] builds a model. [fn_cycles name] may return a per-function
@@ -29,7 +46,9 @@ val make :
     Control-only processes (join, fork, mem, routers) cost [control_cycles]
     (default 500). Unestimated functions cost [default_fn_cycles]
     (default 10000). [edge_bytes] likewise overrides the per-channel size
-    (default 1024 bytes). *)
+    (default 1024 bytes). [send_overhead_cycles] / [recv_overhead_cycles]
+    calibrate the per-message kernel startup latency added around each
+    predicted communication (defaults mirror the machine kernel). *)
 
 val of_table : Skel.Funtable.t -> sample:(string -> Skel.Value.t option) -> t
 (** Derives function costs by evaluating each registered function's cost

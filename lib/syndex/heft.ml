@@ -50,10 +50,13 @@ let map cost arch g =
   let ranks = upward_ranks cost arch dag in
   (* Schedule ops by decreasing rank, but never before all predecessors are
      placed (rank order is consistent with topological order on a DAG when
-     communication costs are non-negative; we enforce it anyway). *)
+     communication costs are non-negative; we enforce it anyway). Equal
+     ranks break deterministically towards the lowest op id, so mapper
+     output is byte-stable across platforms and list orderings. *)
   let order =
-    List.stable_sort
-      (fun a b -> compare ranks.(b) ranks.(a))
+    List.sort
+      (fun a b ->
+        match compare ranks.(b) ranks.(a) with 0 -> compare a b | c -> c)
       (Dag.topological_order dag)
   in
   let placed = Array.make nops false in
@@ -69,13 +72,29 @@ let map cost arch g =
       None dag.Dag.colocated
   in
   let cycle_time p = (Archi.processors arch).(p).Archi.cycle_time in
+  (* Contention-free arrival estimate, calibrated with the same per-message
+     kernel overheads the prediction engine charges (send on the producer,
+     receive on the candidate); remote dependencies pay per-hop startup via
+     Archi.transfer_time, local ones the memory-copy bandwidth. *)
   let est i p =
     List.fold_left
       (fun acc (d : Dag.dep) ->
         let src = d.Dag.src_op in
         let arrival =
-          if op_proc.(src) = p then op_finish.(src)
-          else op_finish.(src) +. Archi.transfer_time arch op_proc.(src) p d.Dag.bytes
+          match d.Dag.edge with
+          | None -> op_finish.(src)
+          | Some _ ->
+              let sp = op_proc.(src) in
+              let overheads =
+                (cost.Cost.send_overhead_cycles *. cycle_time sp)
+                +. (cost.Cost.recv_overhead_cycles *. cycle_time p)
+              in
+              if sp = p then
+                op_finish.(src) +. overheads
+                +. (float_of_int d.Dag.bytes /. Cost.local_copy_bandwidth)
+              else
+                op_finish.(src) +. overheads
+                +. Archi.transfer_time arch sp p d.Dag.bytes
         in
         Float.max acc arrival)
       avail.(p) dag.Dag.preds.(i)
@@ -92,8 +111,10 @@ let map cost arch g =
           | _ ->
               let s = est i p in
               let f = s +. (dag.Dag.ops.(i).Dag.cycles *. cycle_time p) in
+              (* equal finish times break towards the lowest processor id
+                 (candidates are scanned in ascending order) *)
               (match best with
-              | Some (_, bf, _) when bf <= f -> best
+              | Some (_, bf, bp) when bf < f || (bf = f && bp < p) -> best
               | _ -> Some (s, f, p)))
         None candidates
     in

@@ -1,0 +1,367 @@
+(* The pluggable mapping engine: every adequation strategy is a named,
+   registered [t]; Passes/skipperc look strategies up by name so the
+   scheduler is an extension point instead of a closed variant.
+
+   Besides wrapping the existing HEFT heuristic and the fixed placements,
+   this module implements the frame-pipelined mappers of Benoit, Kosch,
+   Rehn-Sonigo & Robert ("Bi-criteria Pipeline Mappings"): the process
+   network is linearised into a stage chain and partitioned into contiguous
+   intervals, one interval per processor, so successive frames overlap
+   across the stages and the steady-state period drops to the bottleneck
+   interval instead of the end-to-end latency. *)
+
+type point = {
+  point_label : string;
+  point_schedule : Schedule.t;
+  point_latency : float;
+  point_period : float;
+}
+
+type t = {
+  name : string;
+  describe : string;
+  map : Cost.t -> Archi.t -> Procnet.Graph.t -> Schedule.t;
+  frontier : (Cost.t -> Archi.t -> Procnet.Graph.t -> point list) option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+let order : string list ref = ref []
+
+let register m =
+  if Hashtbl.mem registry m.name then
+    invalid_arg (Printf.sprintf "Mapper.register: duplicate strategy %S" m.name);
+  Hashtbl.add registry m.name m;
+  order := !order @ [ m.name ]
+
+let find name = Hashtbl.find_opt registry name
+let names () = !order
+let registered () = List.map (Hashtbl.find registry) !order
+
+let point schedule label =
+  {
+    point_label = label;
+    point_schedule = schedule;
+    point_latency = schedule.Schedule.makespan;
+    point_period = Schedule.period schedule;
+  }
+
+let map m = m.map
+
+let frontier m cost arch g =
+  match m.frontier with
+  | Some f -> f cost arch g
+  | None -> [ point (m.map cost arch g) m.name ]
+
+(* ------------------------------------------------------------------ *)
+(* Interval mapping (the pipelined strategies)                         *)
+
+(* Placement-agnostic means, as in HEFT's rank computation. *)
+let mean_link_costs arch =
+  match Archi.links arch with
+  | [] -> (0.0, infinity)
+  | links ->
+      let n = float_of_int (List.length links) in
+      let startup =
+        List.fold_left (fun acc l -> acc +. l.Archi.startup) 0.0 links /. n
+      in
+      let bw =
+        List.fold_left (fun acc l -> acc +. l.Archi.bandwidth) 0.0 links /. n
+      in
+      (startup, bw)
+
+let mean_cycle_time arch =
+  let procs = Archi.processors arch in
+  Array.fold_left (fun acc p -> acc +. p.Archi.cycle_time) 0.0 procs
+  /. float_of_int (Array.length procs)
+
+(* Stage chain: process-network nodes by first appearance of one of their
+   ops in the (deterministic) topological order of the scheduling DAG. *)
+let linearize (dag : Dag.t) =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun i ->
+      let node = dag.Dag.ops.(i).Dag.node in
+      if Hashtbl.mem seen node then None
+      else begin
+        Hashtbl.add seen node ();
+        Some node
+      end)
+    (Dag.topological_order dag)
+  |> Array.of_list
+
+(* Best contiguous partition of the stage chain into [k] intervals,
+   minimising the bottleneck interval time (compute load of the interval
+   plus the communication entering it from earlier intervals, over mean
+   link characteristics). Returns (bottleneck, cut points). Deterministic:
+   ties keep the earliest cut. *)
+let interval_partition cost arch (dag : Dag.t) seq k =
+  ignore cost;
+  let n = Array.length seq in
+  let ct = mean_cycle_time arch in
+  let startup, bw = mean_link_costs arch in
+  let pos = Hashtbl.create 16 in
+  Array.iteri (fun i node -> Hashtbl.replace pos node i) seq;
+  let node_work = Array.make n 0.0 in
+  Array.iter
+    (fun (op : Dag.op) ->
+      let i = Hashtbl.find pos op.Dag.node in
+      node_work.(i) <- node_work.(i) +. (op.Dag.cycles *. ct))
+    dag.Dag.ops;
+  let prefix = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) +. node_work.(i)
+  done;
+  let comm bytes =
+    if bw = infinity then 0.0 else startup +. (float_of_int bytes /. bw)
+  in
+  (* inbound.(a).(b): communication entering interval [a, b) from nodes
+     before position a. *)
+  let deps =
+    List.filter_map
+      (fun (d : Dag.dep) ->
+        match d.Dag.edge with
+        | None -> None
+        | Some _ ->
+            let sp = Hashtbl.find pos dag.Dag.ops.(d.Dag.src_op).Dag.node in
+            let dp = Hashtbl.find pos dag.Dag.ops.(d.Dag.dst_op).Dag.node in
+            if sp = dp then None else Some (min sp dp, max sp dp, d.Dag.bytes))
+      dag.Dag.deps
+  in
+  let interval_cost a b =
+    let inbound =
+      List.fold_left
+        (fun acc (sp, dp, bytes) ->
+          if sp < a && dp >= a && dp < b then acc +. comm bytes else acc)
+        0.0 deps
+    in
+    prefix.(b) -. prefix.(a) +. inbound
+  in
+  (* best.(j).(b): minimal bottleneck partitioning seq[0..b) into j
+     intervals; cut.(j).(b) the position of the last cut. *)
+  let best = Array.make_matrix (k + 1) (n + 1) infinity in
+  let cut = Array.make_matrix (k + 1) (n + 1) 0 in
+  best.(0).(0) <- 0.0;
+  for j = 1 to k do
+    for b = j to n - (k - j) do
+      for a = j - 1 to b - 1 do
+        let c = Float.max best.(j - 1).(a) (interval_cost a b) in
+        if c < best.(j).(b) then begin
+          best.(j).(b) <- c;
+          cut.(j).(b) <- a
+        end
+      done
+    done
+  done;
+  let rec cuts j b acc =
+    if j = 0 then acc else cuts (j - 1) cut.(j).(b) (cut.(j).(b) :: acc)
+  in
+  (best.(k).(n), cuts k n [ n ])
+
+(* Schedule the chain partition: interval [i] on processor [i], pipelining
+   metadata from the resulting schedule's actual per-processor loads. *)
+let interval_schedule cost arch g (dag : Dag.t) seq cuts =
+  let placement = Array.make (Procnet.Graph.nnodes g) 0 in
+  let bounds =
+    (* cuts = [c0=0? ...]; cuts from interval_partition: positions of the
+       k interval starts followed by n *)
+    let rec pairs = function
+      | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+      | _ -> []
+    in
+    pairs cuts
+  in
+  List.iteri
+    (fun stage (a, b) ->
+      for i = a to b - 1 do
+        placement.(seq.(i)) <- stage
+      done)
+    bounds;
+  ignore dag;
+  let sched = Place.of_placement cost arch g placement in
+  let proc_load = Array.make (Archi.nprocs arch) 0.0 in
+  List.iter
+    (fun (op : Schedule.op_slot) ->
+      proc_load.(op.Schedule.proc) <-
+        proc_load.(op.Schedule.proc)
+        +. (op.Schedule.finish -. op.Schedule.start))
+    sched.Schedule.ops;
+  let stages =
+    List.mapi
+      (fun stage (a, b) ->
+        {
+          Schedule.stage_proc = stage;
+          stage_nodes = Array.to_list (Array.sub seq a (b - a));
+          stage_load = proc_load.(stage);
+        })
+      bounds
+  in
+  {
+    sched with
+    Schedule.pipeline =
+      Some
+        {
+          Schedule.frames_in_flight = List.length bounds;
+          predicted_period = Schedule.resource_period sched;
+          stages;
+        };
+  }
+
+let interval_candidates cost arch g =
+  let dag = Dag.of_graph cost g in
+  let seq = linearize dag in
+  let k_max = min (Archi.nprocs arch) (Array.length seq) in
+  List.init k_max (fun i ->
+      let k = i + 1 in
+      let bottleneck, cuts = interval_partition cost arch dag seq k in
+      (k, bottleneck, lazy (interval_schedule cost arch g dag seq cuts)))
+
+(* ------------------------------------------------------------------ *)
+(* Built-in strategies                                                 *)
+
+let heft =
+  {
+    name = "heft";
+    describe = "HEFT list scheduling: minimise one-iteration latency";
+    map = Heft.map;
+    frontier = None;
+  }
+
+let canonical =
+  {
+    name = "canonical";
+    describe = "paper Fig. 1 layout: control on P0, workers spread";
+    map =
+      (fun cost arch g -> Place.of_placement cost arch g (Place.canonical g arch));
+    frontier = None;
+  }
+
+let roundrobin =
+  {
+    name = "roundrobin";
+    describe = "node i on processor i mod P";
+    map =
+      (fun cost arch g ->
+        Place.of_placement cost arch g (Place.round_robin g arch));
+    frontier = None;
+  }
+
+let throughput_map cost arch g =
+  let candidates = interval_candidates cost arch g in
+  (* smallest predicted bottleneck; ties towards fewer stages (equal
+     throughput at lower latency and fewer processors) *)
+  let _, _, sched =
+    List.fold_left
+      (fun (bk, bb, bs) (k, b, s) ->
+        if b < bb then (k, b, s) else (bk, bb, bs))
+      (match candidates with
+      | (k, b, s) :: _ -> (k, b, s)
+      | [] -> assert false)
+      (match candidates with [] -> [] | _ :: tl -> tl)
+  in
+  Lazy.force sched
+
+let throughput =
+  {
+    name = "throughput";
+    describe =
+      "frame-pipelined interval mapping: minimise the steady-state period";
+    map = throughput_map;
+    frontier = None;
+  }
+
+(* No emitted point dominated by another (minimising both latency and
+   period); deterministic order by (latency, period, label). *)
+let pareto points =
+  let dominates p q =
+    p.point_latency <= q.point_latency
+    && p.point_period <= q.point_period
+    && (p.point_latency < q.point_latency || p.point_period < q.point_period)
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare
+          (a.point_latency, a.point_period, a.point_label)
+          (b.point_latency, b.point_period, b.point_label))
+      points
+  in
+  List.filter
+    (fun p -> not (List.exists (fun q -> q != p && dominates q p) sorted))
+    sorted
+  |> List.fold_left
+       (fun acc p ->
+         match acc with
+         | q :: _
+           when q.point_latency = p.point_latency
+                && q.point_period = p.point_period ->
+             acc (* coincident point: keep the first label *)
+         | _ -> p :: acc)
+       []
+  |> List.rev
+
+let bicriteria_frontier cost arch g =
+  let interval_points =
+    List.map
+      (fun (k, _, sched) -> point (Lazy.force sched) (Printf.sprintf "interval-k%d" k))
+      (interval_candidates cost arch g)
+  in
+  pareto (point (Heft.map cost arch g) "heft" :: interval_points)
+
+let bicriteria_map cost arch g =
+  (* knee of the frontier: minimal latency x period product, ties towards
+     lower latency then label order *)
+  match bicriteria_frontier cost arch g with
+  | [] -> assert false
+  | p :: ps ->
+      let key p = (p.point_latency *. p.point_period, p.point_latency, p.point_label) in
+      let best =
+        List.fold_left (fun b q -> if key q < key b then q else b) p ps
+      in
+      best.point_schedule
+
+let bicriteria =
+  {
+    name = "bicriteria";
+    describe =
+      "bounded latency/throughput search: schedule the Pareto knee, expose \
+       the frontier";
+    map = bicriteria_map;
+    frontier = Some bicriteria_frontier;
+  }
+
+let () = List.iter register [ heft; canonical; roundrobin; throughput; bicriteria ]
+
+(* ------------------------------------------------------------------ *)
+(* Frontier serialisation                                              *)
+
+let frontier_json ~strategy ~arch points =
+  let module J = Support.Json in
+  let point_json p =
+    let fif =
+      match p.point_schedule.Schedule.pipeline with
+      | Some pl -> pl.Schedule.frames_in_flight
+      | None -> 1
+    in
+    J.Obj
+      [
+        ("label", J.Str p.point_label);
+        ("latency", J.Num p.point_latency);
+        ("period", J.Num p.point_period);
+        ("frames_in_flight", J.Num (float_of_int fif));
+        ("placement",
+         J.Arr
+           (Array.to_list p.point_schedule.Schedule.placement
+           |> List.map (fun pr -> J.Num (float_of_int pr))));
+      ]
+  in
+  J.to_string
+    (J.Obj
+       [
+         ("strategy", J.Str strategy);
+         ("arch", J.Str (Archi.name arch));
+         ("nprocs", J.Num (float_of_int (Archi.nprocs arch)));
+         ("points", J.Arr (List.map point_json points));
+       ])

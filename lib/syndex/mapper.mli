@@ -1,0 +1,62 @@
+(** The pluggable mapping engine.
+
+    Every adequation strategy is a first-class, registered value: a name, a
+    one-line description, a [map] function producing a static schedule, and
+    an optional [frontier] entry point returning several candidate
+    schedules as latency/period trade-off points. {!Passes} looks
+    strategies up by name, so adding a mapper is [register] — no variant to
+    extend, and the CLI help and error messages list {!names} as the single
+    source of truth.
+
+    Built-in strategies, registered at load time:
+    - ["heft"] — the {!Heft} latency-minimising list scheduler;
+    - ["canonical"] — the paper's Fig. 1 fixed layout ({!Place.canonical});
+    - ["roundrobin"] — {!Place.round_robin};
+    - ["throughput"] — frame-pipelined interval mapping: the process chain
+      is partitioned into contiguous intervals, one per processor, so
+      several frames are in flight at once and the steady-state period
+      drops to the bottleneck interval (after Benoit, Kosch, Rehn-Sonigo &
+      Robert, "Bi-criteria Pipeline Mappings");
+    - ["bicriteria"] — bounded search over the interval mappings plus the
+      HEFT point, emitting the latency/throughput Pareto frontier; [map]
+      schedules the knee point (minimal latency x period). *)
+
+type point = {
+  point_label : string;
+  point_schedule : Schedule.t;
+  point_latency : float;  (** predicted one-frame latency (makespan) *)
+  point_period : float;  (** predicted steady-state period *)
+}
+
+type t = {
+  name : string;
+  describe : string;
+  map : Cost.t -> Archi.t -> Procnet.Graph.t -> Schedule.t;
+  frontier : (Cost.t -> Archi.t -> Procnet.Graph.t -> point list) option;
+}
+
+val register : t -> unit
+(** Adds a strategy to the registry. Raises [Invalid_argument] on a
+    duplicate name. *)
+
+val find : string -> t option
+val names : unit -> string list
+(** Registered strategy names, in registration order. *)
+
+val registered : unit -> t list
+
+val map : t -> Cost.t -> Archi.t -> Procnet.Graph.t -> Schedule.t
+
+val frontier : t -> Cost.t -> Archi.t -> Procnet.Graph.t -> point list
+(** The strategy's trade-off frontier; strategies without a [frontier]
+    entry point return the singleton of their [map] schedule. *)
+
+val pareto : point list -> point list
+(** Dominance filter: drops every point dominated in (latency, period) by
+    another, deduplicates coincident points, and orders the survivors by
+    (latency, period, label). Exposed for tests. *)
+
+val frontier_json : strategy:string -> arch:Archi.t -> point list -> string
+(** Deterministic JSON rendering of a frontier (byte-identical across runs
+    and [--jobs] levels): strategy, architecture, and per-point label,
+    latency, period, frames in flight and placement. *)

@@ -29,13 +29,15 @@ let round_robin g arch =
 
 (* Store-and-forward transfer with static per-link reservation: the same
    first-fit contention model the machine simulator uses, so the predicted
-   communication schedule mirrors what the executive will do. Returns the
-   arrival time. *)
+   communication schedule mirrors what the executive will do. Each hop is
+   charged the link's startup latency plus its byte time, placed around the
+   link's earlier reservations. Returns the arrival time and the per-hop
+   slots for the schedule's link occupancy accounting. *)
 let reserve_transfer arch link_busy ~src ~dst ~bytes ~depart =
-  if src = dst then depart
+  if src = dst then (depart, [])
   else begin
     let path = Archi.route arch src dst in
-    let rec hop depart = function
+    let rec hop depart acc = function
       | a :: (b :: _ as rest) ->
           let link =
             match Archi.link_between arch a b with
@@ -53,10 +55,13 @@ let reserve_transfer arch link_busy ~src ~dst ~bytes ~depart =
             Support.Intervals.reserve existing ~earliest:depart ~duration
           in
           Hashtbl.replace link_busy (a, b) updated;
-          hop (start +. duration) rest
-      | _ -> depart
+          hop (start +. duration)
+            ({ Schedule.hop_src = a; hop_dst = b; hop_start = start;
+               hop_finish = start +. duration } :: acc)
+            rest
+      | _ -> (depart, List.rev acc)
     in
-    hop depart path
+    hop depart [] path
   end
 
 let of_placement cost arch g placement =
@@ -76,6 +81,10 @@ let of_placement cost arch g placement =
   let avail = Array.make (Archi.nprocs arch) 0.0 in
   let link_busy = Hashtbl.create 16 in
   let cycle_time p = (Archi.processors arch).(p).Archi.cycle_time in
+  (* per cross-processor dependency: (depart, arrival, hop slots) *)
+  let transfers : (Dag.dep, float * float * Schedule.hop_slot list) Hashtbl.t =
+    Hashtbl.create 16
+  in
   List.iter
     (fun i ->
       let p = op_proc.(i) in
@@ -84,10 +93,29 @@ let of_placement cost arch g placement =
           (fun acc (d : Dag.dep) ->
             let src = d.Dag.src_op in
             let arrival =
-              if op_proc.(src) = p then op_finish.(src)
-              else
-                reserve_transfer arch link_busy ~src:op_proc.(src) ~dst:p
-                  ~bytes:d.Dag.bytes ~depart:op_finish.(src)
+              match d.Dag.edge with
+              | None -> op_finish.(src) (* intra-process ordering, no message *)
+              | Some _ ->
+                  let sp = op_proc.(src) in
+                  let send_oh =
+                    cost.Cost.send_overhead_cycles *. cycle_time sp
+                  in
+                  let recv_oh =
+                    cost.Cost.recv_overhead_cycles *. cycle_time p
+                  in
+                  if sp = p then
+                    op_finish.(src) +. send_oh
+                    +. (float_of_int d.Dag.bytes /. Cost.local_copy_bandwidth)
+                    +. recv_oh
+                  else begin
+                    let depart = op_finish.(src) +. send_oh in
+                    let arrival, hops =
+                      reserve_transfer arch link_busy ~src:sp ~dst:p
+                        ~bytes:d.Dag.bytes ~depart
+                    in
+                    Hashtbl.replace transfers d (depart, arrival, hops);
+                    arrival +. recv_oh
+                  end
             in
             Float.max acc arrival)
           avail.(p) dag.Dag.preds.(i)
@@ -112,11 +140,10 @@ let of_placement cost arch g placement =
   let comms =
     List.filter_map
       (fun (d : Dag.dep) ->
-        match d.Dag.edge with
-        | Some e when op_proc.(d.Dag.src_op) <> op_proc.(d.Dag.dst_op) ->
+        match (d.Dag.edge, Hashtbl.find_opt transfers d) with
+        | Some e, Some (depart, arrival, hops) ->
             let from_proc = op_proc.(d.Dag.src_op)
             and to_proc = op_proc.(d.Dag.dst_op) in
-            let start = op_finish.(d.Dag.src_op) in
             Some
               {
                 Schedule.edge = e;
@@ -124,8 +151,9 @@ let of_placement cost arch g placement =
                 to_proc;
                 route = Archi.route arch from_proc to_proc;
                 bytes = d.Dag.bytes;
-                start;
-                finish = start +. Archi.transfer_time arch from_proc to_proc d.Dag.bytes;
+                start = depart;
+                finish = arrival;
+                hops;
               }
         | _ -> None)
       dag.Dag.deps
@@ -139,4 +167,5 @@ let of_placement cost arch g placement =
     ops;
     comms;
     makespan = Array.fold_left Float.max 0.0 op_finish;
+    pipeline = None;
   }

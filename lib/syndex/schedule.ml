@@ -6,6 +6,13 @@ type op_slot = {
   finish : float;
 }
 
+type hop_slot = {
+  hop_src : int;
+  hop_dst : int;
+  hop_start : float;
+  hop_finish : float;
+}
+
 type comm_slot = {
   edge : Procnet.Graph.edge;
   from_proc : int;
@@ -14,6 +21,19 @@ type comm_slot = {
   bytes : int;
   start : float;
   finish : float;
+  hops : hop_slot list;
+}
+
+type stage_interval = {
+  stage_proc : int;
+  stage_nodes : int list;
+  stage_load : float;
+}
+
+type pipelining = {
+  frames_in_flight : int;
+  predicted_period : float;
+  stages : stage_interval list;
 }
 
 type t = {
@@ -23,7 +43,35 @@ type t = {
   ops : op_slot list;
   comms : comm_slot list;
   makespan : float;
+  pipeline : pipelining option;
 }
+
+(* Steady-state period bound of the schedule when one frame is issued per
+   iteration: the busiest resource (processor compute load, or directed-link
+   occupancy summed over hop reservations) limits the throughput. *)
+let resource_period t =
+  let nprocs = Archi.nprocs t.arch in
+  let proc_load = Array.make nprocs 0.0 in
+  List.iter
+    (fun op -> proc_load.(op.proc) <- proc_load.(op.proc) +. (op.finish -. op.start))
+    t.ops;
+  let link_load = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun h ->
+          let key = (h.hop_src, h.hop_dst) in
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt link_load key) in
+          Hashtbl.replace link_load key (prev +. (h.hop_finish -. h.hop_start)))
+        c.hops)
+    t.comms;
+  let busiest = Array.fold_left Float.max 0.0 proc_load in
+  Hashtbl.fold (fun _ load acc -> Float.max load acc) link_load busiest
+
+let period t =
+  match t.pipeline with
+  | Some p -> p.predicted_period
+  | None -> resource_period t
 
 let validate t =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
@@ -235,10 +283,16 @@ let pp_summary ppf t =
   let nused = Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 used in
   Format.fprintf ppf
     "@[<v2>schedule for %s on %s:@ %d processes on %d/%d processors,@ %d \
-     communications,@ predicted latency %.3f ms@]"
+     communications,@ predicted latency %.3f ms"
     (Procnet.Graph.name t.graph) (Archi.name t.arch)
     (Procnet.Graph.nnodes t.graph) nused nprocs (List.length t.comms)
-    (t.makespan *. 1e3)
+    (t.makespan *. 1e3);
+  (match t.pipeline with
+  | Some p ->
+      Format.fprintf ppf ",@ pipelined: %d stages, %d frames in flight, period %.3f ms"
+        (List.length p.stages) p.frames_in_flight (p.predicted_period *. 1e3)
+  | None -> ());
+  Format.fprintf ppf "@]"
 
 let nops t = List.length t.ops
 let ncomms t = List.length t.comms

@@ -16,15 +16,45 @@ type op_slot = {
   finish : float;
 }
 
+type hop_slot = {
+  hop_src : int;
+  hop_dst : int;
+  hop_start : float;
+  hop_finish : float;
+}
+(** One directed-link reservation of a communication: the store-and-forward
+    transfer charges [link.startup + bytes / link.bandwidth] per hop, placed
+    first-fit around the link's earlier reservations (mirroring the machine
+    kernel), so predicted link occupancy is per-hop honest rather than an
+    even split of the end-to-end duration. *)
+
 type comm_slot = {
   edge : Procnet.Graph.edge;
   from_proc : int;
   to_proc : int;
   route : int list;
   bytes : int;
-  start : float;
-  finish : float;
+  start : float;  (** departure from the source processor *)
+  finish : float;  (** arrival at the destination processor *)
+  hops : hop_slot list;  (** per-link reservations along [route], in order *)
 }
+
+type stage_interval = {
+  stage_proc : int;  (** processor hosting this pipeline stage *)
+  stage_nodes : int list;  (** process-network nodes of the interval *)
+  stage_load : float;  (** per-frame busy time of the stage, seconds *)
+}
+
+type pipelining = {
+  frames_in_flight : int;
+      (** frames concurrently resident in the pipeline at steady state *)
+  predicted_period : float;
+      (** predicted steady-state inter-output time: the bottleneck stage *)
+  stages : stage_interval list;
+}
+(** Pipelined-interval metadata attached by frame-pipelining mappers
+    ([throughput], [bicriteria]): the conformance joiner and Gantt overlays
+    use it to compare predicted against measured steady-state throughput. *)
 
 type t = {
   graph : Procnet.Graph.t;
@@ -33,7 +63,17 @@ type t = {
   ops : op_slot list;  (** sorted by start time *)
   comms : comm_slot list;  (** sorted by start time *)
   makespan : float;  (** predicted latency of one iteration, seconds *)
+  pipeline : pipelining option;  (** interval metadata, pipelining mappers only *)
 }
+
+val resource_period : t -> float
+(** Lower bound on the steady-state period with one frame per iteration in
+    flight per resource: the busiest processor's compute load or the busiest
+    directed link's occupancy, whichever is larger. *)
+
+val period : t -> float
+(** The schedule's predicted steady-state period: the pipelining metadata's
+    bottleneck stage when present, {!resource_period} otherwise. *)
 
 val nops : t -> int
 (** Number of scheduled operation slots (one per node per iteration). *)

@@ -41,6 +41,9 @@ type report = {
   measured_makespan : float;
   makespan_error : float;
   divergence : float;
+  predicted_period : float;
+  measured_period : float option;
+  frames_in_flight : int;
   ops : op_row list;
   links : link_row list;
   path : path_elem list;
@@ -266,20 +269,31 @@ let op_rows ~(schedule : Schedule.t) ~nframes acts =
 let link_rows ~(schedule : Schedule.t) ~nframes acts =
   let nprocs = Archi.nprocs schedule.arch in
   let predicted = Hashtbl.create 16 in
+  let book key dur =
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt predicted key) in
+    Hashtbl.replace predicted key (prev +. dur)
+  in
   List.iter
     (fun (c : Schedule.comm_slot) ->
-      let hops = route_hops c.route in
-      match hops with
-      | [] -> ()
-      | _ ->
-          (* the static model books the whole slot on the route; spread it
-             evenly over the hops as this link's share of the occupancy *)
-          let share = (c.finish -. c.start) /. float_of_int (List.length hops) in
+      match c.Schedule.hops with
+      | _ :: _ as hops ->
+          (* the prediction engine reserves each hop for its own
+             startup + byte time; charge exactly those slots *)
           List.iter
-            (fun key ->
-              let prev = Option.value ~default:0.0 (Hashtbl.find_opt predicted key) in
-              Hashtbl.replace predicted key (prev +. share))
-            hops)
+            (fun (h : Schedule.hop_slot) ->
+              book (h.Schedule.hop_src, h.Schedule.hop_dst)
+                (h.Schedule.hop_finish -. h.Schedule.hop_start))
+            hops
+      | [] -> (
+          (* schedules without hop detail: spread the end-to-end slot
+             evenly over the route *)
+          match route_hops c.route with
+          | [] -> ()
+          | hops ->
+              let share =
+                (c.finish -. c.start) /. float_of_int (List.length hops)
+              in
+              List.iter (fun key -> book key share) hops))
     schedule.comms;
   let measured = Hashtbl.create 16 in
   List.iter
@@ -354,12 +368,32 @@ let analyse ~schedule ?(output_times = []) ?input_period timeline =
       Float.abs makespan_error
       +. (if predicted_makespan > 0.0 then slack /. predicted_makespan else slack)
     in
+    (* Steady-state throughput join: the schedule's resource/bottleneck
+       bound against the measured inter-output spacing. *)
+    let predicted_period = Schedule.period schedule in
+    let measured_period =
+      match frames with
+      | first :: (_ :: _ as rest) ->
+          let last = List.nth rest (List.length rest - 1) in
+          Some
+            ((last.completed -. first.completed)
+            /. float_of_int (List.length rest))
+      | _ -> None
+    in
+    let frames_in_flight =
+      match schedule.Schedule.pipeline with
+      | Some p -> p.Schedule.frames_in_flight
+      | None -> 1
+    in
     Ok
       {
         predicted_makespan;
         measured_makespan;
         makespan_error;
         divergence;
+        predicted_period;
+        measured_period;
+        frames_in_flight;
         ops;
         links;
         path;
@@ -380,6 +414,17 @@ let to_string r =
     (ms r.predicted_makespan) (ms r.measured_makespan)
     (r.makespan_error *. 100.0);
   pf "divergence score %.4f\n" r.divergence;
+  (match r.measured_period with
+  | Some m ->
+      pf "steady state: predicted period %.4f ms, measured %.4f ms (%d frame%s \
+          in flight predicted)\n"
+        (ms r.predicted_period) (ms m) r.frames_in_flight
+        (if r.frames_in_flight = 1 then "" else "s")
+  | None ->
+      pf "steady state: predicted period %.4f ms (%d frame%s in flight \
+          predicted)\n"
+        (ms r.predicted_period) r.frames_in_flight
+        (if r.frames_in_flight = 1 then "" else "s"));
   pf "per-op slack (ms per frame):\n";
   pf "  %-24s %4s %10s %10s %10s %10s\n" "op" "proc" "predicted" "measured"
     "overhead" "slack";
@@ -432,6 +477,10 @@ let to_json r =
       ("measured_makespan", num r.measured_makespan);
       ("makespan_error", num r.makespan_error);
       ("divergence", num r.divergence);
+      ("predicted_period", num r.predicted_period);
+      ( "measured_period",
+        match r.measured_period with Some m -> num m | None -> Null );
+      ("frames_in_flight", num (float_of_int r.frames_in_flight));
       ("path_length", num r.path_length);
       ( "ops",
         Arr
@@ -511,19 +560,37 @@ let predicted_overlay (schedule : Schedule.t) =
   let comm_bars =
     List.concat_map
       (fun (c : Schedule.comm_slot) ->
-        let hops = route_hops c.route in
-        let n = List.length hops in
-        let dur = (c.finish -. c.start) /. float_of_int (Int.max 1 n) in
-        List.mapi
-          (fun i (src, dst) ->
-            {
-              Svg.bar_lane = Event.link_lane ~src ~dst ~nprocs;
-              bar_label =
-                Printf.sprintf "comm %d->%d" c.edge.Graph.src c.edge.Graph.dst;
-              bar_start = c.start +. (float_of_int i *. dur);
-              bar_finish = c.start +. (float_of_int (i + 1) *. dur);
-            })
-          hops)
+        let label =
+          Printf.sprintf "comm %d->%d" c.edge.Graph.src c.edge.Graph.dst
+        in
+        match c.Schedule.hops with
+        | _ :: _ as hops ->
+            (* draw the actual per-hop reservations (startup + byte time,
+               around earlier traffic), not an even split *)
+            List.map
+              (fun (h : Schedule.hop_slot) ->
+                {
+                  Svg.bar_lane =
+                    Event.link_lane ~src:h.Schedule.hop_src
+                      ~dst:h.Schedule.hop_dst ~nprocs;
+                  bar_label = label;
+                  bar_start = h.Schedule.hop_start;
+                  bar_finish = h.Schedule.hop_finish;
+                })
+              hops
+        | [] ->
+            let hops = route_hops c.route in
+            let n = List.length hops in
+            let dur = (c.finish -. c.start) /. float_of_int (Int.max 1 n) in
+            List.mapi
+              (fun i (src, dst) ->
+                {
+                  Svg.bar_lane = Event.link_lane ~src ~dst ~nprocs;
+                  bar_label = label;
+                  bar_start = c.start +. (float_of_int i *. dur);
+                  bar_finish = c.start +. (float_of_int (i + 1) *. dur);
+                })
+              hops)
       schedule.comms
   in
   op_bars @ comm_bars

@@ -66,6 +66,12 @@ type report = {
   measured_makespan : float;
   makespan_error : float;  (** relative, signed *)
   divergence : float;
+  predicted_period : float;
+      (** the schedule's steady-state period bound ({!Syndex.Schedule.period}) *)
+  measured_period : float option;
+      (** mean inter-output spacing; [None] with fewer than two frames *)
+  frames_in_flight : int;
+      (** pipelining metadata when the mapper attached it; 1 otherwise *)
   ops : op_row list;  (** ordered by node id *)
   links : link_row list;  (** ordered by (src, dst) *)
   path : path_elem list;  (** chronological *)
@@ -94,8 +100,9 @@ val to_json : report -> Support.Json.t
 
 val predicted_overlay : Syndex.Schedule.t -> Svg.overlay_bar list
 (** The schedule's op and comm slots as ghost bars for {!Svg.gantt}: ops
-    on their process lanes, comm slots split evenly over their route
-    hops on the link lanes. Predicts one iteration from t = 0. *)
+    on their process lanes, comm slots as their per-hop link reservations
+    (startup + byte time each) on the link lanes. Predicts one iteration
+    from t = 0. *)
 
 val critical_overlay : report -> Svg.overlay_bar list
 (** The measured critical path as highlight bars for {!Svg.gantt}. *)

@@ -65,7 +65,7 @@ let test_emulate_and_execute_agree () =
     (fun strategy ->
       let r = P.execute ~strategy ~input c (Archi.ring 4) in
       Alcotest.(check bool) "strategy agrees" true (V.equal emulated r.Executive.value))
-    [ P.Heft; P.Canonical; P.Round_robin ]
+    (Syndex.Mapper.names ())
 
 let test_check_equivalence () =
   let c = P.compile_source ~table:(simple_table ()) simple_src in
@@ -87,7 +87,55 @@ let test_map_strategies_differ_but_validate () =
       match Syndex.Schedule.validate s with
       | Ok () -> ()
       | Error m -> Alcotest.failf "invalid schedule: %s" m)
-    [ P.Heft; P.Canonical; P.Round_robin ]
+    (Syndex.Mapper.names ())
+
+let test_unknown_strategy_lists_names () =
+  let c = P.compile_source ~table:(simple_table ()) simple_src in
+  expect_error
+    ~check:(fun m ->
+      Astring.String.is_infix ~affix:"unknown mapping strategy" m
+      && Astring.String.is_infix ~affix:"heft" m
+      && Astring.String.is_infix ~affix:"bicriteria" m)
+    (fun () -> P.map ~strategy:"hetf" c (Archi.ring 4))
+
+(* The reason pipelined mapping exists: on a pure stage chain under
+   saturated input, the interval mapper's measured steady-state period must
+   beat HEFT's (which serialises the chain on one processor to avoid
+   communication, so its period is the whole chain's compute time). *)
+let test_throughput_beats_heft_period () =
+  let nstages = 6 in
+  let table = Skel.Funtable.create () in
+  for i = 1 to nstages do
+    Skel.Funtable.register table
+      (Printf.sprintf "s%d" i)
+      ~arity:1
+      ~cost:(fun _ -> 40_000.0)
+      (fun v -> v)
+  done;
+  let ir =
+    Skel.Ir.program ~frames:8 "chain"
+      (Skel.Ir.Pipe
+         (List.init nstages (fun i -> Skel.Ir.Seq (Printf.sprintf "s%d" (i + 1)))))
+  in
+  let c = P.compile_ir ~table ir in
+  let arch = Archi.ring 8 in
+  let cost = Syndex.Cost.make ~fn_cycles:(fun _ -> Some 40_000.0) () in
+  (* Sustained ms/frame: all frames are injected at t = 0, so the last
+     output's completion time divided by the frame count converges on the
+     true steady-state period. Inter-output spacing would be misleading
+     here — a serialised chain drains its last stage's backlog back-to-back,
+     so its spacing shows one stage time even at 1/6th the throughput. *)
+  let period strategy =
+    let r = P.execute ~strategy ~cost ~input:(V.Int 0) c arch in
+    match List.rev r.Executive.output_times with
+    | last :: _ -> last /. float_of_int (List.length r.Executive.output_times)
+    | [] -> Alcotest.failf "%s: no outputs" strategy
+  in
+  let heft = period "heft" and throughput = period "throughput" in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput period %.6f < heft period %.6f" throughput heft)
+    true
+    (throughput < heft)
 
 let test_macro_and_dot () =
   let c = P.compile_source ~table:(simple_table ()) simple_src in
@@ -138,6 +186,9 @@ let () =
           Alcotest.test_case "check_equivalence" `Quick test_check_equivalence;
           Alcotest.test_case "input required" `Quick test_execute_requires_input;
           Alcotest.test_case "strategies validate" `Quick test_map_strategies_differ_but_validate;
+          Alcotest.test_case "unknown strategy error" `Quick test_unknown_strategy_lists_names;
+          Alcotest.test_case "throughput beats heft period" `Quick
+            test_throughput_beats_heft_period;
           Alcotest.test_case "tracking end-to-end" `Quick test_tracking_end_to_end_equivalence;
         ] );
       ( "artefacts",

@@ -169,6 +169,184 @@ let test_node_function () =
   Alcotest.(check (option string)) "join has none" None
     (Syndex.Cost.node_function { G.id = 0; kind = G.Join; label = "" })
 
+(* -- pluggable mapper framework -- *)
+
+(* Strategy-generic validity: a schedule is well-formed for a graph when it
+   validates, is deadlock-free, places every DAG op exactly once, and
+   starts no op before all its DAG predecessors have finished. *)
+let mapper_schedule_ok ~name model g (s : Syndex.Schedule.t) =
+  let dag = Syndex.Dag.of_graph model g in
+  (match Syndex.Schedule.validate s with
+  | Ok () -> ()
+  | Error m -> QCheck.Test.fail_reportf "%s: invalid schedule: %s" name m);
+  if not (Syndex.Schedule.deadlock_free s) then
+    QCheck.Test.fail_reportf "%s: schedule not deadlock-free" name;
+  let slots = Hashtbl.create 64 in
+  List.iter
+    (fun (o : Syndex.Schedule.op_slot) ->
+      let key = (o.Syndex.Schedule.node, o.Syndex.Schedule.part) in
+      if Hashtbl.mem slots key then
+        QCheck.Test.fail_reportf "%s: node %d op placed twice" name
+          o.Syndex.Schedule.node;
+      Hashtbl.replace slots key o)
+    s.Syndex.Schedule.ops;
+  if Hashtbl.length slots <> Array.length dag.Syndex.Dag.ops then
+    QCheck.Test.fail_reportf "%s: %d op slots for %d DAG ops" name
+      (Hashtbl.length slots)
+      (Array.length dag.Syndex.Dag.ops);
+  let slot_of op_id =
+    let op = dag.Syndex.Dag.ops.(op_id) in
+    match Hashtbl.find_opt slots (op.Syndex.Dag.node, op.Syndex.Dag.part) with
+    | Some slot -> slot
+    | None -> QCheck.Test.fail_reportf "%s: DAG op %d has no slot" name op_id
+  in
+  List.iter
+    (fun (d : Syndex.Dag.dep) ->
+      let src = slot_of d.Syndex.Dag.src_op
+      and dst = slot_of d.Syndex.Dag.dst_op in
+      if dst.Syndex.Schedule.start < src.Syndex.Schedule.finish -. 1e-9 then
+        QCheck.Test.fail_reportf
+          "%s: dependency %d -> %d violated (dst starts %.9f before src ends %.9f)"
+          name d.Syndex.Dag.src_op d.Syndex.Dag.dst_op
+          dst.Syndex.Schedule.start src.Syndex.Schedule.finish)
+    dag.Syndex.Dag.deps;
+  true
+
+let prop_all_mappers_valid =
+  QCheck.Test.make
+    ~name:"every registered mapper yields a well-formed schedule" ~count:40
+    QCheck.(triple (int_range 1 6) (int_range 1 6) (int_range 1 8))
+    (fun (nworkers, nparts, nprocs) ->
+      let g =
+        Procnet.Expand.expand_stage
+          (Skel.Ir.Pipe
+             [
+               Skel.Ir.Scm { nparts; split = "s"; compute = "c"; merge = "m" };
+               Skel.Ir.Df { nworkers; comp = "c2"; acc = "a"; init = V.Int 0 };
+             ])
+      in
+      let arch = Archi.ring nprocs in
+      List.for_all
+        (fun (m : Syndex.Mapper.t) ->
+          mapper_schedule_ok ~name:m.Syndex.Mapper.name cost g
+            (Syndex.Mapper.map m cost arch g))
+        (Syndex.Mapper.registered ()))
+
+let test_registry_names () =
+  let names = Syndex.Mapper.names () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [ "heft"; "canonical"; "roundrobin"; "throughput"; "bicriteria" ];
+  Alcotest.(check bool) "find heft" true
+    (Option.is_some (Syndex.Mapper.find "heft"));
+  Alcotest.(check (option string)) "find unknown" None
+    (Option.map (fun (m : Syndex.Mapper.t) -> m.Syndex.Mapper.name)
+       (Syndex.Mapper.find "no-such-mapper"))
+
+let test_frontier_points_undominated () =
+  let g = tracking_like_graph ~nworkers:4 () in
+  let arch = Archi.ring 6 in
+  List.iter
+    (fun (m : Syndex.Mapper.t) ->
+      let pts = Syndex.Mapper.frontier m cost arch g in
+      Alcotest.(check bool)
+        (m.Syndex.Mapper.name ^ ": frontier nonempty")
+        true (pts <> []);
+      List.iter
+        (fun (p : Syndex.Mapper.point) ->
+          (match Syndex.Schedule.validate p.Syndex.Mapper.point_schedule with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "%s/%s: invalid schedule: %s"
+                m.Syndex.Mapper.name p.Syndex.Mapper.point_label e);
+          let dominated =
+            List.exists
+              (fun (q : Syndex.Mapper.point) ->
+                q != p
+                && q.Syndex.Mapper.point_latency <= p.Syndex.Mapper.point_latency
+                && q.Syndex.Mapper.point_period <= p.Syndex.Mapper.point_period
+                && (q.Syndex.Mapper.point_latency < p.Syndex.Mapper.point_latency
+                   || q.Syndex.Mapper.point_period < p.Syndex.Mapper.point_period))
+              pts
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s is undominated" m.Syndex.Mapper.name
+               p.Syndex.Mapper.point_label)
+            false dominated)
+        pts)
+    (Syndex.Mapper.registered ())
+
+let test_pareto_filter () =
+  let s = Syndex.Heft.map cost (Archi.ring 2) (tracking_like_graph ()) in
+  let pt label lat per =
+    {
+      Syndex.Mapper.point_label = label;
+      point_schedule = s;
+      point_latency = lat;
+      point_period = per;
+    }
+  in
+  let pts =
+    Syndex.Mapper.pareto
+      [ pt "a" 1.0 5.0; pt "b" 2.0 4.0; pt "c" 3.0 4.0; pt "d" 2.0 4.0 ]
+  in
+  Alcotest.(check (list string)) "dominated and coincident points dropped"
+    [ "a"; "b" ]
+    (List.map (fun p -> p.Syndex.Mapper.point_label) pts)
+
+let test_throughput_period_beats_heft_prediction () =
+  (* A pure 6-stage chain: HEFT minimises latency by serialising it, so its
+     resource period is the whole chain; the interval mapper's bottleneck
+     stage must predict a strictly shorter steady-state period. *)
+  let g =
+    Procnet.Expand.expand_stage
+      (Skel.Ir.Pipe (List.init 6 (fun i -> Skel.Ir.Seq (Printf.sprintf "s%d" i))))
+  in
+  let model = Syndex.Cost.make ~fn_cycles:(fun _ -> Some 40_000.0) () in
+  let arch = Archi.ring 8 in
+  let heft = Syndex.Heft.map model arch g in
+  let tp =
+    Syndex.Mapper.map
+      (Option.get (Syndex.Mapper.find "throughput"))
+      model arch g
+  in
+  Alcotest.(check bool) "pipelining metadata attached" true
+    (Option.is_some tp.Syndex.Schedule.pipeline);
+  Alcotest.(check bool)
+    (Printf.sprintf "predicted period %.6f < %.6f"
+       (Syndex.Schedule.period tp) (Syndex.Schedule.period heft))
+    true
+    (Syndex.Schedule.period tp < Syndex.Schedule.period heft)
+
+(* -- HEFT determinism -- *)
+
+let test_heft_tie_break_pin () =
+  (* Uniform costs tie the upward ranks and finish times everywhere, so
+     this placement is entirely the product of the documented tie-breaks
+     (equal ranks -> lowest node id, equal finish -> lowest processor id).
+     Any comparator change shows up as a different array, and two runs must
+     agree byte-for-byte. *)
+  let uniform =
+    Syndex.Cost.make ~control_cycles:1000.0 ~default_fn_cycles:1000.0 ()
+  in
+  let g = tracking_like_graph ~nworkers:4 () in
+  let arch = Archi.ring 4 in
+  let s1 = Syndex.Heft.map uniform arch g in
+  let s2 = Syndex.Heft.map uniform arch g in
+  Alcotest.(check (array int)) "deterministic placement"
+    s1.Syndex.Schedule.placement s2.Syndex.Schedule.placement;
+  Alcotest.(check (list (pair int int))) "deterministic op slots"
+    (List.map
+       (fun (o : Syndex.Schedule.op_slot) -> (o.Syndex.Schedule.node, o.Syndex.Schedule.proc))
+       s1.Syndex.Schedule.ops)
+    (List.map
+       (fun (o : Syndex.Schedule.op_slot) -> (o.Syndex.Schedule.node, o.Syndex.Schedule.proc))
+       s2.Syndex.Schedule.ops);
+  Alcotest.(check (array int)) "pinned tie-break placement"
+    [| 0; 1; 0; 0; 0; 0; 0; 0; 0; 0; 1; 0 |]
+    s1.Syndex.Schedule.placement
+
 let prop_heft_always_valid =
   QCheck.Test.make ~name:"HEFT schedules validate on random configs" ~count:60
     QCheck.(triple (int_range 1 8) (int_range 1 8) (int_range 1 10))
@@ -198,7 +376,17 @@ let () =
           Alcotest.test_case "colocation respected" `Quick test_heft_colocation_respected;
           Alcotest.test_case "single proc no comms" `Quick test_single_processor_has_no_comms;
           Alcotest.test_case "parallel predicted faster" `Quick test_heft_beats_or_matches_single_proc;
+          Alcotest.test_case "tie-break pin" `Quick test_heft_tie_break_pin;
           QCheck_alcotest.to_alcotest prop_heft_always_valid;
+        ] );
+      ( "mappers",
+        [
+          Alcotest.test_case "registry names" `Quick test_registry_names;
+          Alcotest.test_case "frontier undominated" `Quick test_frontier_points_undominated;
+          Alcotest.test_case "pareto filter" `Quick test_pareto_filter;
+          Alcotest.test_case "throughput predicted period" `Quick
+            test_throughput_period_beats_heft_prediction;
+          QCheck_alcotest.to_alcotest prop_all_mappers_valid;
         ] );
       ( "placements",
         [
