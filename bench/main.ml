@@ -121,7 +121,10 @@ let write_summary_json path =
    deliberate cost-model refinements do not trip on rounding. *)
 
 let exact_baseline_fields =
-  [ "messages"; "bytes"; "dropped_msgs"; "deadline_misses"; "reissues" ]
+  [
+    "messages"; "bytes"; "dropped_msgs"; "deadline_misses"; "reissues";
+    "trace_truncated";
+  ]
 
 let check_against_baseline path =
   let parse label s =
@@ -1130,6 +1133,160 @@ let e15 () =
     \ costs -- the paper's rationale for measuring the real executive)"
 
 (* ------------------------------------------------------------------ *)
+(* E16: windowed telemetry and SLO alerting through a processor outage  *)
+
+let e16 () =
+  header "E16"
+    "windowed series + SLO monitor: tracking pipeline through a processor \
+     outage, with burn-rate alerting, degraded-window throughput and \
+     time-to-recovery";
+  let module S = Skipper_trace.Series in
+  let nproc = 8 in
+  let frames = 10 in
+  let config = Tracking.Funcs.(with_nproc nproc default_config) in
+  let arch = Archi.ring nproc in
+  let run ?(faults = []) ?(restores = []) ?recovery ?input_period () =
+    let table = Tracking.Funcs.table config in
+    let compiled =
+      Skipper_lib.Pipeline.compile_ir ~table (Tracking.Funcs.ir ~frames config)
+    in
+    Skipper_lib.Pipeline.execute ~trace:true ?input_period ~faults ~restores
+      ?recovery
+      ~input:(Tracking.Funcs.input_value config)
+      compiled arch
+  in
+  (* the unpaced probe calibrates the pace, then the healthy paced run
+     calibrates the latency SLO: the experiment tracks cost-model changes
+     instead of pinning absolute milliseconds. The healthy run cannot join
+     the farmed scenarios — the thresholds derive from it. *)
+  let probe = run () in
+  let pace = probe.Executive.first_latency *. 1.5 in
+  let healthy = run ~input_period:pace () in
+  let hmax =
+    List.fold_left Float.max 0.0 healthy.Executive.latencies
+  in
+  (* the timeout must exceed any healthy frame (no spurious reissues) and a
+     timed-out frame must overshoot both the latency SLO and the pace
+     budget: one full pace does all three *)
+  let recovery = Executive.recovery ~max_strikes:100 pace in
+  let halt_at = pace *. 2.5 and restore_at = pace *. 6.5 in
+  let specs =
+    [
+      Printf.sprintf "p99_latency<%.6fms" (ms (hmax *. 1.5));
+      "miss_rate<1%";
+      Printf.sprintf "throughput>=%.6ffps" (0.5 /. pace);
+    ]
+  in
+  let parsed =
+    List.map
+      (fun s ->
+        match S.Slo.parse s with Ok sp -> sp | Error e -> failwith e)
+      specs
+  in
+  let scenarios =
+    [
+      ( "outage P2 (recover)",
+        fun () ->
+          run ~input_period:pace
+            ~faults:[ (2, halt_at) ]
+            ~restores:[ (2, restore_at) ]
+            ~recovery () );
+      ( "outage P2 (no recovery)",
+        fun () ->
+          run ~input_period:pace
+            ~faults:[ (2, halt_at) ]
+            ~restores:[ (2, restore_at) ]
+            () );
+    ]
+  in
+  Printf.printf
+    "outage: halt P2 at %.2f ms, restore at %.2f ms; %d frames paced at \
+     %.2f ms\n"
+    (ms halt_at) (ms restore_at) frames (ms pace);
+  Printf.printf "%-22s %-26s %-9s %5s %9s %9s %9s\n" "scenario" "slo" "state"
+    "fail" "burn ms" "first ms" "ttr ms";
+  let opt_ms = function Some t -> Printf.sprintf "%9.2f" (ms t) | None -> "        -" in
+  List.iter
+    (fun (name, (r : Executive.result), series, (rep : S.Slo.report)) ->
+      List.iter
+        (fun (m : S.Slo.monitor) ->
+          Printf.printf "%-22s %-26s %-9s %5d %9.2f %s %s\n" name
+            m.S.Slo.spec.S.Slo.raw
+            (S.Slo.state_name m.S.Slo.final)
+            m.S.Slo.failing_windows
+            (ms m.S.Slo.total_burn)
+            (opt_ms m.S.Slo.first_violation)
+            (opt_ms m.S.Slo.time_to_recovery))
+        rep.S.Slo.monitors;
+      Printf.printf
+        "%-22s (%d/%d frames, %d reissues, %d deadline misses)\n" ""
+        (List.length r.Executive.outputs) frames r.Executive.reissues
+        r.Executive.deadline_misses;
+      (* windowed throughput split at the outage boundaries: the series
+         answers "what was throughput *during* the fault?" directly *)
+      if name = "outage P2 (recover)" then begin
+        let nwin = Array.length series.S.windows in
+        let mean_thr sel =
+          let n = ref 0 and acc = ref 0.0 in
+          Array.iter
+            (fun (w : S.window) ->
+              if sel w then begin
+                incr n;
+                acc := !acc +. S.throughput series w
+              end)
+            series.S.windows;
+          if !n = 0 then 0.0 else !acc /. float_of_int !n
+        in
+        let in_outage (w : S.window) =
+          w.S.w_start < restore_at && w.S.w_finish > halt_at
+        in
+        let degraded_thr = mean_thr in_outage in
+        let healthy_thr = mean_thr (fun w -> not (in_outage w)) in
+        let lat = List.hd rep.S.Slo.monitors in
+        Printf.printf
+          "outage telemetry: %d windows, throughput %.1f fps degraded vs \
+           %.1f fps healthy windows\n"
+          nwin degraded_thr healthy_thr;
+        record_extras ~experiment:"e16"
+          [
+            ("degraded_throughput_fps", degraded_thr);
+            ("healthy_throughput_fps", healthy_thr);
+            ( "time_to_recovery_ms",
+              match lat.S.Slo.time_to_recovery with
+              | Some t -> ms t
+              | None -> 0.0 );
+            ("violated_windows", float_of_int lat.S.Slo.failing_windows);
+            ("total_burn_ms", ms lat.S.Slo.total_burn);
+          ];
+        observe ~experiment:"e16" r;
+        Option.iter
+          (fun dir ->
+            write_file
+              (Filename.concat dir "e16.series.json")
+              (S.to_json ~slo:rep series);
+            write_file
+              (Filename.concat dir "e16.series.csv")
+              (S.to_csv series);
+            match
+              Skipper_trace.Svg.gantt ~bands:(S.Slo.bands rep)
+                (Executive.timeline r)
+            with
+            | Ok svg -> write_file (Filename.concat dir "e16.gantt.svg") svg
+            | Error e -> failwith e)
+          !trace_dir
+      end)
+    (let eval name (r : Executive.result) =
+       let series =
+         match Executive.series r with
+         | Ok s -> s
+         | Error e -> failwith e
+       in
+       (name, r, series, S.Slo.evaluate parsed series)
+     in
+     eval "healthy" healthy
+     :: farm ~name:"e16" scenarios (fun (name, f) -> eval name (f ())))
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks                                           *)
 
 let micro () =
@@ -1214,7 +1371,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e14", e14); ("e15", e15);
+    ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
   ]
 
 let () =
@@ -1257,7 +1414,7 @@ let () =
       match List.assoc_opt (String.lowercase_ascii name) experiments with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown experiment %s (e1..e15 or micro)\n" name;
+          Printf.eprintf "unknown experiment %s (e1..e16 or micro)\n" name;
           exit 1)
   | _ ->
       print_endline "SKiPPER experiment harness (see DESIGN.md, experiment index)";

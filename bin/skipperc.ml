@@ -184,13 +184,13 @@ let write_file path s =
    gains the predicted ghost bars and the measured critical path. Pure
    (no writes), so farmed sweep jobs can render and let the main domain
    write. *)
-let render_traces ?compiled ?schedule ?report ~trace_out ~gantt_svg
+let render_traces ?compiled ?schedule ?report ?slo ~trace_out ~gantt_svg
     (r : Executive.result) =
   let chrome path =
     let tl =
       match compiled with
-      | Some c -> Skipper_lib.Pipeline.timeline ~result:r c
-      | None -> Executive.timeline r
+      | Some c -> Skipper_lib.Pipeline.timeline ~result:r ?slo c
+      | None -> Executive.timeline ?slo r
     in
     ( path,
       Skipper_trace.Chrome.to_json tl,
@@ -205,8 +205,10 @@ let render_traces ?compiled ?schedule ?report ~trace_out ~gantt_svg
     let critical =
       Option.map Skipper_trace.Conformance.critical_overlay report
     in
+    let bands = Option.map Skipper_trace.Series.Slo.bands slo in
     match
-      Skipper_trace.Svg.gantt ?predicted ?critical (Executive.timeline r)
+      Skipper_trace.Svg.gantt ?predicted ?critical ?bands
+        (Executive.timeline r)
     with
     | Ok svg ->
         (path, svg, Printf.sprintf "skipperc: wrote timeline SVG to %s" path)
@@ -215,7 +217,7 @@ let render_traces ?compiled ?schedule ?report ~trace_out ~gantt_svg
   Option.to_list (Option.map chrome trace_out)
   @ Option.to_list (Option.map svg gantt_svg)
 
-let export_traces ?compiled ?schedule ?report ~trace_out ~gantt_svg
+let export_traces ?compiled ?schedule ?report ?slo ~trace_out ~gantt_svg
     (r : Executive.result) =
   if trace_out <> None || gantt_svg <> None then begin
     if Machine.Sim.trace_truncated r.Executive.sim then
@@ -227,7 +229,40 @@ let export_traces ?compiled ?schedule ?report ~trace_out ~gantt_svg
       (fun (path, content, log) ->
         write_file path content;
         Printf.eprintf "%s\n" log)
-      (render_traces ?compiled ?schedule ?report ~trace_out ~gantt_svg r)
+      (render_traces ?compiled ?schedule ?report ?slo ~trace_out ~gantt_svg r)
+  end
+
+(* Windowed-series telemetry: build the series from the run, evaluate the
+   SLO specs against it, and render the requested export files (format by
+   extension). Pure, so farmed sweep jobs render and the main domain prints
+   and writes. *)
+let series_files ~series_out ~slo_specs ~series_window (r : Executive.result) =
+  if series_out = [] && slo_specs = [] then (None, [])
+  else begin
+    let width = Option.map (fun ms -> ms /. 1e3) series_window in
+    let series =
+      match Executive.series ?width r with
+      | Ok s -> s
+      | Error msg -> failwith msg
+    in
+    let slo =
+      if slo_specs = [] then None
+      else Some (Skipper_trace.Series.Slo.evaluate slo_specs series)
+    in
+    let render path =
+      let content =
+        match Filename.extension path with
+        | ".csv" -> Skipper_trace.Series.to_csv series
+        | ".prom" | ".txt" -> Skipper_trace.Series.to_prometheus ?slo series
+        | _ -> Skipper_trace.Series.to_json ?slo series
+      in
+      ( path,
+        content,
+        Printf.sprintf "skipperc: wrote series (%d windows) to %s"
+          (Array.length series.Skipper_trace.Series.windows)
+          path )
+    in
+    (slo, List.map render series_out)
   end
 
 (* "%{procs}" templating for per-variant artifact paths in a sweep. *)
@@ -388,6 +423,37 @@ let gantt_svg_arg =
               with --conformance the measured critical path highlighted. In \
               a multi-count --procs sweep the path must contain %{procs}, \
               substituted per variant.")
+
+let series_out_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "series-out" ] ~docv:"FILE"
+        ~doc:"Write the run's windowed time-series telemetry to FILE \
+              (repeatable; the format follows the extension: .json carries \
+              the full series plus any SLO report, .csv one row per window, \
+              .prom the Prometheus text exposition). Forces tracing on. In \
+              a multi-count --procs sweep each path must contain %{procs}, \
+              substituted per variant.")
+
+let slo_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:"Evaluate a service-level objective over the windowed series \
+              (repeatable), e.g. p99_latency<8ms, miss_rate<0.01 or \
+              period<3ms. Prints a violations report after the run, marks \
+              state transitions on the Chrome trace and shades violated \
+              windows on the Gantt SVG. Forces tracing on.")
+
+let series_window_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "series-window" ] ~docv:"MS"
+        ~doc:"Width of the telemetry windows in milliseconds (default: the \
+              input period when --fps is given, else 5 ms).")
 
 let conformance_arg =
   Arg.(
@@ -560,10 +626,19 @@ let frontier_file ~strategy ~arch c path =
 
 let run_cmd =
   let run app frames procs_list topo strat fps optimize timings dump trace_out
-      gantt_svg conformance frontier_out halts restores drops delays dups
-      df_timeout jobs file =
+      gantt_svg conformance series_out slos series_window frontier_out halts
+      restores drops delays dups df_timeout jobs file =
     wrap (fun () ->
         let strategy = strategy_of strat in
+        (* parsed before anything runs, so a bad spec fails fast *)
+        let slo_specs =
+          List.map
+            (fun s ->
+              match Skipper_trace.Series.Slo.parse s with
+              | Ok spec -> spec
+              | Error msg -> failwith msg)
+            slos
+        in
         let conformance_report ~schedule ~input_period r =
           match
             Machine.Profile.conformance ~schedule
@@ -585,6 +660,7 @@ let run_cmd =
                 let input_period = Option.map (fun f -> 1.0 /. f) fps in
                 let tracing =
                   trace_out <> None || gantt_svg <> None || conformance
+                  || series_out <> [] || slo_specs <> []
                 in
                 let faults, restores, link_faults, recovery =
                   fault_plan ~halts ~restores ~drops ~delays ~dups ~df_timeout
@@ -610,8 +686,20 @@ let run_cmd =
                   end
                   else None
                 in
-                export_traces ~compiled:c ~schedule ?report ~trace_out
+                let slo, sfiles =
+                  series_files ~series_out ~slo_specs ~series_window r
+                in
+                Option.iter
+                  (fun rep ->
+                    print_string (Skipper_trace.Series.Slo.to_string rep))
+                  slo;
+                export_traces ~compiled:c ~schedule ?report ?slo ~trace_out
                   ~gantt_svg r;
+                List.iter
+                  (fun (path, content, log) ->
+                    write_file path content;
+                    Printf.eprintf "%s\n" log)
+                  sfiles;
                 Option.iter
                   (fun path ->
                     let path, content, log =
@@ -646,8 +734,9 @@ let run_cmd =
                          (Printf.sprintf "trace-%%{procs}%s"
                             (Filename.extension p)))
                 | _ -> ())
-              [ ("--trace-out", trace_out); ("--gantt-svg", gantt_svg);
-                ("--frontier-out", frontier_out) ];
+              ([ ("--trace-out", trace_out); ("--gantt-svg", gantt_svg);
+                 ("--frontier-out", frontier_out) ]
+              @ List.map (fun p -> ("--series-out", Some p)) series_out);
             let run_one procs =
               let c = compile ~app ~frames ~optimize file in
               let arch = topology topo procs in
@@ -658,6 +747,7 @@ let run_cmd =
               in
               let tracing =
                 trace_out <> None || gantt_svg <> None || conformance
+                || series_out <> [] || slo_specs <> []
               in
               let schedule, r =
                 Skipper_lib.Pipeline.execute_with_schedule ~trace:tracing
@@ -688,11 +778,21 @@ let run_cmd =
                 end
                 else None
               in
+              let slo, sfiles =
+                series_files
+                  ~series_out:(List.map (subst_procs ~procs) series_out)
+                  ~slo_specs ~series_window r
+              in
+              Option.iter
+                (fun rep ->
+                  Buffer.add_string b (Skipper_trace.Series.Slo.to_string rep))
+                slo;
               let files =
-                render_traces ~compiled:c ~schedule ?report
+                render_traces ~compiled:c ~schedule ?report ?slo
                   ~trace_out:(Option.map (subst_procs ~procs) trace_out)
                   ~gantt_svg:(Option.map (subst_procs ~procs) gantt_svg)
                   r
+                @ sfiles
                 @ (match frontier_out with
                   | Some path ->
                       [ frontier_file ~strategy ~arch c
@@ -717,9 +817,10 @@ let run_cmd =
     Term.(
       const run $ app_arg $ frames_arg $ procs_list_arg $ topo_arg $ strategy_arg
       $ fps_arg $ optimize_arg $ timings_arg $ dump_arg $ trace_out_arg
-      $ gantt_svg_arg $ conformance_arg $ frontier_out_arg $ halt_arg
-      $ restore_arg $ drop_link_arg $ delay_link_arg $ dup_link_arg
-      $ df_timeout_arg $ jobs_arg $ file_arg)
+      $ gantt_svg_arg $ conformance_arg $ series_out_arg $ slo_arg
+      $ series_window_arg $ frontier_out_arg $ halt_arg $ restore_arg
+      $ drop_link_arg $ delay_link_arg $ dup_link_arg $ df_timeout_arg
+      $ jobs_arg $ file_arg)
 
 let equiv_cmd =
   let run app frames procs topo timings file =

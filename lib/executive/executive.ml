@@ -24,8 +24,10 @@ type result = {
   latencies : float list;
   first_latency : float;
   period : float option;
+  input_period : float option;
   deadline_misses : int;
   reissues : int;
+  reissue_times : float list;
   retired_workers : int;
   sim : Machine.Sim.t;
 }
@@ -35,6 +37,7 @@ type collector = {
   mutable outs_rev : (V.t * float) list;
   mutable final_state : V.t option;
   mutable reissues : int;
+  mutable reissue_rev : float list;
   mutable retired : int;
 }
 
@@ -263,6 +266,8 @@ let behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
                            Hashtbl.remove assignments seq;
                            Queue.add seq queue;
                            collector.reissues <- collector.reissues + 1;
+                           collector.reissue_rev <-
+                             nowt :: collector.reissue_rev;
                            strikes.(widx) <- strikes.(widx) + 1;
                            if strikes.(widx) >= max_strikes then begin
                              if not retired.(widx) then begin
@@ -395,7 +400,13 @@ let run ?(trace = false) ?trace_limit ?input_period ?(faults = [])
   List.iter (fun (p, at) -> Machine.Sim.restore_processor sim ~at p) restores;
   List.iter (Machine.Sim.add_fault sim) link_faults;
   let collector =
-    { outs_rev = []; final_state = None; reissues = 0; retired = 0 }
+    {
+      outs_rev = [];
+      final_state = None;
+      reissues = 0;
+      reissue_rev = [];
+      retired = 0;
+    }
   in
   let widx_table = worker_indices g in
   Array.iter
@@ -454,8 +465,10 @@ let run ?(trace = false) ?trace_limit ?input_period ?(faults = [])
     latencies;
     first_latency;
     period;
+    input_period;
     deadline_misses;
     reissues = collector.reissues;
+    reissue_times = List.rev collector.reissue_rev;
     retired_workers = collector.retired;
     sim;
   }
@@ -468,7 +481,37 @@ let run_schedule ?trace ?trace_limit ?input_period ?faults ?restores
     ~placement:schedule.Syndex.Schedule.placement
     ~graph:schedule.Syndex.Schedule.graph ~frames ~input ()
 
-let timeline r = Machine.Sim.timeline r.sim
+let timeline ?slo r =
+  let tl = Machine.Sim.timeline r.sim in
+  Option.iter (Skipper_trace.Series.Slo.emit tl) slo;
+  tl
+
+(* Default window: the input period when the run was paced (one window per
+   frame slot), else 5 ms — wide enough that a short unpaced run still gets
+   a handful of windows. *)
+let series ?width r =
+  let tl = Machine.Sim.timeline r.sim in
+  if Skipper_trace.Event.length tl = 0 then
+    Error
+      "tracing was not enabled: the timeline holds no events (run with \
+       ~trace:true)"
+  else begin
+    let p = Option.value ~default:0.0 r.input_period in
+    let width =
+      match width with Some w -> w | None -> if p > 0.0 then p else 5e-3
+    in
+    let expected =
+      match r.outcome with
+      | Completed -> List.length r.outputs
+      | Stalled { expected; _ } -> expected
+    in
+    let injections = List.init expected (fun i -> float_of_int i *. p) in
+    Skipper_trace.Series.build ~width
+      ~nprocs:(Array.length r.stats.Machine.Sim.busy)
+      ~horizon:r.stats.Machine.Sim.finish_time ~output_times:r.output_times
+      ~latencies:r.latencies ?input_period:r.input_period ~injections
+      ~reissue_times:r.reissue_times tl
+  end
 
 let metrics r =
   Machine.Metrics.analyse ~deadline_misses:r.deadline_misses

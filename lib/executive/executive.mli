@@ -58,9 +58,13 @@ type result = {
       (** steady-state inter-frame period (mean of successive output-time
           differences); [None] when fewer than two frames completed — a
           single frame measures a latency, never a steady period *)
+  input_period : float option;  (** the pacing the run was given, if any *)
   deadline_misses : int;
       (** frames whose latency exceeded [input_period] (0 when unpaced) *)
   reissues : int;  (** df tasks reissued after a timeout *)
+  reissue_times : float list;
+      (** simulated time of each reissue, in occurrence order — the windowed
+          series attributes recovery work to the window it happened in *)
   retired_workers : int;  (** df workers retired after repeated timeouts *)
   sim : Machine.Sim.t;  (** the finished machine, for traces and Gantt *)
 }
@@ -124,12 +128,24 @@ val metrics : result -> Machine.Metrics.report
     [deadline_misses]/[reissues] counters and the per-frame [latencies]
     (populating the report's latency distribution) threaded in. *)
 
-val timeline : result -> Skipper_trace.Event.timeline
+val timeline :
+  ?slo:Skipper_trace.Series.Slo.report -> result -> Skipper_trace.Event.timeline
 (** The run's message-lifecycle events as a unified timeline (empty when the
     machine was created without [~trace:true]): one lane per process grouped
     under its hosting processor, one lane per directed link, plus the
-    environment injections. Feed to {!Skipper_trace.Chrome.to_json} or
-    {!Skipper_trace.Svg.gantt}. *)
+    environment injections. With [slo], the monitor's state transitions are
+    appended as instants on the SLO lanes. Feed to
+    {!Skipper_trace.Chrome.to_json} or {!Skipper_trace.Svg.gantt}. *)
+
+val series :
+  ?width:float ->
+  result ->
+  (Skipper_trace.Series.t, string) Stdlib.result
+(** Windowed telemetry for the run: folds the trace timeline plus the
+    executive's frame bookkeeping (output times, latencies, pacing,
+    reissue times) into {!Skipper_trace.Series.t} windows. [width] is the
+    window width in seconds, defaulting to the input period when the run was
+    paced and 5 ms otherwise. [Error] when tracing was not enabled. *)
 
 val summary : result -> string
 (** Multi-line digest of a run: value, frame count and outcome,

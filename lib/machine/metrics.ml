@@ -46,11 +46,19 @@ type report = {
   deadline_misses : int;
   reissues : int;
   latency : latency_stats option;
+  trace_truncated : bool;
+  trace_limit : int;
 }
 
-(* Nearest-rank percentiles over the per-frame latencies; jitter is the
-   population standard deviation. All simulation-deterministic, so the
-   stats can sit in byte-compared artifacts. *)
+(* Nearest-rank percentiles over the per-frame latencies: with the samples
+   sorted ascending, percentile q is the element at 1-based rank
+   round(q*n + 0.5) (half away from zero), clamped into [1, n]. For n = 1
+   every percentile is the sample; for n = 2 the 0.5 rank rounds *up*, so
+   p50 of a pair is the larger element — pinned in test_conformance so the
+   convention cannot silently drift. Jitter is the population standard
+   deviation, and explicitly 0.0 when fewer than two samples exist (a
+   single frame has no spread to measure). All simulation-deterministic, so
+   the stats can sit in byte-compared artifacts. *)
 let latency_stats = function
   | [] -> None
   | latencies ->
@@ -62,9 +70,14 @@ let latency_stats = function
         arr.(Int.min (n - 1) (Int.max 0 (rank - 1)))
       in
       let mean = List.fold_left ( +. ) 0.0 latencies /. float_of_int n in
-      let var =
-        List.fold_left (fun s l -> s +. ((l -. mean) ** 2.0)) 0.0 latencies
-        /. float_of_int n
+      let jitter =
+        if n < 2 then 0.0
+        else
+          let var =
+            List.fold_left (fun s l -> s +. ((l -. mean) ** 2.0)) 0.0 latencies
+            /. float_of_int n
+          in
+          Float.sqrt var
       in
       Some
         {
@@ -73,7 +86,7 @@ let latency_stats = function
           p50 = pct 0.50;
           p95 = pct 0.95;
           p99 = pct 0.99;
-          jitter = Float.sqrt var;
+          jitter;
         }
 
 let analyse ?(deadline_misses = 0) ?(reissues = 0) ?(latencies = []) sim =
@@ -142,6 +155,8 @@ let analyse ?(deadline_misses = 0) ?(reissues = 0) ?(latencies = []) sim =
     deadline_misses;
     reissues;
     latency = latency_stats latencies;
+    trace_truncated = Sim.trace_truncated sim;
+    trace_limit = Sim.trace_limit sim;
   }
 
 (* Imbalance over busy *fractions* of the processors that were alive at
@@ -226,6 +241,12 @@ let to_string report =
       (Printf.sprintf
          "faults: %d dropped messages, %d reissued tasks, %d deadline misses\n"
          report.dropped_msgs report.reissues report.deadline_misses);
+  if report.trace_truncated then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "warning: trace truncated at %d events — trace-derived numbers are \
+          incomplete\n"
+         report.trace_limit);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -289,10 +310,11 @@ let to_json report =
           l.n l.mean_latency l.p50 l.p95 l.p99 l.jitter
   in
   Printf.sprintf
-    {|{"finish_time_s":%.9f,"mean_utilisation":%.6f,"messages":%d,"bytes":%d,"imbalance":%.6f,"link_contention":%.6f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d,"latency":%s,"processors":[%s],"links":[%s],"ports":[%s],"processes":[%s]}|}
+    {|{"finish_time_s":%.9f,"mean_utilisation":%.6f,"messages":%d,"bytes":%d,"imbalance":%.6f,"link_contention":%.6f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d,"trace_truncated":%b,"trace_limit":%d,"latency":%s,"processors":[%s],"links":[%s],"ports":[%s],"processes":[%s]}|}
     report.finish_time report.mean_utilisation report.messages report.bytes
     (imbalance report) (link_contention report) report.dropped_msgs
-    report.deadline_misses report.reissues latency loads links ports procs
+    report.deadline_misses report.reissues report.trace_truncated
+    report.trace_limit latency loads links ports procs
 
 (* The one-line per-experiment summary the bench harness's [--json] file is
    made of. Every field is simulation-deterministic (finish_time is
@@ -306,7 +328,9 @@ let summary_json ?(extras = []) ~experiment report =
       (List.map (fun (k, v) -> Printf.sprintf {|,"%s":%.6f|} (json_escape k) v) extras)
   in
   Printf.sprintf
-    {|{"experiment":"%s","finish_time":%.6f,"utilisation":%.4f,"messages":%d,"bytes":%d,"imbalance":%.4f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d%s}|}
+    {|{"experiment":"%s","finish_time":%.6f,"utilisation":%.4f,"messages":%d,"bytes":%d,"imbalance":%.4f,"dropped_msgs":%d,"deadline_misses":%d,"reissues":%d,"trace_truncated":%d%s}|}
     (json_escape experiment) report.finish_time report.mean_utilisation
     report.messages report.bytes (imbalance report) report.dropped_msgs
-    report.deadline_misses report.reissues extras
+    report.deadline_misses report.reissues
+    (if report.trace_truncated then 1 else 0)
+    extras

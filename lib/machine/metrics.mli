@@ -39,7 +39,9 @@ type latency_stats = {
   p50 : float;  (** nearest-rank percentiles, seconds *)
   p95 : float;
   p99 : float;
-  jitter : float;  (** population standard deviation, seconds *)
+  jitter : float;
+      (** population standard deviation, seconds; 0.0 when [n < 2] (a
+          single frame has no spread to measure) *)
 }
 
 type report = {
@@ -59,10 +61,21 @@ type report = {
   reissues : int;  (** df tasks reissued after a timeout *)
   latency : latency_stats option;
       (** per-frame latency distribution; [None] without frame data *)
+  trace_truncated : bool;
+      (** the simulator dropped trace events past its limit — trace-derived
+          numbers (Gantt, conformance, series) are incomplete *)
+  trace_limit : int;  (** the event cap the trace was subject to *)
 }
 
 val latency_stats : float list -> latency_stats option
-(** [None] on the empty list. Simulation-deterministic. *)
+(** [None] on the empty list. Simulation-deterministic.
+
+    Percentile convention (pinned by unit tests in [test_conformance]):
+    with the samples sorted ascending, percentile [q] is the element at
+    1-based nearest rank [round (q *. n +. 0.5)] (half away from zero),
+    clamped into [[1, n]]. Edge cases: a singleton list yields that sample
+    for every percentile and [jitter = 0.0]; for [n = 2] the half-rank
+    rounds up, so [p50] of a pair is the larger element. *)
 
 val analyse :
   ?deadline_misses:int -> ?reissues:int -> ?latencies:float list -> Sim.t -> report

@@ -8,3 +8,16 @@ let timeline sim =
 
 let conformance ~schedule ?output_times ?input_period sim =
   Conformance.analyse ~schedule ?output_times ?input_period (timeline sim)
+
+let series ~width ?output_times ?latencies ?input_period ?injections
+    ?reissue_times sim =
+  let tl = timeline sim in
+  if Event.length tl = 0 then
+    Error
+      "tracing was not enabled: the machine recorded no events (create it \
+       with ~trace:true)"
+  else
+    Skipper_trace.Series.build ~width
+      ~nprocs:(Array.length (Sim.stats sim).busy)
+      ~horizon:(Sim.stats sim).finish_time ?output_times ?latencies
+      ?input_period ?injections ?reissue_times tl

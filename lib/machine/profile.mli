@@ -17,3 +17,18 @@ val conformance :
   (Skipper_trace.Conformance.report, string) result
 (** See {!Skipper_trace.Conformance.analyse}. [Error] when the machine
     recorded no activity (tracing disabled). *)
+
+val series :
+  width:float ->
+  ?output_times:float list ->
+  ?latencies:float list ->
+  ?input_period:float ->
+  ?injections:float list ->
+  ?reissue_times:float list ->
+  Sim.t ->
+  (Skipper_trace.Series.t, string) result
+(** Windowed telemetry straight from a machine: replays its events into a
+    timeline and folds {!Skipper_trace.Series.build} over it with the
+    machine's processor count and finish-time horizon. Callers holding an
+    {!Executive} result should prefer [Executive.series], which threads the
+    frame bookkeeping automatically. [Error] when tracing was disabled. *)

@@ -137,12 +137,13 @@ let macro_code compiled schedule =
 
 let reports compiled = Passes.reports compiled.ctx
 
-let timeline ?result compiled =
+let timeline ?result ?slo compiled =
   let tl = Skipper_trace.Event.create () in
   Stage.emit_reports tl (reports compiled);
   (match result with
   | Some r -> Machine.Sim.emit_trace r.Executive.sim tl
   | None -> ());
+  Option.iter (Skipper_trace.Series.Slo.emit tl) slo;
   tl
 let pp_timings ppf compiled = Stage.pp_report_table ppf (reports compiled)
 let timings_json compiled = Stage.reports_to_json (reports compiled)

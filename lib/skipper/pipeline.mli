@@ -119,12 +119,17 @@ val reports : compiled -> Stage.report list
 (** Per-stage instrumentation, in execution order, accumulated across
     compile / map / execute calls on this value. *)
 
-val timeline : ?result:Executive.result -> compiled -> Skipper_trace.Event.timeline
+val timeline :
+  ?result:Executive.result ->
+  ?slo:Skipper_trace.Series.Slo.report ->
+  compiled ->
+  Skipper_trace.Event.timeline
 (** One unified timeline for the whole toolchain run: every stage report as
     a span on the compile lane, plus — when [result] is given — the
     simulated run's full message-lifecycle trace (processor lanes, link
-    lanes, flow arrows). Export with {!Skipper_trace.Chrome.to_json} or
-    {!Skipper_trace.Svg.gantt}. *)
+    lanes, flow arrows), plus — when [slo] is given — the SLO monitor's
+    state transitions as instants on the SLO lanes. Export with
+    {!Skipper_trace.Chrome.to_json} or {!Skipper_trace.Svg.gantt}. *)
 
 val pp_timings : Format.formatter -> compiled -> unit
 (** {!reports} as a fixed-width table. *)

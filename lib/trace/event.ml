@@ -68,6 +68,10 @@ let processor_track p = 3 + p
    with processor tracks. *)
 let pool_track = 1_000_000
 
+(* Just below the pool: SLO alerts sort after every processor lane but
+   before the domain-pool telemetry. *)
+let slo_track = 999_999
+
 let compile_lane =
   { track = compile_track; track_label = "toolchain"; index = 0; label = "passes" }
 
@@ -97,6 +101,9 @@ let cpu_lane proc =
     index = -1;
     label = "cpu";
   }
+
+let slo_lane ~index ~label =
+  { track = slo_track; track_label = "slo"; index; label }
 
 let pool_lane domain =
   {

@@ -126,6 +126,9 @@ val processor_track : int -> int
 val pool_track : int
 (** The domain pool's track, far above every processor track. *)
 
+val slo_track : int
+(** SLO-monitor alert lanes, between the processors and the pool. *)
+
 val compile_lane : lane
 (** The toolchain's single lane (pass-manager stage spans). *)
 
@@ -140,6 +143,10 @@ val processor_lane : proc:int -> pid:int -> name:string -> lane
 
 val cpu_lane : int -> lane
 (** Processor-level events not tied to a process (faults). *)
+
+val slo_lane : index:int -> label:string -> lane
+(** One lane per SLO declaration, carrying its state-transition instants
+    (see {!Series.Slo.emit}); [label] is the declaration as written. *)
 
 val pool_lane : int -> lane
 (** One lane per {!Support.Domain_pool} worker, on {!pool_track} — a

@@ -1,0 +1,236 @@
+(** Windowed time-series telemetry over the simulated timeline.
+
+    Every other observability surface (metrics, conformance) reports
+    end-of-run aggregates; this module folds the message-lifecycle trace and
+    the executive's frame bookkeeping into fixed-width windows of simulated
+    time, so "what was throughput during the fault window?" and "when did
+    p99 first blow the frame budget?" have answers. On top of the series sits
+    an {!Slo} monitor: per-window evaluation of declarations like
+    ["p99_latency<8ms"] with burn-rate state (ok → warning → violated), a
+    structured violations report, instants on the unified timeline and
+    violation bands on the SVG Gantt.
+
+    Everything here is simulation-deterministic: two builds from the same
+    run produce byte-identical exports at any [--jobs] level, and windows
+    built from a partition of the observation stream {!merge} back to the
+    very bytes of a single build (the window-merge invariant pinned in
+    [test_series]). *)
+
+(** Mergeable log-bucketed latency histogram.
+
+    Buckets are geometric with ratio [2^(1/8)] (eight per octave, ≤ 9%
+    relative resolution) from 1 µs upward; every bound is derived by IEEE
+    multiplication from the base, so bucket assignment is deterministic
+    across platforms. [merge] adds counts bucket-wise — it is associative
+    and commutative, which is what lets per-window histograms from
+    partitioned streams combine exactly. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val merge : t -> t -> t
+  (** Fresh histogram holding both operands' samples. *)
+
+  val count : t -> int
+  val sum : t -> float
+  (** Exact sum of the samples (not bucket-quantised). *)
+
+  val mean : t -> float
+  (** [sum / count]; [0.0] when empty. *)
+
+  val quantile : t -> float -> float
+  (** Nearest-rank quantile ([rank = max 1 (ceil (q * count))]) reported as
+      the containing bucket's upper bound — conservative by at most one
+      bucket ratio. [0.0] when empty. *)
+
+  val buckets : t -> (float * int) list
+  (** Non-empty buckets as (upper bound seconds, count), ascending —
+      Prometheus [le] semantics. *)
+end
+
+type window = {
+  index : int;
+  w_start : float;  (** seconds, inclusive *)
+  w_finish : float;  (** seconds, exclusive (last window absorbs the tail) *)
+  frames : int;  (** frame outputs completed in this window *)
+  messages : int;  (** process sends started in this window *)
+  reissues : int;  (** df tasks reissued in this window *)
+  deadline_misses : int;  (** late frames, attributed to their output window *)
+  faults : int;  (** fault instants (halt/restore/drop/...) in this window *)
+  in_flight : int;
+      (** frames injected but not yet completed at the window's end;
+          meaningful when [injections] was supplied to {!build} (negative
+          otherwise, by construction — the count is injected minus
+          completed) *)
+  backlog : int;
+      (** high-water mailbox backlog growth within the window: per-port
+          deliveries minus consumptions, clamped at 0, measured from the
+          window's opening backlog — window-local, so partitioned builds
+          merge exactly *)
+  busy : float array;  (** per-processor busy seconds, spans clipped *)
+  link_busy : ((int * int) * float) list;
+      (** per directed link, occupied seconds clipped to the window;
+          only links active in the window, sorted by (src, dst) *)
+  latency : Hist.t;  (** latencies of the frames completed in this window *)
+  last_output : float option;
+      (** completion time of the window's latest frame, for gap detection *)
+}
+
+type t = {
+  width : float;  (** window width, seconds *)
+  horizon : float;  (** end of observed time *)
+  nprocs : int;
+  windows : window array;  (** dense, window [i] covers [i*width, (i+1)*width) *)
+  truncated : bool;  (** the source trace dropped events past its limit *)
+}
+
+type totals = {
+  total_frames : int;
+  total_messages : int;
+  total_busy : float;  (** seconds, all processors *)
+  total_reissues : int;
+  total_deadline_misses : int;
+  total_faults : int;
+}
+
+val build :
+  width:float ->
+  nprocs:int ->
+  ?horizon:float ->
+  ?output_times:float list ->
+  ?latencies:float list ->
+  ?input_period:float ->
+  ?injections:float list ->
+  ?reissue_times:float list ->
+  Event.timeline ->
+  (t, string) result
+(** Folds the timeline (and the executive-level observation lists) into
+    windows. [horizon] extends the covered range (the maximum of the
+    argument and every observation is used) — partial builds that will be
+    {!merge}d must share an explicit horizon so their window counts agree.
+    [output_times]/[latencies] must pair up index-wise; [input_period]
+    classifies deadline misses (latency > period); [injections] are frame
+    availability times (for [in_flight]); [reissue_times] are the
+    executive's timestamped df reissues. [Error] on a non-positive width or
+    mismatched observation lists. An empty timeline is a valid (all-zero)
+    series — callers wanting "tracing was off" as an error check
+    {!Event.length} first. *)
+
+val merge : t -> t -> (t, string) result
+(** Window-wise combination: additive fields add, histograms merge,
+    [backlog] and [last_output] take the maximum, [truncated] ors. Exact
+    (byte-identical export) when the operands were built from a partition of
+    the observation stream by window; [Error] on differing [width] or
+    [nprocs]. *)
+
+val throughput : t -> window -> float
+(** Frames per second completed in the window. *)
+
+val utilisation : t -> window -> float
+(** Mean busy fraction over processors for the window ([busy / width];
+    the final, possibly partial window divides by the full width too). *)
+
+val totals : t -> totals
+(** Sums over all windows — by construction equal to the run totals
+    ([Sim.stats] messages, accounts busy time, executive frame counts);
+    the equality is pinned property-wise in [test_series]. *)
+
+(** SLO declarations, per-window evaluation and burn-rate alerting. *)
+module Slo : sig
+  type metric =
+    | P50
+    | P95
+    | P99
+    | Mean_latency
+    | Miss_rate  (** deadline misses / frames, per window *)
+    | Period  (** width/frames, or the widening gap since the last output *)
+    | Throughput  (** frames per second *)
+    | Utilisation  (** mean busy fraction *)
+
+  type op = Lt | Le | Gt | Ge
+
+  type spec = {
+    raw : string;  (** the declaration as written, e.g. ["p99_latency<8ms"] *)
+    metric : metric;
+    op : op;
+    threshold : float;  (** base units: seconds, fps, or a ratio *)
+  }
+
+  val metric_names : string list
+  (** Accepted metric spellings, for help text and error messages. *)
+
+  val parse : string -> (spec, string) result
+  (** Parses ["METRIC OP VALUE[UNIT]"] — e.g. ["p99_latency<8ms"],
+      ["miss_rate<0.01"], ["period<3ms"], ["throughput>=20"],
+      ["utilisation>0.5"]. Ops: [<], [<=], [>], [>=]. Units: [us]/[ms]/[s]
+      on time metrics, [%] on ratios, bare numbers otherwise. *)
+
+  type state = Healthy | Warning | Violated
+
+  (** Burn-rate semantics: a failing window moves Healthy → Warning, a
+      second consecutive failing window Warning → Violated; any passing
+      window returns to Healthy (a Violated → Healthy transition is a
+      recovery); windows with no observation (e.g. no frame completed, for
+      a latency metric) hold the state. *)
+
+  type monitor = {
+    spec : spec;
+    final : state;
+    transitions : (float * state * state) list;
+        (** (window end time, from, to), in time order *)
+    failing_windows : int;
+    total_burn : float;  (** seconds: width × failing windows *)
+    first_violation : float option;  (** first entry into Violated *)
+    worst : (int * float) option;
+        (** (window index, observed value) of the worst failing window *)
+    recovered_at : float option;
+        (** first Violated → Healthy transition after [first_violation] *)
+    time_to_recovery : float option;
+        (** [recovered_at - first_violation] *)
+  }
+
+  type report = { window_width : float; monitors : monitor list }
+
+  val evaluate : spec list -> t -> report
+  (** One monitor per spec, in argument order. *)
+
+  val state_name : state -> string
+  (** ["ok"], ["warning"] or ["violated"]. *)
+
+  val to_string : report -> string
+  (** The violations report: one line per SLO with first-violation time,
+      worst window, total burn and time-to-recovery. *)
+
+  val emit : Event.timeline -> report -> unit
+  (** Appends every state transition as an instant on the SLO lanes
+      ({!Event.slo_lane}), so Chrome/SVG exports carry the alerts on the
+      unified timeline. *)
+
+  val bands : report -> Svg.band list
+  (** One full-height band per violation episode (first failing window of a
+      bad spell through its last failing window), for
+      {!Svg.gantt}'s [?bands]. *)
+end
+
+(** {1 Exporters}
+
+    All three are deterministic functions of the series (and optional SLO
+    report): fixed field order, fixed number formatting, no wall-clock
+    anywhere — CI byte-compares them across [--jobs] levels. *)
+
+val to_json : ?slo:Slo.report -> t -> string
+(** One JSON object: [width_s], [horizon_s], [nprocs], [nwindows],
+    [truncated], [totals], [windows] (per-window rows with busy/links/
+    latency percentiles and histogram buckets) and [slos] (empty array
+    without [slo]). Top-level field set pinned in [test_determinism]. *)
+
+val to_csv : t -> string
+(** One row per window with derived columns (throughput, utilisation,
+    p50/p95/p99 in milliseconds); header row first. *)
+
+val to_prometheus : ?slo:Slo.report -> t -> string
+(** Prometheus text-exposition snapshot of the run totals: counters,
+    per-processor/per-link totals, the merged latency histogram with [le]
+    buckets, last-window gauges, and per-SLO state/burn when [slo] is
+    given. *)

@@ -32,6 +32,14 @@ type overlay_bar = {
   bar_finish : float;
 }
 
+type band = {
+  band_label : string;
+  band_start : float;
+  band_finish : float;
+}
+
+let band_colour = "#e15759"
+
 let lanes ~extra events =
   let seen = Hashtbl.create 16 in
   let note (lane : Event.lane) =
@@ -44,7 +52,8 @@ let lanes ~extra events =
   List.iter (fun b -> note b.bar_lane) extra;
   List.sort compare (Hashtbl.fold (fun _ l acc -> l :: acc) seen [])
 
-let gantt ?(width = 960) ?(predicted = []) ?(critical = []) timeline =
+let gantt ?(width = 960) ?(predicted = []) ?(critical = []) ?(bands = [])
+    timeline =
   let events = Event.by_time timeline in
   if events = [] then
     Error
@@ -71,6 +80,9 @@ let gantt ?(width = 960) ?(predicted = []) ?(critical = []) timeline =
       List.fold_left
         (fun acc b -> Float.max acc b.bar_finish)
         tmax (predicted @ critical)
+    in
+    let tmax =
+      List.fold_left (fun acc b -> Float.max acc b.band_finish) tmax bands
     in
     let tmax = if tmax > 0.0 then tmax else 1.0 in
     let x t = left +. (t /. tmax *. (widthf -. left -. right)) in
@@ -139,6 +151,23 @@ let gantt ?(width = 960) ?(predicted = []) ?(critical = []) timeline =
            (f2 (top -. 6.0))
            (f2 (t *. 1e3)))
     done;
+    (* SLO violation bands: full-height translucent ranges behind every
+       lane, so "when were we out of budget" reads directly off the chart *)
+    List.iter
+      (fun band ->
+        let x0 = x band.band_start in
+        let w = Float.max 0.6 (x band.band_finish -. x0) in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<rect class=\"slo-band\" x=\"%s\" y=\"%s\" width=\"%s\" \
+              height=\"%s\" fill=\"%s\" fill-opacity=\"0.10\"><title>SLO %s \
+              violated @ %s ms (%s ms)</title></rect>\n"
+             (f2 x0) (f2 top) (f2 w)
+             (f2 (height -. top -. bottom))
+             band_colour (escape band.band_label)
+             (f2 (band.band_start *. 1e3))
+             (f2 ((band.band_finish -. band.band_start) *. 1e3))))
+      bands;
     (* predicted ghost bars (behind the measured spans): the static
        schedule's op/comm slots drawn as dashed outlines on the same lanes,
        so slippage is visible as measured bars sliding off their ghosts *)
@@ -240,7 +269,7 @@ let gantt ?(width = 960) ?(predicted = []) ?(critical = []) timeline =
              (f2 (bar.bar_start *. 1e3))
              (f2 ((bar.bar_finish -. bar.bar_start) *. 1e3))))
       critical;
-    if predicted <> [] || critical <> [] then
+    if predicted <> [] || critical <> [] || bands <> [] then
       Buffer.add_string b
         (Printf.sprintf
            "<text x=\"4\" y=\"%s\">%s</text>\n"
@@ -248,9 +277,10 @@ let gantt ?(width = 960) ?(predicted = []) ?(critical = []) timeline =
            (escape
               (String.concat "   "
                  ((if predicted <> [] then [ "dashed grey = predicted" ] else [])
+                 @ (if critical <> [] then [ "gold outline = critical path" ]
+                    else [])
                  @
-                 if critical <> [] then [ "gold outline = critical path" ]
-                 else []))));
+                 if bands <> [] then [ "red band = SLO violation" ] else []))));
     if Event.truncated timeline then
       Buffer.add_string b
         (Printf.sprintf

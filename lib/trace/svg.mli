@@ -14,7 +14,11 @@
       bars behind the measured spans, so slippage shows up as a measured
       bar sliding off its ghost;
     - [critical]: the measured critical path as gold outlines drawn on top
-      of the spans they bound. *)
+      of the spans they bound.
+
+    A third, lane-independent overlay marks time ranges: [bands] draws
+    full-height translucent rectangles (SLO violation episodes from
+    {!Series.Slo.bands}) behind every lane's bars. *)
 
 type overlay_bar = {
   bar_lane : Event.lane;
@@ -24,14 +28,21 @@ type overlay_bar = {
   bar_finish : float;
 }
 
+type band = {
+  band_label : string;
+  band_start : float;  (** seconds *)
+  band_finish : float;
+}
+
 val gantt :
   ?width:int ->
   ?predicted:overlay_bar list ->
   ?critical:overlay_bar list ->
+  ?bands:band list ->
   Event.timeline ->
   (string, string) result
 (** Renders the timeline; [Error] with an explanatory message when the
     timeline holds no events (typically: tracing was not enabled on the
     machine). [width] is the total image width in pixels (default 960).
-    With neither overlay the output is byte-identical to the overlay-free
+    With no overlay the output is byte-identical to the overlay-free
     renderer. *)

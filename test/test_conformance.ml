@@ -146,6 +146,8 @@ let mk_report links =
     deadline_misses = 0;
     reissues = 0;
     latency = None;
+    trace_truncated = false;
+    trace_limit = 0;
   }
 
 let mk_link src dst link_busy =
@@ -178,9 +180,22 @@ let test_latency_stats () =
   (match Machine.Metrics.latency_stats [ 5.0 ] with
   | Some s ->
       Alcotest.(check (float 1e-12)) "singleton mean" 5.0 s.Machine.Metrics.mean_latency;
+      Alcotest.(check (float 1e-12)) "singleton p50" 5.0 s.Machine.Metrics.p50;
+      Alcotest.(check (float 1e-12)) "singleton p95" 5.0 s.Machine.Metrics.p95;
       Alcotest.(check (float 1e-12)) "singleton p99" 5.0 s.Machine.Metrics.p99;
       Alcotest.(check (float 1e-12)) "singleton jitter" 0.0 s.Machine.Metrics.jitter
   | None -> Alcotest.fail "singleton should produce stats");
+  (* the documented nearest-rank convention: rank round(q*n + 0.5) rounds
+     half away from zero, so p50 of a pair is the *larger* element *)
+  (match Machine.Metrics.latency_stats [ 2.0; 1.0 ] with
+  | Some s ->
+      Alcotest.(check (float 1e-12)) "pair p50 is the larger element" 2.0
+        s.Machine.Metrics.p50;
+      Alcotest.(check (float 1e-12)) "pair p99 is the max" 2.0
+        s.Machine.Metrics.p99;
+      Alcotest.(check (float 1e-12)) "pair jitter is the population sd" 0.5
+        s.Machine.Metrics.jitter
+  | None -> Alcotest.fail "pair should produce stats");
   match Machine.Metrics.latency_stats (List.init 100 (fun i -> float (i + 1))) with
   | Some s ->
       let open Machine.Metrics in

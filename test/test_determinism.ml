@@ -238,7 +238,8 @@ let test_golden_metrics_json () =
     [
       "finish_time_s"; "mean_utilisation"; "messages"; "bytes"; "imbalance";
       "link_contention"; "dropped_msgs"; "deadline_misses"; "reissues";
-      "latency"; "processors"; "links"; "ports"; "processes";
+      "trace_truncated"; "trace_limit"; "latency"; "processors"; "links";
+      "ports"; "processes";
     ]
     (deterministic_fields keys);
   Alcotest.(check (list string))
@@ -253,10 +254,30 @@ let test_golden_summary_json () =
     [
       "experiment"; "finish_time"; "utilisation"; "messages"; "bytes";
       "imbalance"; "dropped_msgs"; "deadline_misses"; "reissues";
+      "trace_truncated";
     ]
     (deterministic_fields keys);
   Alcotest.(check (list string))
     "bench --json entry carries no wall-clock field" [] (timing_fields keys)
+
+let test_golden_series_json () =
+  let r = run_job healthy in
+  let series =
+    match Executive.series r with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let json = Skipper_trace.Series.to_json series in
+  let keys = top_keys json in
+  Alcotest.(check (list string))
+    "Series.to_json deterministic fields"
+    [
+      "width_s"; "horizon_s"; "nprocs"; "nwindows"; "truncated"; "totals";
+      "windows"; "slos";
+    ]
+    (deterministic_fields keys);
+  Alcotest.(check (list string))
+    "Series.to_json carries no wall-clock field" [] (timing_fields keys)
 
 let test_golden_stage_report_json () =
   let table = Skel.Funtable.create () in
@@ -301,6 +322,7 @@ let () =
         [
           Alcotest.test_case "Metrics.to_json" `Quick test_golden_metrics_json;
           Alcotest.test_case "bench --json entry" `Quick test_golden_summary_json;
+          Alcotest.test_case "series" `Quick test_golden_series_json;
           Alcotest.test_case "stage report" `Quick test_golden_stage_report_json;
         ] );
     ]
