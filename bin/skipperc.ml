@@ -265,31 +265,34 @@ let series_files ~series_out ~slo_specs ~series_window (r : Executive.result) =
     (slo, List.map render series_out)
   end
 
-(* "%{procs}" templating for per-variant artifact paths in a sweep. *)
+(* "%{procs}" templating for per-variant artifact paths in a sweep. Every
+   occurrence expands, so "out/%{procs}/trace-%{procs}.json" works. *)
 let subst_procs ~procs path =
-  let pat = "%{procs}" in
-  let rep = string_of_int procs in
-  let plen = String.length pat and n = String.length path in
-  let buf = Buffer.create n in
-  let i = ref 0 in
-  while !i < n do
-    if !i + plen <= n && String.sub path !i plen = pat then begin
-      Buffer.add_string buf rep;
-      i := !i + plen
-    end
-    else begin
-      Buffer.add_char buf path.[!i];
-      incr i
-    end
-  done;
-  Buffer.contents buf
+  Support.Template.subst ~key:"procs" ~value:(string_of_int procs) path
 
-let has_procs_template path =
-  subst_procs ~procs:0 path <> path
+let has_procs_template path = Support.Template.mem ~key:"procs" path
 
-let compile ~app ~frames ?(optimize = false) path =
+(* --cache-dir: a persistent content-addressed store for front-end compile
+   artifacts, stamped with the artifact format so entries from an
+   incompatible build read as misses. *)
+let open_cache_store dir =
+  Support.Store.open_store ~dir ~stamp:Skipper_lib.Passes.artifact_format ()
+
+let make_cache = function
+  | None -> None
+  | Some dir ->
+      Some (Skipper_lib.Passes.create_cache ~store:(open_cache_store dir) ())
+
+let cache_summary cache =
+  let hits, misses = Skipper_lib.Passes.cache_stats cache in
+  Printf.sprintf "skipperc: cache: %d hits (%d from store), %d misses" hits
+    (Skipper_lib.Passes.store_hits cache)
+    misses
+
+let compile ~app ~frames ?(optimize = false) ?cache path =
   let table = app_table app in
-  Skipper_lib.Pipeline.compile_source ~frames ~optimize ~table (read_file path)
+  Skipper_lib.Pipeline.compile_source ~frames ~optimize ?cache ~table
+    (read_file path)
 
 let print_timings c = Format.printf "%a" Skipper_lib.Pipeline.pp_timings c
 
@@ -373,6 +376,17 @@ let frontier_out_arg =
            bicriteria, a single point for single-schedule strategies). In a \
            multi-count --procs sweep the path must carry a %{procs} \
            template.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Persist front-end compile artifacts in a content-addressed \
+              store under DIR, shared across skipperc invocations (and with \
+              a serve daemon pointed at the same DIR). A second compile of \
+              the same source reports every front-end pass as cached. A \
+              cache summary line is printed to stderr after compilation.")
 
 let optimize_arg =
   Arg.(
@@ -625,9 +639,9 @@ let frontier_file ~strategy ~arch c path =
       path )
 
 let run_cmd =
-  let run app frames procs_list topo strat fps optimize timings dump trace_out
-      gantt_svg conformance series_out slos series_window frontier_out halts
-      restores drops delays dups df_timeout jobs file =
+  let run app frames procs_list topo strat fps optimize cache_dir timings dump
+      trace_out gantt_svg conformance series_out slos series_window
+      frontier_out halts restores drops delays dups df_timeout jobs file =
     wrap (fun () ->
         let strategy = strategy_of strat in
         (* parsed before anything runs, so a bad spec fails fast *)
@@ -651,7 +665,11 @@ let run_cmd =
         match procs_list with
         | [] -> failwith "--procs: empty list"
         | [ procs ] ->
-            let c = compile ~app ~frames ~optimize file in
+            let cache = make_cache cache_dir in
+            let c = compile ~app ~frames ~optimize ?cache file in
+            Option.iter
+              (fun cache -> Printf.eprintf "%s\n" (cache_summary cache))
+              cache;
             let arch = topology topo procs in
             (match dump with
             | Some stage ->
@@ -738,7 +756,10 @@ let run_cmd =
                  ("--frontier-out", frontier_out) ]
               @ List.map (fun p -> ("--series-out", Some p)) series_out);
             let run_one procs =
-              let c = compile ~app ~frames ~optimize file in
+              (* per-variant cache over the shared store; no summary line —
+                 which variant warms the store first is a race, and sweep
+                 output must stay deterministic *)
+              let c = compile ~app ~frames ~optimize ?cache:(make_cache cache_dir) file in
               let arch = topology topo procs in
               let input_period = Option.map (fun f -> 1.0 /. f) fps in
               (* parsed per job: a fault plan carries per-schedule state *)
@@ -816,9 +837,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile, map and execute on the simulated MIMD-DM machine.")
     Term.(
       const run $ app_arg $ frames_arg $ procs_list_arg $ topo_arg $ strategy_arg
-      $ fps_arg $ optimize_arg $ timings_arg $ dump_arg $ trace_out_arg
-      $ gantt_svg_arg $ conformance_arg $ series_out_arg $ slo_arg
-      $ series_window_arg $ frontier_out_arg $ halt_arg $ restore_arg
+      $ fps_arg $ optimize_arg $ cache_dir_arg $ timings_arg $ dump_arg
+      $ trace_out_arg $ gantt_svg_arg $ conformance_arg $ series_out_arg
+      $ slo_arg $ series_window_arg $ frontier_out_arg $ halt_arg $ restore_arg
       $ drop_link_arg $ delay_link_arg $ dup_link_arg $ df_timeout_arg
       $ jobs_arg $ file_arg)
 
@@ -906,10 +927,82 @@ let demo_cmd =
       $ restore_arg $ drop_link_arg $ delay_link_arg $ dup_link_arg
       $ df_timeout_arg)
 
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix domain socket the daemon listens on (serve) or connects \
+              to (client).")
+
+let serve_cmd =
+  let run socket cache_dir jobs =
+    wrap (fun () ->
+        let cfg =
+          {
+            Skipper_lib.Serve.table_of = app_table;
+            input_of = default_input;
+            arch_of = Archi.ring;
+            store = Option.map open_cache_store cache_dir;
+            jobs;
+          }
+        in
+        let served = Skipper_lib.Serve.serve cfg ~socket () in
+        Printf.eprintf "skipperc: serve: %d request(s) served\n" served)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the compile daemon: a long-lived process on a Unix socket \
+             accepting batched compile/run requests (length-prefixed JSON), \
+             with warm in-process caches and an optional shared --cache-dir \
+             store. Stops on a shutdown request.")
+    Term.(const run $ socket_arg $ cache_dir_arg $ jobs_arg)
+
+let client_cmd =
+  let run socket op app frames optimize procs strat file =
+    wrap (fun () ->
+        let source () =
+          match file with
+          | Some f -> read_file f
+          | None -> failwith (Printf.sprintf "op %s needs a FILE argument" op)
+        in
+        let req =
+          match op with
+          | "compile" ->
+              Skipper_lib.Serve.req_compile ~frames ~optimize ~app (source ())
+          | "run" ->
+              Skipper_lib.Serve.req_run ~frames ~optimize
+                ~strategy:(strategy_of strat) ~procs ~app (source ())
+          | "stats" -> Skipper_lib.Serve.req_stats
+          | "shutdown" -> Skipper_lib.Serve.req_shutdown
+          | other -> failwith (Printf.sprintf "unknown op %S" other)
+        in
+        match Skipper_lib.Serve.call ~socket [ req ] with
+        | Ok [ resp ] -> print_endline (Support.Json.to_string resp)
+        | Ok _ -> failwith "unexpected response count"
+        | Error msg -> failwith msg)
+  in
+  let op_arg =
+    Arg.(
+      value & opt string "run"
+      & info [ "op" ] ~docv:"OP"
+          ~doc:"Request to send: run (default), compile, stats or shutdown.")
+  in
+  let file_opt_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running serve daemon and print the JSON \
+             response.")
+    Term.(
+      const run $ socket_arg $ op_arg $ app_arg $ frames_arg $ optimize_arg
+      $ procs_arg $ strategy_arg $ file_opt_arg)
+
 let main =
   let doc = "SKiPPER: skeleton-based parallel programming environment" in
   Cmd.group (Cmd.info "skipperc" ~doc ~version:"1.0.0")
     [ check_cmd; graph_cmd; map_cmd; macro_cmd; emulate_cmd; run_cmd; equiv_cmd;
-      repl_cmd; demo_cmd ]
+      repl_cmd; demo_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main)

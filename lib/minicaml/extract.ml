@@ -24,11 +24,18 @@ type dataflow =
   | Single of string
   | Components of string list  (** names of the tuple components, in order *)
 
+(* The counter is global, but a replayed cached compile may have installed
+   names minted by another process (see Funtable.derive), so skip any name
+   the table already holds. *)
 let gensym =
   let n = ref 0 in
-  fun base ->
-    incr n;
-    Printf.sprintf "%s__s%d" base !n
+  fun table base ->
+    let rec fresh () =
+      incr n;
+      let name = Printf.sprintf "%s__s%d" base !n in
+      if Skel.Funtable.mem table name then fresh () else name
+    in
+    fresh ()
 
 let external_entry table loc name =
   match Skel.Funtable.find_opt table name with
@@ -68,25 +75,23 @@ let classify ctx genv dataflow arg =
       Whole
   | _ -> Const (const_value ctx genv loc arg)
 
-(* Register a unary wrapper applying [fn] to arguments assembled from the
-   incoming dataflow value per [specs]. This is the glue code SKiPPER
-   generates around user C functions. *)
-let register_wrapper table fn_name (entry : Skel.Funtable.entry) specs =
-  let build v =
-    let component i =
-      match v with
-      | V.Tuple vs when i < List.length vs -> List.nth vs i
-      | _ -> failwith (fn_name ^ ": dataflow value has no component " ^ string_of_int i)
-    in
-    let args =
-      List.map (function Whole -> v | Proj i -> component i | Const c -> c) specs
-    in
-    match args with [ a ] -> a | args -> V.Tuple args
+(* Register a unary wrapper applying [fn_name] to arguments assembled from
+   the incoming dataflow value per [specs]. This is the glue code SKiPPER
+   generates around user C functions; the closure itself is built by
+   Funtable.derive from the pure-data recipe, so a cached compile can
+   replay the registration. *)
+let register_wrapper table fn_name specs =
+  let specs =
+    List.map
+      (function
+        | Whole -> Skel.Funtable.Whole
+        | Proj i -> Skel.Funtable.Proj i
+        | Const c -> Skel.Funtable.Const c)
+      specs
   in
-  let wrapper = gensym fn_name in
-  Skel.Funtable.register table wrapper ~arity:1
-    ~cost:(fun v -> entry.Skel.Funtable.cost (build v))
-    (fun v -> entry.Skel.Funtable.apply (build v));
+  let wrapper = gensym table fn_name in
+  Skel.Funtable.derive table wrapper
+    (Skel.Funtable.Wrapper { base = fn_name; specs });
   wrapper
 
 let expect_external_var table _loc what = function
@@ -156,7 +161,7 @@ let translate_stage table ctx genv dataflow rhs =
         error loc "stage %s does not consume the dataflow value" f;
       (* Identity wrappers are skipped when the call is exactly [f flow]. *)
       if specs = [ Whole ] then Skel.Ir.Seq f
-      else Skel.Ir.Seq (register_wrapper table f entry specs)
+      else Skel.Ir.Seq (register_wrapper table f specs)
   | head, _ ->
       error (Ast.expr_loc head) "unsupported stage expression %s"
         (Format.asprintf "%a" Ast.pp_expr head)

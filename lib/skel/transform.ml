@@ -2,11 +2,18 @@ type applied = { rule : string; count : int }
 
 let rule_names = [ "flatten-pipe"; "fuse-seq"; "serialise-df"; "serialise-tf"; "serialise-scm" ]
 
+(* The counter is global, but a replayed cached compile may have installed
+   names minted by another process (see Funtable.derive), so skip any name
+   the table already holds. *)
 let gensym =
   let n = ref 0 in
-  fun base ->
-    incr n;
-    Printf.sprintf "%s__t%d" base !n
+  fun table base ->
+    let rec fresh () =
+      incr n;
+      let name = Printf.sprintf "%s__t%d" base !n in
+      if Funtable.mem table name then fresh () else name
+    in
+    fresh ()
 
 (* ------------------------------------------------------------------ *)
 (* Structural rules                                                    *)
@@ -28,81 +35,28 @@ let rec flatten_pipes stage =
 (* ------------------------------------------------------------------ *)
 (* Table-backed rules                                                  *)
 
+(* Each rule mints a fresh name and installs a pure-data derivation; the
+   closure-building lives in Funtable.derive so that a cached compile can
+   replay the same registrations without re-running the rewrite. *)
+
 let compose table f g =
-  let ef = Funtable.find table f and eg = Funtable.find table g in
-  let name = gensym (f ^ "_" ^ g) in
-  Funtable.register table name ~arity:1
-    ~cost:(fun v ->
-      (* Cost of f plus cost of g on f's result: evaluating f here would
-         run user code inside a cost model, so approximate g's argument by
-         f's input — cost models are estimates by nature. *)
-      ef.Funtable.cost v +. eg.Funtable.cost v)
-    (fun v -> eg.Funtable.apply (ef.Funtable.apply v));
+  let name = gensym table (f ^ "_" ^ g) in
+  Funtable.derive table name (Funtable.Compose { f; g });
   name
 
 let serialise_df table ~comp ~acc ~init =
-  let ec = Funtable.find table comp and ea = Funtable.find table acc in
-  let name = gensym ("df1_" ^ comp) in
-  Funtable.register table name ~arity:1
-    ~cost:(fun v ->
-      match v with
-      | Value.List xs ->
-          List.fold_left
-            (fun total x -> total +. ec.Funtable.cost x +. ea.Funtable.cost x)
-            500.0 xs
-      | _ -> 500.0)
-    (fun v ->
-      match v with
-      | Value.List xs ->
-          List.fold_left
-            (fun z x ->
-              ea.Funtable.apply (Value.Tuple [ z; ec.Funtable.apply x ]))
-            init xs
-      | other -> raise (Value.Type_error ("df expects a list, got " ^ Value.to_string other)));
+  let name = gensym table ("df1_" ^ comp) in
+  Funtable.derive table name (Funtable.Serial_df { comp; acc; init });
   name
 
 let serialise_tf table ~work ~acc ~init =
-  let ew = Funtable.find table work and ea = Funtable.find table acc in
-  let name = gensym ("tf1_" ^ work) in
-  Funtable.register table name ~arity:1
-    ~cost:(fun v ->
-      match v with
-      | Value.List xs ->
-          (* Lower bound: at least one work + acc per initial packet. *)
-          List.fold_left
-            (fun total x -> total +. ew.Funtable.cost x +. ea.Funtable.cost x)
-            500.0 xs
-      | _ -> 500.0)
-    (fun v ->
-      match v with
-      | Value.List xs ->
-          let rec loop z = function
-            | [] -> z
-            | x :: rest -> (
-                match ew.Funtable.apply x with
-                | Value.Tuple [ Value.List subs; y ] ->
-                    loop (ea.Funtable.apply (Value.Tuple [ z; y ])) (subs @ rest)
-                | other ->
-                    raise
-                      (Value.Type_error
-                         ("tf work returned " ^ Value.to_string other)))
-          in
-          loop init xs
-      | other -> raise (Value.Type_error ("tf expects a list, got " ^ Value.to_string other)));
+  let name = gensym table ("tf1_" ^ work) in
+  Funtable.derive table name (Funtable.Serial_tf { work; acc; init });
   name
 
 let serialise_scm table ~split ~compute ~merge =
-  let es = Funtable.find table split
-  and ec = Funtable.find table compute
-  and em = Funtable.find table merge in
-  let name = gensym ("scm1_" ^ compute) in
-  Funtable.register table name ~arity:1
-    ~cost:(fun v -> es.Funtable.cost v +. ec.Funtable.cost v +. em.Funtable.cost v)
-    (fun v ->
-      match es.Funtable.apply (Value.Tuple [ Value.Int 1; v ]) with
-      | Value.List parts ->
-          em.Funtable.apply (Value.List (List.map ec.Funtable.apply parts))
-      | other -> raise (Value.Type_error ("scm split returned " ^ Value.to_string other)));
+  let name = gensym table ("scm1_" ^ compute) in
+  Funtable.derive table name (Funtable.Serial_scm { split; compute; merge });
   name
 
 (* One bottom-up rewriting pass; returns the stage and per-rule counters. *)

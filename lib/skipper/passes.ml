@@ -7,32 +7,41 @@ let error fmt = Printf.ksprintf (fun m -> raise (Pass_error m)) fmt
 (* ------------------------------------------------------------------ *)
 (* Memoization cache                                                   *)
 
-type cache = {
-  entries : (string, Stage.artifact) Hashtbl.t;
-  mutable tables : (Skel.Funtable.t * int) list;
-      (* physical identities: a cached artifact may reference functions the
-         producing pass registered into its table, so artifacts are only
-         reused with the very table they were built against *)
-  mutable hits : int;
-  mutable misses : int;
+(* Bump whenever the marshalled shape of cached front-end artifacts changes
+   (Stage.artifact constructors, Funtable.derivation, or anything they
+   embed): persisted entries written under another stamp read as misses. *)
+let artifact_format = "skipper-artifact-v1"
+
+(* A cached pass result is the artifact plus the derived-function
+   registrations the producing pass installed into its table — pure data
+   (Funtable.derivation), replayed into the consuming table on a hit so the
+   artifact's references resolve. This is what lets a hit cross tables and
+   processes: the old scheme keyed on the table's physical identity
+   precisely because these side effects were unrecorded closures. *)
+type cached_entry = {
+  artifact : Stage.artifact;
+  derivations : (string * Skel.Funtable.derivation) list;
 }
 
-let create_cache () =
-  { entries = Hashtbl.create 64; tables = []; hits = 0; misses = 0 }
+type cache = {
+  entries : (string, cached_entry) Hashtbl.t;
+  store : Support.Store.t option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable store_hits : int;
+}
+
+let create_cache ?store () =
+  { entries = Hashtbl.create 64; store; hits = 0; misses = 0; store_hits = 0 }
 
 let cache_stats c = (c.hits, c.misses)
+let store_hits c = c.store_hits
+let cache_store c = c.store
 
 let reset_cache_stats c =
   c.hits <- 0;
-  c.misses <- 0
-
-let table_token cache table =
-  match List.find_opt (fun (t, _) -> t == table) cache.tables with
-  | Some (_, id) -> id
-  | None ->
-      let id = List.length cache.tables in
-      cache.tables <- (table, id) :: cache.tables;
-      id
+  c.misses <- 0;
+  c.store_hits <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Context                                                             *)
@@ -294,45 +303,97 @@ let record ctx pass ~start ~wall ~cached ~detail art =
     :: !(ctx.reports)
 
 let advance_key ctx pass art =
-  (* Seed the chain lazily with the entry artifact's digest and the table
-     identity, then extend per pass. *)
-  if ctx.key = "" then begin
-    let table_part =
-      match ctx.cache with
-      | Some cache -> string_of_int (table_token cache ctx.table)
-      | None -> "-"
-    in
-    ctx.key <- Stage.fingerprint art ^ "@" ^ table_part
-  end;
+  (* Seed the chain lazily with the entry artifact's digest and the table's
+     content digest (base registrations only — see Funtable.digest), then
+     extend per pass. Content, not identity: two independently constructed
+     tables with the same registrations produce the same keys, which is
+     what makes the cache meaningful across contexts and processes. *)
+  if ctx.key = "" then
+    ctx.key <- Stage.fingerprint art ^ "@" ^ Skel.Funtable.digest ctx.table;
   ctx.key <-
     Digest.to_hex
       (Digest.string
          (String.concat "\x00" [ ctx.key; pass.name; pass.token ctx ]))
 
+(* Install a cached entry's table side effects. False when the current
+   table already holds one of the names with a different recipe — the
+   caller treats that as a miss and re-runs the pass (whose gensyms skip
+   occupied names), so a collision degrades performance, never results. *)
+let try_replay table entry =
+  match Skel.Funtable.replay table entry.derivations with
+  | () -> true
+  | exception (Invalid_argument _ | Failure _) -> false
+
+let store_find cache key =
+  match cache.store with
+  | None -> None
+  | Some store -> (
+      match Support.Store.get store ~key with
+      | None -> None
+      | Some payload -> (
+          (* The store validated stamp and payload digest, so this is a
+             string some skipper with our artifact format marshalled; a
+             Marshal failure still only costs us the hit. *)
+          try Some (Marshal.from_string (payload : string) 0 : cached_entry)
+          with _ -> None))
+
+let store_save cache key entry =
+  match cache.store with
+  | None -> ()
+  | Some store ->
+      Support.Store.put store ~key (Marshal.to_string entry [])
+
+let run_uncached ctx pass art =
+  let t0 = Unix.gettimeofday () in
+  let out, detail = pass.apply ctx art in
+  let wall = Unix.gettimeofday () -. t0 in
+  record ctx pass ~start:t0 ~wall ~cached:false ~detail out;
+  (out, wall, detail)
+
 let run_pass ctx pass art =
   advance_key ctx pass art;
   match ctx.cache with
   | Some cache when pass.cacheable -> (
+      let hit entry detail =
+        record ctx pass
+          ~start:(Unix.gettimeofday ())
+          ~wall:0.0 ~cached:true ~detail entry.artifact;
+        entry.artifact
+      in
+      let miss () =
+        cache.misses <- cache.misses + 1;
+        let before = List.length (Skel.Funtable.derivations ctx.table) in
+        let t0 = Unix.gettimeofday () in
+        let out, detail = pass.apply ctx art in
+        let wall = Unix.gettimeofday () -. t0 in
+        let derivations =
+          (* Exactly the registrations this pass performed: the log only
+             grows, so they are the suffix past the pre-pass length. *)
+          List.filteri
+            (fun i _ -> i >= before)
+            (Skel.Funtable.derivations ctx.table)
+        in
+        let entry = { artifact = out; derivations } in
+        Hashtbl.replace cache.entries ctx.key entry;
+        store_save cache ctx.key entry;
+        record ctx pass ~start:t0 ~wall ~cached:false ~detail out;
+        out
+      in
       match Hashtbl.find_opt cache.entries ctx.key with
-      | Some out ->
+      | Some entry when try_replay ctx.table entry ->
           cache.hits <- cache.hits + 1;
-          record ctx pass
-            ~start:(Unix.gettimeofday ())
-            ~wall:0.0 ~cached:true ~detail:"memoized" out;
-          out
-      | None ->
-          cache.misses <- cache.misses + 1;
-          let t0 = Unix.gettimeofday () in
-          let out, detail = pass.apply ctx art in
-          let wall = Unix.gettimeofday () -. t0 in
-          Hashtbl.replace cache.entries ctx.key out;
-          record ctx pass ~start:t0 ~wall ~cached:false ~detail out;
-          out)
+          hit entry "memoized"
+      | Some _ -> miss ()
+      | None -> (
+          match store_find cache ctx.key with
+          | Some entry when try_replay ctx.table entry ->
+              cache.hits <- cache.hits + 1;
+              cache.store_hits <- cache.store_hits + 1;
+              Hashtbl.replace cache.entries ctx.key entry;
+              hit entry "store"
+          | _ -> miss ()))
   | _ ->
-      let t0 = Unix.gettimeofday () in
-      let out, detail = pass.apply ctx art in
-      let wall = Unix.gettimeofday () -. t0 in
-      record ctx pass ~start:t0 ~wall ~cached:false ~detail out;
+      let out, _, _ = run_uncached ctx pass art in
       out
 
 let run ctx passes art =

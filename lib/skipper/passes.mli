@@ -8,13 +8,23 @@
 
     Front-end passes are memoized in an optional {!cache}: the key is a
     running content hash seeded with the entry artifact's digest and the
-    table's identity, then extended per pass with the pass name and the
-    options that pass reads (frames for [extract], the optimise flag for
-    [transform], ...). Compiling the same source for several architectures
-    therefore runs parse/typecheck/extract/transform/expand exactly once —
-    the paper's §4 "almost instantaneous" variant builds. Target-dependent
-    passes (cost, map, emit, simulate) always run: cost models contain
-    closures and simulation is effectful, so they are not content-addressable. *)
+    table's {e content} digest ({!Skel.Funtable.digest}), then extended per
+    pass with the pass name and the options that pass reads (frames for
+    [extract], the optimise flag for [transform], ...). Compiling the same
+    source for several architectures therefore runs
+    parse/typecheck/extract/transform/expand exactly once — the paper's §4
+    "almost instantaneous" variant builds — and equal compiles against
+    independently constructed (but equally registered) tables share
+    entries. Each cached result carries the derived-function registrations
+    its pass performed ({!Skel.Funtable.derivation} values), replayed into
+    the consuming table on a hit.
+
+    When the cache is created over a {!Support.Store.t}, front-end results
+    also persist on disk (marshalled under {!artifact_format}), so a second
+    [skipperc] process compiling the same source starts warm. Target-
+    dependent passes (cost, map, emit, simulate) always run: cost models
+    contain closures and simulation is effectful, so they are not
+    content-addressable. *)
 
 type strategy = string
 (** A mapping-strategy name, resolved against {!Syndex.Mapper} by the map
@@ -29,9 +39,25 @@ exception Pass_error of string
 
 type cache
 
-val create_cache : unit -> cache
+val artifact_format : string
+(** Version stamp of the marshalled cached-artifact encoding. Open stores
+    destined for [?store] with this stamp, so entries written by an
+    incompatible skipper build read as misses instead of garbage. *)
+
+val create_cache : ?store:Support.Store.t -> unit -> cache
+(** In-memory memo table, optionally backed by a persistent store shared
+    across processes (and across domains — the store's counters are atomic
+    and its writes are rename-atomic; the in-memory table itself is not
+    shared between contexts living on different domains). *)
+
 val cache_stats : cache -> int * int
-(** [(hits, misses)] since creation or the last {!reset_cache_stats}. *)
+(** [(hits, misses)] since creation or the last {!reset_cache_stats}. Hits
+    count both in-memory and store hits; misses ran the pass. *)
+
+val store_hits : cache -> int
+(** How many of the hits were satisfied from the persistent store. *)
+
+val cache_store : cache -> Support.Store.t option
 
 val reset_cache_stats : cache -> unit
 

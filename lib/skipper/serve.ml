@@ -1,0 +1,331 @@
+module Json = Support.Json
+
+exception Protocol_error of string
+
+let protocol_error fmt =
+  Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Framing: 4-byte big-endian length, then that many bytes of JSON.    *)
+
+(* A frame larger than this is a protocol desync (or a hostile peer), not
+   a plausible batch; fail before allocating the "length". *)
+let max_frame = 64 * 1024 * 1024
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then buf
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> raise End_of_file
+      | k -> go (off + k)
+  in
+  go 0
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let read_frame fd =
+  let hdr = read_exact fd 4 in
+  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  if len < 0 || len > max_frame then
+    protocol_error "frame length %d out of range" len;
+  Bytes.to_string (read_exact fd len)
+
+let write_frame fd payload =
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (String.length payload));
+  write_all fd (Bytes.to_string hdr);
+  write_all fd payload
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+type config = {
+  table_of : string -> Skel.Funtable.t;
+  input_of : string -> Skel.Value.t option;
+  arch_of : int -> Archi.t;
+  store : Support.Store.t option;
+  jobs : int;
+}
+
+type request =
+  | Compile of { app : string; src : string; frames : int; optimize : bool }
+  | Run of {
+      app : string;
+      src : string;
+      frames : int;
+      optimize : bool;
+      procs : int;
+      strategy : string;
+    }
+  | Stats
+  | Shutdown
+
+let str_field j k = Option.bind (Json.member k j) Json.to_str
+
+let int_field j k default =
+  match Option.bind (Json.member k j) Json.to_float with
+  | Some f -> int_of_float f
+  | None -> default
+
+let bool_field j k default =
+  match Json.member k j with Some (Json.Bool b) -> b | _ -> default
+
+let parse_request j =
+  match str_field j "op" with
+  | Some "compile" -> (
+      match (str_field j "app", str_field j "src") with
+      | Some app, Some src ->
+          Ok
+            (Compile
+               {
+                 app;
+                 src;
+                 frames = int_field j "frames" 1;
+                 optimize = bool_field j "optimize" false;
+               })
+      | _ -> Error "compile needs \"app\" and \"src\" fields")
+  | Some "run" -> (
+      match (str_field j "app", str_field j "src") with
+      | Some app, Some src ->
+          Ok
+            (Run
+               {
+                 app;
+                 src;
+                 frames = int_field j "frames" 1;
+                 optimize = bool_field j "optimize" false;
+                 procs = int_field j "procs" 4;
+                 strategy =
+                   Option.value (str_field j "strategy") ~default:"canonical";
+               })
+      | _ -> Error "run needs \"app\" and \"src\" fields")
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)
+  | None -> Error "request without an \"op\" field"
+
+(* ------------------------------------------------------------------ *)
+(* Handlers                                                            *)
+
+let num n = Json.Num (float_of_int n)
+let ok fields = Json.Obj (("status", Json.Str "ok") :: fields)
+
+let err msg =
+  Json.Obj [ ("status", Json.Str "error"); ("message", Json.Str msg) ]
+
+let cache_json cache =
+  let hits, misses = Passes.cache_stats cache in
+  Json.Obj
+    [
+      ("hits", num hits);
+      ("misses", num misses);
+      ("store_hits", num (Passes.store_hits cache));
+    ]
+
+let store_json = function
+  | None -> Json.Null
+  | Some store ->
+      let c = Support.Store.counters store in
+      Json.Obj
+        [
+          ("hits", num c.Support.Store.hits);
+          ("misses", num c.Support.Store.misses);
+          ("writes", num c.Support.Store.writes);
+          ("corrupt", num c.Support.Store.corrupt);
+          ("evictions", num c.Support.Store.evictions);
+        ]
+
+type server_state = {
+  mutable requests : int;
+  mutable batches : int;
+  mutable errors : int;
+}
+
+let compile_fields cfg ~app ~src ~frames ~optimize =
+  let table = cfg.table_of app in
+  let cache = Passes.create_cache ?store:cfg.store () in
+  let compiled = Pipeline.compile_source ~frames ~optimize ~cache ~table src in
+  let fields =
+    [
+      ("graph_digest", Json.Str (Stage.fingerprint (Stage.Graph compiled.Pipeline.graph)));
+      ("cache", cache_json cache);
+    ]
+  in
+  (compiled, fields)
+
+let handle_request cfg state req =
+  let t0 = Unix.gettimeofday () in
+  let timed op fields =
+    ok
+      (("op", Json.Str op) :: fields
+      @ [ ("wall_ms", Json.Num ((Unix.gettimeofday () -. t0) *. 1e3)) ])
+  in
+  try
+    match req with
+    | Compile { app; src; frames; optimize } ->
+        let _, fields = compile_fields cfg ~app ~src ~frames ~optimize in
+        timed "compile" fields
+    | Run { app; src; frames; optimize; procs; strategy } ->
+        let compiled, fields = compile_fields cfg ~app ~src ~frames ~optimize in
+        let input = cfg.input_of app in
+        let result =
+          Pipeline.execute ?input ~strategy compiled (cfg.arch_of procs)
+        in
+        timed "run"
+          (fields
+          @ [
+              ("value", Json.Str (Skel.Value.to_string result.Executive.value));
+              ("frames", num (List.length result.Executive.outputs));
+              ( "messages",
+                num result.Executive.stats.Machine.Sim.messages );
+            ])
+    | Stats ->
+        timed "stats"
+          [
+            ("requests", num state.requests);
+            ("batches", num state.batches);
+            ("errors", num state.errors);
+            ("store", store_json cfg.store);
+          ]
+    | Shutdown -> timed "shutdown" []
+  with
+  | Passes.Pass_error m -> err ("compile error: " ^ m)
+  | Executive.Executive_error m -> err ("executive error: " ^ m)
+  | Failure m | Invalid_argument m -> err m
+
+let is_error r =
+  match Json.member "status" r with Some (Json.Str "error") -> true | _ -> false
+
+(* One frame = one batch. Requests are independent, so they are farmed on
+   the domain pool; responses come back in request order (Domain_pool's
+   submit-order guarantee), which is the protocol's pairing rule. *)
+let handle_batch cfg state payload =
+  match Json.parse payload with
+  | Error m -> ([ err ("bad request: " ^ m) ], false)
+  | Ok json ->
+      let reqs =
+        match Option.bind (Json.member "requests" json) Json.to_list with
+        | Some l -> l
+        | None -> [ json ] (* a bare request is a batch of one *)
+      in
+      let parsed = List.map parse_request reqs in
+      state.batches <- state.batches + 1;
+      state.requests <- state.requests + List.length reqs;
+      let responses =
+        Support.Domain_pool.run ~jobs:cfg.jobs
+          (List.map
+             (fun p () ->
+               match p with
+               | Error m -> err m
+               | Ok req -> handle_request cfg state req)
+             parsed)
+      in
+      state.errors <- state.errors + List.length (List.filter is_error responses);
+      let shutdown =
+        List.exists (function Ok Shutdown -> true | _ -> false) parsed
+      in
+      (responses, shutdown)
+
+(* ------------------------------------------------------------------ *)
+(* Server loop                                                         *)
+
+let serve cfg ~socket () =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let state = { requests = 0; batches = 0; errors = 0 } in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close fd;
+      try Unix.unlink socket with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_UNIX socket);
+      Unix.listen fd 16;
+      let stop = ref false in
+      while not !stop do
+        let client, _ = Unix.accept fd in
+        (try
+           while not !stop do
+             let frame = read_frame client in
+             let responses, shutdown = handle_batch cfg state frame in
+             write_frame client
+               (Json.to_string (Json.Obj [ ("responses", Json.Arr responses) ]));
+             if shutdown then stop := true
+           done
+         with
+        | End_of_file -> ()
+        | Protocol_error _ -> ()
+        | Unix.Unix_error _ -> ());
+        try Unix.close client with Unix.Unix_error _ -> ()
+      done);
+  state.requests
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+
+let connect ?(retries = 50) ?(delay = 0.1) socket =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) when n > 0 ->
+        Unix.close fd;
+        Unix.sleepf delay;
+        go (n - 1)
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  go retries
+
+let rpc fd requests =
+  write_frame fd (Json.to_string (Json.Obj [ ("requests", Json.Arr requests) ]));
+  match Json.parse (read_frame fd) with
+  | Error m -> Error ("bad response frame: " ^ m)
+  | Ok json -> (
+      match Option.bind (Json.member "responses" json) Json.to_list with
+      | Some rs when List.length rs = List.length requests -> Ok rs
+      | Some rs ->
+          Error
+            (Printf.sprintf "expected %d responses, got %d"
+               (List.length requests) (List.length rs))
+      | None -> Error "response without a \"responses\" array")
+
+let call ?retries ?delay ~socket requests =
+  let fd = connect ?retries ?delay socket in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> rpc fd requests)
+
+(* Request builders, so clients do not hand-roll the field names. *)
+
+let req_compile ?(frames = 1) ?(optimize = false) ~app src =
+  Json.Obj
+    [
+      ("op", Json.Str "compile");
+      ("app", Json.Str app);
+      ("src", Json.Str src);
+      ("frames", num frames);
+      ("optimize", Json.Bool optimize);
+    ]
+
+let req_run ?(frames = 1) ?(optimize = false) ?(strategy = "canonical") ~procs
+    ~app src =
+  Json.Obj
+    [
+      ("op", Json.Str "run");
+      ("app", Json.Str app);
+      ("src", Json.Str src);
+      ("frames", num frames);
+      ("optimize", Json.Bool optimize);
+      ("procs", num procs);
+      ("strategy", Json.Str strategy);
+    ]
+
+let req_stats = Json.Obj [ ("op", Json.Str "stats") ]
+let req_shutdown = Json.Obj [ ("op", Json.Str "shutdown") ]

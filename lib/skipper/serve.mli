@@ -1,0 +1,92 @@
+(** Compile-as-a-service: a long-lived daemon over a Unix domain socket.
+
+    [skipperc serve] keeps one process — with its warm in-process caches and
+    one shared persistent {!Support.Store} — alive across many compile/run
+    requests, so interactive rebuilds pay none of the process-startup or
+    cold-cache cost. The wire protocol is deliberately small:
+
+    - every frame is a 4-byte big-endian length followed by that many bytes
+      of JSON;
+    - a client frame is a {e batch}: [{"requests": [r1; r2; ...]}] (a bare
+      request object is accepted as a batch of one);
+    - the server replies with one frame [{"responses": [...]}], responses
+      in request order;
+    - request ops: ["compile"], ["run"], ["stats"], ["shutdown"]. Compile
+      and run carry [app] (names the function table) and [src] (the source
+      text) plus optional [frames]/[optimize]/[procs]/[strategy].
+
+    Requests within a batch are independent, so the server farms them on
+    {!Support.Domain_pool} ([config.jobs] workers); each request compiles
+    against a fresh table and a fresh in-memory cache layered over the
+    shared store, which is safe across domains (atomic counters,
+    rename-atomic writes). A failed request produces a
+    [{"status": "error"}] response; it never takes the batch or the server
+    down.
+
+    The library stays application-agnostic: callers inject how an [app]
+    name maps to a function table and an input value, and how a processor
+    count maps to an architecture. *)
+
+exception Protocol_error of string
+(** Malformed framing (oversized or negative length). Malformed JSON or
+    requests inside a well-framed batch produce error {e responses}
+    instead. *)
+
+type config = {
+  table_of : string -> Skel.Funtable.t;
+      (** fresh function table for one compile of [app]; called per
+          request, possibly from a pool domain *)
+  input_of : string -> Skel.Value.t option;
+      (** input value for [run] when the source does not fix one *)
+  arch_of : int -> Archi.t;  (** architecture for a [run] at [procs] *)
+  store : Support.Store.t option;  (** shared across all requests *)
+  jobs : int;  (** domain-pool width for batch requests *)
+}
+
+type request =
+  | Compile of { app : string; src : string; frames : int; optimize : bool }
+  | Run of {
+      app : string;
+      src : string;
+      frames : int;
+      optimize : bool;
+      procs : int;
+      strategy : string;
+    }
+  | Stats
+  | Shutdown
+
+val parse_request : Support.Json.t -> (request, string) result
+
+val serve : config -> socket:string -> unit -> int
+(** Binds [socket] (unlinking any stale file), accepts clients one at a
+    time, and serves batches until a [shutdown] request; returns the total
+    number of requests served. The socket file is removed on exit, also on
+    exceptions. *)
+
+(** {1 Client side} *)
+
+val call :
+  ?retries:int ->
+  ?delay:float ->
+  socket:string ->
+  Support.Json.t list ->
+  (Support.Json.t list, string) result
+(** One connection, one batch: connect (retrying [retries] times, default
+    50, sleeping [delay] seconds, default 0.1, while the daemon is still
+    binding), send the batch, return the responses in request order. *)
+
+val req_compile :
+  ?frames:int -> ?optimize:bool -> app:string -> string -> Support.Json.t
+
+val req_run :
+  ?frames:int ->
+  ?optimize:bool ->
+  ?strategy:string ->
+  procs:int ->
+  app:string ->
+  string ->
+  Support.Json.t
+
+val req_stats : Support.Json.t
+val req_shutdown : Support.Json.t

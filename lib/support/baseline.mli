@@ -4,12 +4,19 @@
     harness's [--json] format), committed to the repository. [compare]
     diffs a freshly produced array against it: fields named in [exact]
     must match bit-for-bit (simulation-deterministic counters — messages,
-    drops, reissues — where any drift is a real behaviour change), every
-    other numeric field must agree within a relative [tolerance] (timing
-    shaped values, where cost-model refinements legitimately move the
-    needle a little). Missing/added experiments and missing/added fields
-    are failures in both directions, so the baseline cannot silently rot:
-    intentional changes go through an explicit [--update-baseline]. *)
+    drops, reissues — where any drift is a real behaviour change), fields
+    named in [volatile] are checked for presence and numeric shape only
+    (wall-clock measurements — serve latency percentiles — whose values
+    vary run to run but whose absence means the experiment regressed),
+    and every other numeric field must agree within a relative [tolerance]
+    (timing shaped values, where cost-model refinements legitimately move
+    the needle a little). Numeric identity is bit-pattern identity
+    ([Int64.bits_of_float]), so a NaN baseline field can pass (against an
+    identical NaN) and an exact [0.] vs [-0.] flip fails loudly instead of
+    sliding through [(=)]. Missing/added experiments and missing/added
+    fields are failures in both directions, so the baseline cannot
+    silently rot: intentional changes go through an explicit
+    [--update-baseline]. *)
 
 type verdict = {
   checked : int;  (** baseline entries compared *)
@@ -20,11 +27,13 @@ val ok : verdict -> bool
 
 val compare :
   ?exact:string list ->
+  ?volatile:string list ->
   ?tolerance:float ->
   baseline:Json.t ->
   current:Json.t ->
   unit ->
   verdict
-(** [exact] defaults to [[]]; [tolerance] (relative, against the larger
-    magnitude) defaults to [0.01]. Absolute drifts below [1e-12] always
-    pass, so zero-valued fields do not trip on formatting noise. *)
+(** [exact] and [volatile] default to [[]]; [tolerance] (relative, against
+    the larger magnitude) defaults to [0.01]. Absolute drifts below
+    [1e-12] always pass, so zero-valued fields do not trip on formatting
+    noise. [volatile] wins over [exact] when a key is named in both. *)

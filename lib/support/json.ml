@@ -11,9 +11,11 @@ exception Parse_error of string
 let error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
 
 (* ------------------------------------------------------------------ *)
-(* Parsing: a plain recursive-descent reader over the string. It accepts
-   exactly the subset our exporters emit (no surrogate-pair decoding needed
-   — \u escapes below 0x80 only come from control characters). *)
+(* Parsing: a plain recursive-descent reader over the string. Strings
+   accept the full JSON escape set, including \uXXXX with surrogate pairs
+   decoded to UTF-8 — baseline and series files are occasionally edited or
+   produced by other tools, so "valid JSON" must not depend on which
+   escapes those tools favour. *)
 
 type state = { s : string; mutable i : int }
 
@@ -33,6 +35,37 @@ let expect st c =
   | Some d when d = c -> advance st
   | Some d -> error "offset %d: expected %c, found %c" st.i c d
   | None -> error "offset %d: expected %c, found end of input" st.i c
+
+(* One \uXXXX unit; the caller pairs surrogates. *)
+let hex4 st =
+  if st.i + 4 > String.length st.s then
+    error "truncated \\u escape at offset %d" st.i;
+  let hex = String.sub st.s st.i 4 in
+  st.i <- st.i + 4;
+  let ok = String.for_all (function
+    | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+    | _ -> false) hex
+  in
+  if not ok then error "bad \\u escape %S" hex;
+  int_of_string ("0x" ^ hex)
+
+let add_utf8 b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
 
 let parse_string st =
   expect st '"';
@@ -57,28 +90,28 @@ let parse_string st =
             | 'b' -> Buffer.add_char b '\b'
             | 'f' -> Buffer.add_char b '\012'
             | 'u' ->
-                if st.i + 4 > String.length st.s then
-                  error "truncated \\u escape at offset %d" st.i;
-                let hex = String.sub st.s st.i 4 in
-                st.i <- st.i + 4;
-                let code =
-                  try int_of_string ("0x" ^ hex)
-                  with _ -> error "bad \\u escape %S" hex
-                in
-                if code < 0x80 then Buffer.add_char b (Char.chr code)
-                else begin
-                  (* UTF-8 encode the BMP scalar; surrogates unsupported. *)
-                  if code < 0x800 then begin
-                    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
-                    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-                  end
-                  else begin
-                    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
-                    Buffer.add_char b
-                      (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-                    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-                  end
+                let code = hex4 st in
+                if code >= 0xD800 && code <= 0xDBFF then begin
+                  (* high surrogate: the low half must follow as \uXXXX *)
+                  let at = st.i in
+                  if
+                    st.i + 2 > String.length st.s
+                    || st.s.[st.i] <> '\\'
+                    || st.s.[st.i + 1] <> 'u'
+                  then error "unpaired surrogate \\u%04X at offset %d" code at;
+                  st.i <- st.i + 2;
+                  let low = hex4 st in
+                  if low < 0xDC00 || low > 0xDFFF then
+                    error "bad low surrogate \\u%04X at offset %d" low at;
+                  add_utf8 b
+                    (0x10000
+                    + ((code - 0xD800) lsl 10)
+                    + (low - 0xDC00))
                 end
+                else if code >= 0xDC00 && code <= 0xDFFF then
+                  error "unpaired low surrogate \\u%04X at offset %d" code
+                    (st.i - 4)
+                else add_utf8 b code
             | c -> error "unknown escape \\%c" c);
             go ())
     | Some c ->
@@ -182,6 +215,9 @@ let parse s =
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 
+(* Mirrors the short escapes the parser accepts; remaining control
+   characters fall back to \u00XX. Bytes >= 0x20 (including raw UTF-8
+   sequences) pass through untouched. *)
 let escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -189,6 +225,10 @@ let escape s =
       | '"' -> Buffer.add_string b "\\\""
       | '\\' -> Buffer.add_string b "\\\\"
       | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
       | c when Char.code c < 0x20 ->
           Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char b c)

@@ -2,10 +2,14 @@
     toolchain itself produces (bench [--json] summaries, conformance
     reports, the committed bench baseline).
 
-    This is deliberately not a general-purpose JSON library: it parses the
-    deterministic subset our exporters emit (finite numbers, BMP-only
-    [\u] escapes) and prints with a fixed, deterministic format. The bench
-    baseline gate round-trips through it, so the only hard requirement is
+    This is deliberately not a general-purpose JSON library: it parses
+    finite numbers only and prints with a fixed, deterministic format.
+    String escapes are complete, though — all eight short escapes plus
+    [\uXXXX] including surrogate pairs (decoded to UTF-8), since baseline
+    and series files may be edited by hand or produced by other tools. The
+    printer mirrors the short escapes ([\n \t \r \b \f]) and falls back to
+    [\u00XX] for the remaining control characters. The bench baseline gate
+    round-trips through it, so the hard requirement is
     [parse (to_string v) = Ok v] for values built of those pieces. *)
 
 type t =

@@ -1,0 +1,219 @@
+(* On-disk content-addressed artifact store.
+
+   Entries are immutable byte payloads keyed by an opaque string (in
+   practice the pass manager's running content hash). Each entry is one
+   file under [dir]/objects/<p>/<name> whose name is the MD5 of the key —
+   keys therefore never need to be filesystem-safe — and whose header
+   carries a magic, the caller's format stamp, the full key and a payload
+   checksum. Writes go through [dir]/tmp + Unix.rename, so concurrent
+   writers (domains or whole processes) race benignly: the rename is
+   atomic, last writer wins, and a reader only ever sees a complete entry.
+   Reads never raise on a damaged entry: any header mismatch, checksum
+   failure or truncation counts as [corrupt] and reads as a miss. *)
+
+let magic = "SKIPSTORE1"
+
+type counters = {
+  hits : int;
+  misses : int;
+  writes : int;
+  corrupt : int;  (** entries present but unreadable (treated as misses) *)
+  evictions : int;
+}
+
+type t = {
+  dir : string;
+  stamp : string;
+  limit_bytes : int option;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  writes : int Atomic.t;
+  corrupt : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let default_dir () =
+  match Sys.getenv_opt "XDG_CACHE_HOME" with
+  | Some d when d <> "" -> Filename.concat d "skipper"
+  | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> Filename.concat (Filename.concat h ".cache") "skipper"
+      | _ -> Filename.concat (Filename.get_temp_dir_name ()) "skipper-cache")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let objects_dir t = Filename.concat t.dir "objects"
+let tmp_dir t = Filename.concat t.dir "tmp"
+
+let open_store ?dir ?(stamp = "skipper-store-v1") ?limit_bytes () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  let t =
+    {
+      dir;
+      stamp;
+      limit_bytes;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      writes = Atomic.make 0;
+      corrupt = Atomic.make 0;
+      evictions = Atomic.make 0;
+    }
+  in
+  mkdir_p (objects_dir t);
+  mkdir_p (tmp_dir t);
+  t
+
+let dir t = t.dir
+let stamp t = t.stamp
+
+let counters t =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    writes = Atomic.get t.writes;
+    corrupt = Atomic.get t.corrupt;
+    evictions = Atomic.get t.evictions;
+  }
+
+let reset_counters t =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [ t.hits; t.misses; t.writes; t.corrupt; t.evictions ]
+
+(* Keys are hashed into the file name (two-level fan-out), so arbitrary key
+   strings work and directories stay small. *)
+let entry_path t ~key =
+  let h = Digest.to_hex (Digest.string key) in
+  Filename.concat (objects_dir t) (Filename.concat (String.sub h 0 2) h)
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+let unique =
+  let n = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add n 1
+
+let render_entry t ~key payload =
+  (* Header lines are length-prefixed where content may contain anything. *)
+  let b = Buffer.create (String.length payload + 256) in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b t.stamp;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (string_of_int (String.length key));
+  Buffer.add_char b '\n';
+  Buffer.add_string b key;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Digest.to_hex (Digest.string payload));
+  Buffer.add_char b '\n';
+  Buffer.add_string b (string_of_int (String.length payload));
+  Buffer.add_char b '\n';
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* FIFO eviction by mtime: only consulted when a [limit_bytes] was given,
+   and only on the write path, so reads stay cheap. *)
+let evict_over_limit t limit =
+  let files = ref [] in
+  let total = ref 0 in
+  let objects = objects_dir t in
+  Array.iter
+    (fun sub ->
+      let subdir = Filename.concat objects sub in
+      if Sys.is_directory subdir then
+        Array.iter
+          (fun f ->
+            let path = Filename.concat subdir f in
+            match Unix.stat path with
+            | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                files := (st_mtime, st_size, path) :: !files;
+                total := !total + st_size
+            | _ | (exception Unix.Unix_error _) -> ())
+          (try Sys.readdir subdir with Sys_error _ -> [||]))
+    (try Sys.readdir objects with Sys_error _ -> [||]);
+  if !total > limit then
+    List.iter
+      (fun (_, size, path) ->
+        if !total > limit then begin
+          (try
+             Sys.remove path;
+             Atomic.incr t.evictions
+           with Sys_error _ -> ());
+          total := !total - size
+        end)
+      (List.sort compare !files)
+
+let put t ~key payload =
+  let target = entry_path t ~key in
+  mkdir_p (Filename.dirname target);
+  let tmp =
+    Filename.concat (tmp_dir t)
+      (Printf.sprintf "put.%d.%d.%d" (Unix.getpid ())
+         (Domain.self () :> int)
+         (unique ()))
+  in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (render_entry t ~key payload));
+  Unix.rename tmp target;
+  Atomic.incr t.writes;
+  Option.iter (evict_over_limit t) t.limit_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+exception Bad_entry
+
+let read_entry t ~key path =
+  In_channel.with_open_bin path (fun ic ->
+      let line () =
+        match In_channel.input_line ic with
+        | Some l -> l
+        | None -> raise Bad_entry
+      in
+      let exact n =
+        if n < 0 then raise Bad_entry;
+        match In_channel.really_input_string ic n with
+        | Some s -> s
+        | None -> raise Bad_entry
+      in
+      let int_line () =
+        match int_of_string_opt (line ()) with
+        | Some n -> n
+        | None -> raise Bad_entry
+      in
+      if line () <> magic then raise Bad_entry;
+      if line () <> t.stamp then raise Bad_entry;
+      let klen = int_line () in
+      if exact klen <> key then raise Bad_entry;
+      if exact 1 <> "\n" then raise Bad_entry;
+      let digest = line () in
+      let plen = int_line () in
+      let payload = exact plen in
+      (* trailing bytes would mean a torn or overlong write *)
+      if In_channel.input_char ic <> None then raise Bad_entry;
+      if Digest.to_hex (Digest.string payload) <> digest then raise Bad_entry;
+      payload)
+
+let get t ~key =
+  let path = entry_path t ~key in
+  if not (Sys.file_exists path) then begin
+    Atomic.incr t.misses;
+    None
+  end
+  else
+    match read_entry t ~key path with
+    | payload ->
+        Atomic.incr t.hits;
+        Some payload
+    | exception _ ->
+        (* a bad entry is a miss, never a crash *)
+        Atomic.incr t.corrupt;
+        Atomic.incr t.misses;
+        None
+
+let mem t ~key = Sys.file_exists (entry_path t ~key)

@@ -1,0 +1,24 @@
+let pattern key = "%{" ^ key ^ "}"
+
+let subst ~key ~value s =
+  let pat = pattern key in
+  let plen = String.length pat and n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + plen <= n && String.sub s !i plen = pat then begin
+      Buffer.add_string buf value;
+      i := !i + plen
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let mem ~key s =
+  let pat = pattern key in
+  let plen = String.length pat and n = String.length s in
+  let rec go i = i + plen <= n && (String.sub s i plen = pat || go (i + 1)) in
+  plen > 0 && go 0

@@ -1,0 +1,14 @@
+(** [%{key}] path templating, shared by the per-variant artifact paths of
+    [skipperc run --procs A,B,...] sweeps.
+
+    [subst] replaces {e every} occurrence of ["%{key}"] — a sweep path
+    like ["out/%{procs}/trace-%{procs}.json"] must expand both — and
+    leaves strings without the template untouched. *)
+
+val subst : key:string -> value:string -> string -> string
+(** [subst ~key:"procs" ~value:"8" s] replaces every ["%{procs}"] in [s]
+    with ["8"]. Substituted text is not rescanned, so a [value] containing
+    the pattern does not loop. *)
+
+val mem : key:string -> string -> bool
+(** Whether [s] contains ["%{key}"] at least once. *)

@@ -1,6 +1,8 @@
 (* Tests for the staged pass manager: per-stage reports, artifact
    memoization (hit/miss behaviour across architecture variants, source
-   edits and table identity), stage dumps, and a qcheck property that the
+   edits and table content — including hits across independently
+   constructed equal tables, with derived-function replay, and through the
+   persistent on-disk store), stage dumps, and a qcheck property that the
    optimized (Skel.Transform) and unoptimized pipelines are
    emulation-equivalent on random skeletal programs. *)
 
@@ -117,13 +119,98 @@ let test_option_change_invalidates_downstream () =
   Alcotest.(check int) "parse+typecheck reused" 2 hits;
   Alcotest.(check int) "extract onward re-ran" (nfrontend + 3) misses
 
-let test_fresh_table_invalidates () =
+(* Regression: the cache used to key on the table's physical identity, so
+   two independently constructed but equal tables never shared artifacts.
+   The key is a content digest now — equal registrations, equal keys. *)
+let test_equal_tables_share () =
   let cache = Passes.create_cache () in
-  let _ = P.compile_source ~cache ~table:(simple_table ()) simple_src in
-  let _ = P.compile_source ~cache ~table:(simple_table ()) simple_src in
+  let input = V.List (List.init 5 (fun i -> V.Int i)) in
+  let c1 = P.compile_source ~cache ~table:(simple_table ()) simple_src in
+  let c2 = P.compile_source ~cache ~table:(simple_table ()) simple_src in
   let hits, misses = Passes.cache_stats cache in
-  Alcotest.(check int) "no sharing across tables" 0 hits;
+  Alcotest.(check int) "second compile fully cached" nfrontend hits;
+  Alcotest.(check int) "front end ran once" nfrontend misses;
+  Alcotest.(check value_testable) "same emulation" (P.emulate c1 input)
+    (P.emulate c2 input)
+
+let test_different_registrations_invalidate () =
+  let cache = Passes.create_cache () in
+  let other = simple_table () in
+  Skel.Funtable.register other "extra" (fun v -> v);
+  let _ = P.compile_source ~cache ~table:(simple_table ()) simple_src in
+  let _ = P.compile_source ~cache ~table:other simple_src in
+  let hits, misses = Passes.cache_stats cache in
+  Alcotest.(check int) "no sharing across differing tables" 0 hits;
   Alcotest.(check int) "both compiles ran" (2 * nfrontend) misses
+
+(* A source whose extraction registers a derived wrapper ([plus ys 100]
+   consumes the dataflow value plus a constant): a cache hit on a fresh
+   table must replay that registration or emulation would fail on the
+   unknown wrapper name. *)
+let wrapper_src =
+  {|external sq : int -> int
+external plus : int -> int -> int
+let main = fun xs ->
+  let ys = df 3 sq plus 0 xs in
+  plus ys 100|}
+
+let test_wrapper_replay_across_tables () =
+  let cache = Passes.create_cache () in
+  let input = V.List [ V.Int 1; V.Int 2; V.Int 3 ] in
+  let c1 = P.compile_source ~cache ~table:(simple_table ()) wrapper_src in
+  let c2 = P.compile_source ~cache ~table:(simple_table ()) wrapper_src in
+  Alcotest.(check bool) "second compile fully cached" true
+    (List.for_all (fun r -> r.Stage.cached) (P.reports c2));
+  Alcotest.(check value_testable) "replayed wrapper evaluates" (V.Int 114)
+    (P.emulate c2 input);
+  Alcotest.(check value_testable) "same emulation" (P.emulate c1 input)
+    (P.emulate c2 input)
+
+(* Same replay requirement for the transform pass: [df 1] serialises into a
+   derived sequential fold registered during normalization. *)
+let test_transform_replay_across_tables () =
+  let src =
+    {|external sq : int -> int
+external plus : int -> int -> int
+let main = fun xs -> df 1 sq plus 0 xs|}
+  in
+  let cache = Passes.create_cache () in
+  let input = V.List [ V.Int 2; V.Int 3 ] in
+  let c1 = P.compile_source ~optimize:true ~cache ~table:(simple_table ()) src in
+  let c2 = P.compile_source ~optimize:true ~cache ~table:(simple_table ()) src in
+  Alcotest.(check bool) "second compile fully cached" true
+    (List.for_all (fun r -> r.Stage.cached) (P.reports c2));
+  Alcotest.(check value_testable) "replayed serialisation evaluates"
+    (V.Int 13) (P.emulate c2 input);
+  Alcotest.(check value_testable) "same emulation" (P.emulate c1 input)
+    (P.emulate c2 input)
+
+(* The persistent store: a fresh cache (as a new process would have) over
+   the same store directory starts warm, and the artifacts still resolve
+   against a freshly constructed table. *)
+let test_store_warm_start () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "skipper-test-passes-store.%d" (Unix.getpid ()))
+  in
+  let store () =
+    Support.Store.open_store ~dir ~stamp:Passes.artifact_format ()
+  in
+  let input = V.List [ V.Int 1; V.Int 2; V.Int 3 ] in
+  let cold = Passes.create_cache ~store:(store ()) () in
+  let c1 = P.compile_source ~cache:cold ~table:(simple_table ()) wrapper_src in
+  let _, cold_misses = Passes.cache_stats cold in
+  Alcotest.(check int) "cold compile ran the front end" nfrontend cold_misses;
+  let warm = Passes.create_cache ~store:(store ()) () in
+  let c2 = P.compile_source ~cache:warm ~table:(simple_table ()) wrapper_src in
+  let warm_hits, warm_misses = Passes.cache_stats warm in
+  Alcotest.(check int) "warm compile all hits" nfrontend warm_hits;
+  Alcotest.(check int) "warm compile no misses" 0 warm_misses;
+  Alcotest.(check int) "every hit came from the store" nfrontend
+    (Passes.store_hits warm);
+  Alcotest.(check value_testable) "same emulation" (P.emulate c1 input)
+    (P.emulate c2 input)
 
 let test_cached_compile_is_equivalent () =
   let cache = Passes.create_cache () in
@@ -299,8 +386,14 @@ let () =
             test_edited_source_invalidates;
           Alcotest.test_case "option change invalidates downstream" `Quick
             test_option_change_invalidates_downstream;
-          Alcotest.test_case "fresh table invalidates" `Quick
-            test_fresh_table_invalidates;
+          Alcotest.test_case "equal tables share" `Quick test_equal_tables_share;
+          Alcotest.test_case "different registrations invalidate" `Quick
+            test_different_registrations_invalidate;
+          Alcotest.test_case "wrapper replay across tables" `Quick
+            test_wrapper_replay_across_tables;
+          Alcotest.test_case "transform replay across tables" `Quick
+            test_transform_replay_across_tables;
+          Alcotest.test_case "store warm start" `Quick test_store_warm_start;
           Alcotest.test_case "cached compile equivalent" `Quick
             test_cached_compile_is_equivalent;
         ] );

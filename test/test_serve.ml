@@ -1,0 +1,169 @@
+(* Smoke tests for the compile daemon: a real server domain on a temp
+   Unix socket backed by a temp store, exercised through real client
+   connections — plus pure request-parsing checks that need no daemon.
+   The end-to-end test is the ISSUE's acceptance scenario: two clients,
+   identical artifacts, the second compile fully warm from the shared
+   store, a bad request that errors without killing its batch, and a
+   clean counted shutdown. *)
+
+module Serve = Skipper_lib.Serve
+module Passes = Skipper_lib.Passes
+module Json = Support.Json
+module V = Skel.Value
+
+let simple_table () =
+  Skel.Funtable.of_list
+    [
+      ("sq", 1, (fun v -> V.Int (V.to_int v * V.to_int v)), fun _ -> 1000.0);
+      ( "plus",
+        2,
+        (fun v ->
+          let a, b = V.to_pair v in
+          V.Int (V.to_int a + V.to_int b)),
+        fun _ -> 100.0 );
+    ]
+
+let simple_src =
+  {|external sq : int -> int
+external plus : int -> int -> int
+let main = fun xs -> df 3 sq plus 0 xs|}
+
+let tmp_name prefix =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s.%d" prefix (Unix.getpid ()))
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response missing %S: %s" name (Json.to_string j)
+
+let str name j =
+  match Json.to_str (field name j) with
+  | Some s -> s
+  | None -> Alcotest.failf "field %S is not a string" name
+
+let numf name j =
+  match Json.to_float (field name j) with
+  | Some f -> f
+  | None -> Alcotest.failf "field %S is not a number" name
+
+let test_parse_request () =
+  (match Serve.parse_request (Json.Obj [ ("op", Json.Str "stats") ]) with
+  | Ok Serve.Stats -> ()
+  | _ -> Alcotest.fail "stats must parse");
+  (match Serve.parse_request (Json.Obj [ ("op", Json.Str "shutdown") ]) with
+  | Ok Serve.Shutdown -> ()
+  | _ -> Alcotest.fail "shutdown must parse");
+  (match Serve.parse_request (Json.Obj [ ("op", Json.Str "compile") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "compile without app/src must be rejected");
+  (match Serve.parse_request (Json.Obj [ ("op", Json.Str "frobnicate") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown op must be rejected");
+  (match Serve.parse_request (Json.Obj []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing op must be rejected");
+  match
+    Serve.parse_request
+      (Serve.req_run ~frames:3 ~optimize:true ~procs:8 ~app:"a" "src")
+  with
+  | Ok (Serve.Run { app = "a"; src = "src"; frames = 3; optimize = true;
+                    procs = 8; strategy = "canonical" }) -> ()
+  | _ -> Alcotest.fail "builder output must parse back"
+
+let test_serve_end_to_end () =
+  let socket = tmp_name "skipper-test-serve.sock" in
+  let store_dir = tmp_name "skipper-test-serve-store" in
+  let store =
+    Support.Store.open_store ~dir:store_dir ~stamp:Passes.artifact_format ()
+  in
+  let cfg =
+    {
+      Serve.table_of = (fun _ -> simple_table ());
+      input_of = (fun _ -> Some (V.List [ V.Int 1; V.Int 2; V.Int 3 ]));
+      arch_of = Archi.ring;
+      store = Some store;
+      jobs = 2;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Serve.serve cfg ~socket ()) in
+  let call reqs =
+    match Serve.call ~socket reqs with
+    | Ok rs -> rs
+    | Error m -> Alcotest.failf "client call failed: %s" m
+  in
+  (* first client: compile and run the same program in one batch *)
+  let compile1, run1 =
+    match
+      call
+        [
+          Serve.req_compile ~frames:2 ~app:"simple" simple_src;
+          Serve.req_run ~frames:2 ~procs:4 ~app:"simple" simple_src;
+        ]
+    with
+    | [ a; b ] -> (a, b)
+    | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs)
+  in
+  Alcotest.(check string) "compile ok" "ok" (str "status" compile1);
+  Alcotest.(check string) "run ok" "ok" (str "status" run1);
+  Alcotest.(check string) "run evaluated the program" "14" (str "value" run1);
+  let digest1 = str "graph_digest" compile1 in
+  Alcotest.(check string) "compile and run agree on the artifact" digest1
+    (str "graph_digest" run1);
+  (* second client, fresh connection: identical artifact, and the compile
+     is fully warm from the shared store (its request-local cache starts
+     empty, so every hit is a store hit) *)
+  let compile2 =
+    match call [ Serve.req_compile ~frames:2 ~app:"simple" simple_src ] with
+    | [ r ] -> r
+    | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+  in
+  Alcotest.(check string) "identical artifact across clients" digest1
+    (str "graph_digest" compile2);
+  let cache2 = field "cache" compile2 in
+  Alcotest.(check int) "warm compile misses nothing" 0
+    (int_of_float (numf "misses" cache2));
+  Alcotest.(check bool) "warm compile hits" true (numf "hits" cache2 > 0.0);
+  Alcotest.(check (float 0.0)) "every hit came from the store"
+    (numf "hits" cache2) (numf "store_hits" cache2);
+  (* a bad request errors without killing its batch: the compile riding in
+     the same batch still succeeds *)
+  (match
+     call
+       [
+         Json.Obj [ ("op", Json.Str "frobnicate") ];
+         Serve.req_compile ~frames:2 ~app:"simple" simple_src;
+       ]
+   with
+  | [ bad; good ] ->
+      Alcotest.(check string) "unknown op rejected" "error" (str "status" bad);
+      Alcotest.(check string) "batch survives the error" "ok"
+        (str "status" good)
+  | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs));
+  (* error accounting is tallied once a batch completes, so a later stats
+     request observes it *)
+  (match call [ Serve.req_stats ] with
+  | [ stats ] ->
+      Alcotest.(check string) "stats ok" "ok" (str "status" stats);
+      Alcotest.(check bool) "stats counted the error" true
+        (numf "errors" stats >= 1.0);
+      Alcotest.(check bool) "store counters exposed" true
+        (numf "hits" (field "store" stats) > 0.0)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  (* shutdown, then the server domain returns its request count *)
+  (match call [ Serve.req_shutdown ] with
+  | [ r ] -> Alcotest.(check string) "shutdown ok" "ok" (str "status" r)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  let served = Domain.join daemon in
+  Alcotest.(check int) "every request counted" 7 served
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "serve",
+        [
+          Alcotest.test_case "parse_request" `Quick test_parse_request;
+          Alcotest.test_case "end to end" `Quick test_serve_end_to_end;
+        ] );
+    ]

@@ -1,4 +1,7 @@
-(* Tests for the support library: deterministic PRNG and the binary heap. *)
+(* Tests for the support library: deterministic PRNG, the binary heap,
+   busy-interval reservations, the JSON reader/printer (escape coverage,
+   \uXXXX and surrogate pairs), the bench baseline gate (bit-pattern float
+   identity, volatile fields) and %{key} path templating. *)
 
 let test_prng_determinism () =
   let a = Support.Prng.create 42 and b = Support.Prng.create 42 in
@@ -201,6 +204,148 @@ let prop_intervals_no_overlap_with_request =
            (fun (s, e) -> start +. duration <= s +. 1e-9 || start >= e -. 1e-9)
            occ)
 
+(* --- JSON escapes --- *)
+
+module Json = Support.Json
+
+let json_str s =
+  match Json.parse s with
+  | Ok (Json.Str v) -> v
+  | Ok _ -> Alcotest.failf "parse %S: not a string" s
+  | Error m -> Alcotest.failf "parse %S failed: %s" s m
+
+let test_json_short_escapes () =
+  Alcotest.(check string) "all eight short escapes"
+    "\"\\/\b\012\n\r\t"
+    (json_str {|"\"\\\/\b\f\n\r\t"|})
+
+let test_json_unicode_escapes () =
+  Alcotest.(check string) "ASCII" "A" (json_str {|"\u0041"|});
+  Alcotest.(check string) "2-byte UTF-8" "\xc3\xa9" (json_str {|"\u00e9"|});
+  Alcotest.(check string) "3-byte UTF-8" "\xe2\x82\xac" (json_str {|"\u20ac"|});
+  Alcotest.(check string) "hex case-insensitive" "\xe2\x82\xac"
+    (json_str {|"\u20AC"|})
+
+let test_json_surrogate_pair () =
+  (* U+1F600 GRINNING FACE: one astral code point, four UTF-8 bytes *)
+  Alcotest.(check string) "astral code point decodes" "\xf0\x9f\x98\x80"
+    (json_str {|"\ud83d\ude00"|})
+
+let test_json_bad_escapes () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parse %S should be rejected" s)
+    [
+      {|"\ud83d"|};          (* unpaired high surrogate *)
+      {|"\ud83dx"|};         (* high surrogate not followed by \u *)
+      {|"\ud83dA"|}; (* high surrogate paired with a non-low unit *)
+      {|"\ude00"|};          (* lone low surrogate *)
+      {|"\u12g4"|};          (* bad hex digit *)
+      {|"\u123"|};           (* truncated escape *)
+      {|"\q"|};              (* unknown escape *)
+    ]
+
+let test_json_printer_escapes () =
+  Alcotest.(check string) "short escapes plus \\u00XX fallback"
+    {|"\n\t\r\b\f\u0001"|}
+    (Json.to_string (Json.Str "\n\t\r\b\012\001"))
+
+let test_json_roundtrip_strings () =
+  let v = Json.Obj [ ("s", Json.Str "a\n\t\r\b\012\000\031b\xc3\xa9") ] in
+  Alcotest.(check bool) "parse (to_string v) = Ok v" true
+    (Json.parse (Json.to_string v) = Ok v)
+
+(* --- baseline gate --- *)
+
+module Baseline = Support.Baseline
+
+let entry fields =
+  Json.Arr [ Json.Obj (("experiment", Json.Str "e") :: fields) ]
+
+let compare_one ?exact ?volatile ?tolerance b c =
+  Baseline.compare ?exact ?volatile ?tolerance ~baseline:(entry b)
+    ~current:(entry c) ()
+
+let test_baseline_exact_bit_pattern () =
+  let v = compare_one ~exact:[ "messages" ]
+      [ ("messages", Json.Num 120.0) ] [ ("messages", Json.Num 121.0) ]
+  in
+  Alcotest.(check bool) "drift fails" false (Baseline.ok v);
+  (match v.Baseline.failures with
+  | [ m ] ->
+      Alcotest.(check bool) "message names the bit patterns" true
+        (Astring.String.is_infix ~affix:"bit patterns 0x" m);
+      Alcotest.(check bool) "message says deterministic" true
+        (Astring.String.is_infix ~affix:"deterministic field drifted" m)
+  | fs -> Alcotest.failf "expected one failure, got %d" (List.length fs));
+  (* identity passes, including identical NaNs... *)
+  let nan = Json.Num Float.nan in
+  Alcotest.(check bool) "identical NaN passes" true
+    (Baseline.ok
+       (compare_one ~exact:[ "x" ] [ ("x", nan) ] [ ("x", nan) ]));
+  (* ...while an exact 0. vs -0. flip fails even though (=) says equal *)
+  Alcotest.(check bool) "0. vs -0. fails for exact fields" false
+    (Baseline.ok
+       (compare_one ~exact:[ "x" ]
+          [ ("x", Json.Num 0.0) ]
+          [ ("x", Json.Num (-0.0)) ]))
+
+let test_baseline_volatile_shape_only () =
+  (* any value passes, as long as the field is present and numeric *)
+  Alcotest.(check bool) "wild drift passes" true
+    (Baseline.ok
+       (compare_one ~volatile:[ "p99" ]
+          [ ("p99", Json.Num 1.0) ]
+          [ ("p99", Json.Num 5000.0) ]));
+  Alcotest.(check bool) "volatile wins over exact" true
+    (Baseline.ok
+       (compare_one ~exact:[ "p99" ] ~volatile:[ "p99" ]
+          [ ("p99", Json.Num 1.0) ]
+          [ ("p99", Json.Num 2.0) ]));
+  Alcotest.(check bool) "missing volatile field still fails" false
+    (Baseline.ok (compare_one ~volatile:[ "p99" ] [ ("p99", Json.Num 1.0) ] []));
+  Alcotest.(check bool) "non-numeric shape still fails" false
+    (Baseline.ok
+       (compare_one ~volatile:[ "p99" ]
+          [ ("p99", Json.Num 1.0) ]
+          [ ("p99", Json.Str "fast") ]))
+
+let test_baseline_tolerance () =
+  let near = [ ("t", Json.Num 1.0) ], [ ("t", Json.Num 1.005) ] in
+  let far = [ ("t", Json.Num 1.0) ], [ ("t", Json.Num 1.2) ] in
+  Alcotest.(check bool) "within tolerance" true
+    (Baseline.ok (compare_one (fst near) (snd near)));
+  Alcotest.(check bool) "beyond tolerance" false
+    (Baseline.ok (compare_one (fst far) (snd far)))
+
+(* --- %{key} templating --- *)
+
+module Template = Support.Template
+
+let test_template_substitutes_every_occurrence () =
+  Alcotest.(check string) "both occurrences expand"
+    "out/8/trace-8.json"
+    (Template.subst ~key:"procs" ~value:"8" "out/%{procs}/trace-%{procs}.json");
+  Alcotest.(check string) "no template, no change" "plain.json"
+    (Template.subst ~key:"procs" ~value:"8" "plain.json");
+  Alcotest.(check string) "adjacent occurrences" "1212"
+    (Template.subst ~key:"p" ~value:"12" "%{p}%{p}")
+
+let test_template_no_rescan () =
+  (* a value containing the pattern must not be re-expanded *)
+  Alcotest.(check string) "substituted text is not rescanned" "%{p}!"
+    (Template.subst ~key:"p" ~value:"%{p}" "%{p}!")
+
+let test_template_other_keys_untouched () =
+  Alcotest.(check string) "different key left alone" "a-%{other}-4"
+    (Template.subst ~key:"procs" ~value:"4" "a-%{other}-%{procs}");
+  Alcotest.(check bool) "mem finds the key" true
+    (Template.mem ~key:"procs" "x/%{procs}");
+  Alcotest.(check bool) "mem rejects absent key" false
+    (Template.mem ~key:"procs" "x/%{other}")
+
 let () =
   Alcotest.run "support"
     [
@@ -233,5 +378,32 @@ let () =
           Alcotest.test_case "total" `Quick test_intervals_total;
           QCheck_alcotest.to_alcotest prop_intervals_stay_valid;
           QCheck_alcotest.to_alcotest prop_intervals_no_overlap_with_request;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "short escapes" `Quick test_json_short_escapes;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "surrogate pair" `Quick test_json_surrogate_pair;
+          Alcotest.test_case "bad escapes rejected" `Quick test_json_bad_escapes;
+          Alcotest.test_case "printer escapes" `Quick test_json_printer_escapes;
+          Alcotest.test_case "string round-trip" `Quick
+            test_json_roundtrip_strings;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "exact fields compare by bit pattern" `Quick
+            test_baseline_exact_bit_pattern;
+          Alcotest.test_case "volatile fields check shape only" `Quick
+            test_baseline_volatile_shape_only;
+          Alcotest.test_case "tolerance" `Quick test_baseline_tolerance;
+        ] );
+      ( "template",
+        [
+          Alcotest.test_case "every occurrence substituted" `Quick
+            test_template_substitutes_every_occurrence;
+          Alcotest.test_case "no rescan of substituted text" `Quick
+            test_template_no_rescan;
+          Alcotest.test_case "other keys untouched" `Quick
+            test_template_other_keys_untouched;
         ] );
     ]
