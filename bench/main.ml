@@ -124,7 +124,8 @@ let exact_baseline_fields =
   [
     "messages"; "bytes"; "dropped_msgs"; "deadline_misses"; "reissues";
     "trace_truncated"; "serve_requests"; "serve_cold_misses";
-    "serve_warm_misses"; "store_warm_misses";
+    "serve_warm_misses"; "store_warm_misses"; "checkpoints";
+    "replayed_frames"; "stall_collected";
   ]
 
 (* Wall-clock-shaped fields (E9's serve latency percentiles): the gate
@@ -419,7 +420,7 @@ let e4 () =
           run
             ?observe_as:(if nitems = 128 then Some "e4" else None)
             (Skel.Ir.program "df"
-               (Skel.Ir.Df { nworkers; comp = "work"; acc = "collect"; init = V.Int 0 }))
+               (Skel.Ir.Df { nworkers; comp = "work"; acc = "collect"; init = V.Int 0; state = Skel.Ir.Stateless }))
         in
         (nitems, scm_ms, scm_v, df_ms, df_v, obs))
   in
@@ -447,7 +448,7 @@ let e5 () =
       let table = uneven_table () in
       let prog =
         Skel.Ir.program "df"
-          (Skel.Ir.Df { nworkers = n; comp = "work"; acc = "collect"; init = V.Int 0 })
+          (Skel.Ir.Df { nworkers = n; comp = "work"; acc = "collect"; init = V.Int 0; state = Skel.Ir.Stateless })
       in
       let g = Procnet.Expand.expand table prog in
       let arch = Archi.ring (n + 1) in
@@ -977,7 +978,7 @@ let e12 () =
              Skel.Ir.Seq "prep";
              Skel.Ir.Seq "mask";
              Skel.Ir.Seq "enlist";
-             Skel.Ir.Df { nworkers = 1; comp = "heavy"; acc = "keep"; init = V.Int 0 };
+             Skel.Ir.Df { nworkers = 1; comp = "heavy"; acc = "keep"; init = V.Int 0; state = Skel.Ir.Stateless };
            ])
     in
     (t, prog)
@@ -1027,7 +1028,7 @@ let e13 () =
       Skel.Ir.Pipe
         [
           Skel.Ir.Seq "stretch";
-          Skel.Ir.Df { nworkers = 2; comp = "heavy"; acc = "plus"; init = V.Int 0 };
+          Skel.Ir.Df { nworkers = 2; comp = "heavy"; acc = "plus"; init = V.Int 0; state = Skel.Ir.Stateless };
         ]
     in
     let program =
@@ -1079,7 +1080,7 @@ let e14 () =
   let arch = Archi.ring (nworkers + 1) in
   let prog =
     Skel.Ir.program "df"
-      (Skel.Ir.Df { nworkers; comp = "work"; acc = "plus"; init = V.Int 0 })
+      (Skel.Ir.Df { nworkers; comp = "work"; acc = "plus"; init = V.Int 0; state = Skel.Ir.Stateless })
   in
   let input = V.List (List.init nitems (fun i -> V.Int i)) in
   let expected = V.Int (nitems * (nitems - 1) / 2) in
@@ -1413,6 +1414,152 @@ let e16 () =
      :: farm ~name:"e16" scenarios (fun (name, f) -> eval name (f ())))
 
 (* ------------------------------------------------------------------ *)
+(* E17: stateful farm under a mid-stream master outage                 *)
+
+(* An accumulator df farm is the worst case for the master: it holds the
+   only copy of the cross-frame fold state, so killing its processor
+   mid-stream loses the stream — unless the master checkpoints. The
+   experiment paces a multi-frame stream, halts the master's processor
+   between two frame outputs, and contrasts the uncheckpointed stall with
+   the checkpointed replay, which must complete and agree with the
+   sequential oracle. *)
+
+let e17 () =
+  header "E17"
+    "stateful farm checkpoint/replay: accumulator df through a mid-stream \
+     master outage — uncheckpointed stall vs checkpointed replay";
+  let nworkers = 6 in
+  let frames = 8 in
+  let nitems = 24 in
+  let table = Skel.Funtable.create () in
+  (* value-dependent compute cost shuffles worker completion order, so the
+     replayed merge is exercised out of arrival order *)
+  Skel.Funtable.register table "weigh" ~arity:1
+    ~cost:(fun v -> 20_000.0 +. float_of_int (271 * V.to_int v mod 9973))
+    (fun v -> V.Int ((3 * V.to_int v) + 1));
+  Skel.Funtable.register table "add" ~arity:2
+    ~cost:(fun _ -> 500.0)
+    (fun v ->
+      let a, b = V.to_pair v in
+      V.Int (V.to_int a + V.to_int b));
+  let program =
+    Skel.Ir.program ~frames "e17_acc_farm"
+      (Skel.Ir.Df
+         {
+           nworkers;
+           comp = "weigh";
+           acc = "add";
+           init = V.Int 0;
+           state = Skel.Ir.Accumulator;
+         })
+  in
+  let g = Procnet.Expand.expand table program in
+  let arch = Archi.ring (nworkers + 1) in
+  let placement = Syndex.Place.canonical g arch in
+  let input = V.List (List.init nitems (fun i -> V.Int ((7 * i) + 3))) in
+  let run ?faults ?restores ?checkpoint_every ?input_period () =
+    Executive.run ~trace:true ?faults ?restores ?checkpoint_every
+      ?input_period ~table ~arch ~placement ~graph:g ~frames ~input ()
+  in
+  (* calibrate the pace from the unpaced probe, then locate the outage
+     between two frame outputs of a healthy checkpointed run — the halt
+     instant tracks cost-model changes instead of pinning milliseconds *)
+  let probe = run () in
+  let pace = probe.Executive.first_latency *. 1.5 in
+  let healthy = run ~input_period:pace ~checkpoint_every:2 () in
+  let times = Array.of_list healthy.Executive.output_times in
+  let halt_at = (times.(4) +. times.(5)) /. 2.0 in
+  let restore_at = halt_at +. pace in
+  Printf.printf
+    "%d workers, %d frames x %d items paced at %.2f ms; master on P0: halt \
+     %.2f ms, restore %.2f ms\n"
+    nworkers frames nitems (ms pace) (ms halt_at) (ms restore_at);
+  let scenarios =
+    [
+      ( "outage, no checkpoint",
+        fun () ->
+          run ~input_period:pace
+            ~faults:[ (0, halt_at) ]
+            ~restores:[ (0, restore_at) ]
+            () );
+      ( "outage, checkpoint k=2",
+        fun () ->
+          run ~input_period:pace ~checkpoint_every:2
+            ~faults:[ (0, halt_at) ]
+            ~restores:[ (0, restore_at) ]
+            () );
+    ]
+  in
+  let pct l f =
+    match l with
+    | Some (s : Machine.Metrics.latency_stats) -> ms (f s)
+    | None -> nan
+  in
+  let rows =
+    ("healthy, checkpoint k=2", healthy)
+    :: farm ~name:"e17" scenarios (fun (name, f) -> (name, f ()))
+  in
+  Printf.printf "%-24s %-10s %6s %5s %7s %8s %8s %9s\n" "scenario" "outcome"
+    "frames" "ckpts" "replay" "p50 ms" "p95 ms" "finish ms";
+  let stalled = ref 0 in
+  let checkpointed = ref None in
+  List.iter
+    (fun (name, (r : Executive.result)) ->
+      let outcome, got =
+        match r.Executive.outcome with
+        | Executive.Completed -> ("completed", frames)
+        | Executive.Stalled { collected; _ } ->
+            stalled := collected;
+            ("stalled", collected)
+      in
+      if name = "outage, checkpoint k=2" then checkpointed := Some r;
+      let stats = Machine.Metrics.latency_stats r.Executive.latencies in
+      let finish =
+        match List.rev r.Executive.output_times with t :: _ -> t | [] -> 0.0
+      in
+      Printf.printf "%-24s %-10s %6d %5d %7d %8.2f %8.2f %9.2f\n" name
+        outcome got r.Executive.checkpoints r.Executive.replayed_frames
+        (pct stats (fun s -> s.Machine.Metrics.p50))
+        (pct stats (fun s -> s.Machine.Metrics.p95))
+        (ms finish))
+    rows;
+  let ck =
+    match !checkpointed with
+    | Some r -> r
+    | None -> failwith "e17: checkpointed scenario missing"
+  in
+  (* the replayed stream is oracle-exact: the acceptance gate of the
+     stateful-farm engine, enforced every bench run *)
+  let oracle = Skel.Sem.run table program input in
+  if not (V.equal oracle ck.Executive.value) then
+    failwith "e17: checkpointed replay diverges from the sequential oracle";
+  let stream = Skel.Sem.run_stream table program input in
+  if not (List.for_all2 V.equal stream ck.Executive.outputs) then
+    failwith "e17: replayed per-frame outputs diverge from the oracle";
+  print_endline "checkpointed replay agrees with the sequential oracle";
+  let finish_of (r : Executive.result) =
+    match List.rev r.Executive.output_times with t :: _ -> t | [] -> 0.0
+  in
+  let stats = Machine.Metrics.latency_stats ck.Executive.latencies in
+  record_extras ~experiment:"e17"
+    [
+      ("checkpoints", float_of_int ck.Executive.checkpoints);
+      ("replayed_frames", float_of_int ck.Executive.replayed_frames);
+      ("stall_collected", float_of_int !stalled);
+      ("outage_p50_ms", pct stats (fun s -> s.Machine.Metrics.p50));
+      ("outage_p95_ms", pct stats (fun s -> s.Machine.Metrics.p95));
+      ("outage_p99_ms", pct stats (fun s -> s.Machine.Metrics.p99));
+      ("recovery_overhead_ms", ms (finish_of ck -. finish_of healthy));
+    ];
+  observe ~experiment:"e17" ck;
+  Option.iter
+    (fun dir ->
+      match Skipper_trace.Svg.gantt (Executive.timeline ck) with
+      | Ok svg -> write_file (Filename.concat dir "e17.gantt.svg") svg
+      | Error e -> failwith e)
+    !trace_dir
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks                                           *)
 
 let micro () =
@@ -1432,7 +1579,7 @@ let micro () =
         fst (V.to_pair v));
     let prog =
       Skel.Ir.program "p"
-        (Skel.Ir.Df { nworkers = 4; comp = "w"; acc = "k"; init = V.Int 0 })
+        (Skel.Ir.Df { nworkers = 4; comp = "w"; acc = "k"; init = V.Int 0; state = Skel.Ir.Stateless })
     in
     let g = Procnet.Expand.expand table prog in
     let arch = Archi.ring 5 in
@@ -1497,7 +1644,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+    ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
   ]
 
 let () =
@@ -1540,7 +1687,7 @@ let () =
       match List.assoc_opt (String.lowercase_ascii name) experiments with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown experiment %s (e1..e16 or micro)\n" name;
+          Printf.eprintf "unknown experiment %s (e1..e17 or micro)\n" name;
           exit 1)
   | _ ->
       print_endline "SKiPPER experiment harness (see DESIGN.md, experiment index)";

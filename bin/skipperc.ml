@@ -26,6 +26,10 @@ let app_table = function
       let t = Skel.Funtable.create () in
       Apps.Quadtree.register t;
       t
+  | "stateful" ->
+      let t = Skel.Funtable.create () in
+      Apps.Stateful.register t;
+      t
   | "none" -> Skel.Funtable.create ()
   | other -> failwith (Printf.sprintf "unknown application %S" other)
 
@@ -33,6 +37,7 @@ let default_input app =
   match app with
   | "ccl" -> Some (Skel.Value.Image (Apps.Ccl_scm.blobs_image 512 512))
   | "quadtree" -> Some (Skel.Value.Image (Apps.Ccl_scm.blobs_image ~nblobs:12 256 256))
+  | "stateful" -> Some (Apps.Stateful.input_value ())
   | _ -> None
 
 let topology name n =
@@ -167,6 +172,10 @@ let outcome_lines (r : Executive.result) =
          tally.Machine.Sim.dropped tally.Machine.Sim.delayed
          tally.Machine.Sim.duplicated r.Executive.reissues
          r.Executive.retired_workers r.Executive.deadline_misses);
+  if r.Executive.checkpoints > 0 || r.Executive.replayed_frames > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "checkpoints: %d taken, %d frames replayed\n"
+         r.Executive.checkpoints r.Executive.replayed_frames);
   Buffer.contents b
 
 let print_outcome r = print_string (outcome_lines r)
@@ -289,10 +298,20 @@ let cache_summary cache =
     (Skipper_lib.Passes.store_hits cache)
     misses
 
-let compile ~app ~frames ?(optimize = false) ?cache path =
+let compile ~app ~frames ?(optimize = false) ?df_state ?cache path =
   let table = app_table app in
-  Skipper_lib.Pipeline.compile_source ~frames ~optimize ?cache ~table
+  Skipper_lib.Pipeline.compile_source ~frames ~optimize ?df_state ?cache ~table
     (read_file path)
+
+let df_state_of = function
+  | None -> None
+  | Some s -> (
+      match Skel.Ir.state_mode_of_string s with
+      | Some m -> Some m
+      | None ->
+          failwith
+            (Printf.sprintf "--df-state: unknown mode %S (valid modes: %s)" s
+               (String.concat ", " Skel.Ir.state_mode_names)))
 
 let print_timings c = Format.printf "%a" Skipper_lib.Pipeline.pp_timings c
 
@@ -321,7 +340,8 @@ let app_arg =
     value
     & opt string "none"
     & info [ "app" ] ~docv:"APP"
-        ~doc:"Application function table: tracking, ccl, road, quadtree or none.")
+        ~doc:"Application function table: tracking, ccl, road, quadtree, \
+              stateful or none.")
 
 let frames_arg =
   Arg.(value & opt int 1 & info [ "frames" ] ~docv:"N" ~doc:"Stream iterations.")
@@ -528,6 +548,28 @@ let df_timeout_arg =
               than MS milliseconds is reissued to an idle worker, and \
               workers that repeatedly time out are retired.")
 
+let df_state_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "df-state" ] ~docv:"MODE"
+        ~doc:
+          (Printf.sprintf
+             "Override the state-access mode of every df farm: %s. The \
+              program's init value must already have the shape the target \
+              mode expects (see the documentation of the df_* family)."
+             (String.concat ", " Skel.Ir.state_mode_names)))
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Checkpoint the df master's and itermem memory's state every N \
+              frames. Combined with --halt/--restore of their processor, the \
+              restored master replays from the last checkpoint instead of \
+              stalling the stream.")
+
 let check_cmd =
   let run file =
     wrap (fun () ->
@@ -639,11 +681,16 @@ let frontier_file ~strategy ~arch c path =
       path )
 
 let run_cmd =
-  let run app frames procs_list topo strat fps optimize cache_dir timings dump
-      trace_out gantt_svg conformance series_out slos series_window
-      frontier_out halts restores drops delays dups df_timeout jobs file =
+  let run app frames procs_list topo strat fps optimize df_state_str
+      checkpoint_every cache_dir timings dump trace_out gantt_svg conformance
+      series_out slos series_window frontier_out halts restores drops delays
+      dups df_timeout jobs file =
     wrap (fun () ->
         let strategy = strategy_of strat in
+        let df_state = df_state_of df_state_str in
+        (match checkpoint_every with
+        | Some k when k <= 0 -> failwith "--checkpoint-every: N must be positive"
+        | _ -> ());
         (* parsed before anything runs, so a bad spec fails fast *)
         let slo_specs =
           List.map
@@ -666,7 +713,7 @@ let run_cmd =
         | [] -> failwith "--procs: empty list"
         | [ procs ] ->
             let cache = make_cache cache_dir in
-            let c = compile ~app ~frames ~optimize ?cache file in
+            let c = compile ~app ~frames ~optimize ?df_state ?cache file in
             Option.iter
               (fun cache -> Printf.eprintf "%s\n" (cache_summary cache))
               cache;
@@ -686,7 +733,8 @@ let run_cmd =
                 let schedule, r =
                   Skipper_lib.Pipeline.execute_with_schedule ~trace:tracing
                     ?input_period ~faults ~restores ~link_faults ?recovery
-                    ~strategy ?input:(default_input app) c arch
+                    ?checkpoint_every ~strategy ?input:(default_input app) c
+                    arch
                 in
                 Printf.printf "result: %s\n" (Skel.Value.to_string r.Executive.value);
                 List.iteri
@@ -759,7 +807,10 @@ let run_cmd =
               (* per-variant cache over the shared store; no summary line —
                  which variant warms the store first is a race, and sweep
                  output must stay deterministic *)
-              let c = compile ~app ~frames ~optimize ?cache:(make_cache cache_dir) file in
+              let c =
+                compile ~app ~frames ~optimize ?df_state
+                  ?cache:(make_cache cache_dir) file
+              in
               let arch = topology topo procs in
               let input_period = Option.map (fun f -> 1.0 /. f) fps in
               (* parsed per job: a fault plan carries per-schedule state *)
@@ -773,7 +824,7 @@ let run_cmd =
               let schedule, r =
                 Skipper_lib.Pipeline.execute_with_schedule ~trace:tracing
                   ?input_period ~faults ~restores ~link_faults ?recovery
-                  ~strategy ?input:(default_input app) c arch
+                  ?checkpoint_every ~strategy ?input:(default_input app) c arch
               in
               let b = Buffer.create 256 in
               Buffer.add_string b (Printf.sprintf "== --procs %d ==\n" procs);
@@ -837,7 +888,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile, map and execute on the simulated MIMD-DM machine.")
     Term.(
       const run $ app_arg $ frames_arg $ procs_list_arg $ topo_arg $ strategy_arg
-      $ fps_arg $ optimize_arg $ cache_dir_arg $ timings_arg $ dump_arg
+      $ fps_arg $ optimize_arg $ df_state_arg $ checkpoint_arg $ cache_dir_arg
+      $ timings_arg $ dump_arg
       $ trace_out_arg $ gantt_svg_arg $ conformance_arg $ series_out_arg
       $ slo_arg $ series_window_arg $ frontier_out_arg $ halt_arg $ restore_arg
       $ drop_link_arg $ delay_link_arg $ dup_link_arg $ df_timeout_arg

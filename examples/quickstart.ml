@@ -21,7 +21,7 @@ let () =
   (* 2. Write the skeletal program: sum the squares with a 3-worker farm. *)
   let program =
     Skel.Ir.program "sum-of-squares"
-      (Skel.Ir.Df { nworkers = 3; comp = "square"; acc = "add"; init = V.Int 0 })
+      (Skel.Ir.Df { nworkers = 3; comp = "square"; acc = "add"; init = V.Int 0; state = Skel.Ir.Stateless })
   in
   let input = V.List (List.init 10 (fun i -> V.Int (i + 1))) in
 

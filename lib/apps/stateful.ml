@@ -1,0 +1,92 @@
+module V = Skel.Value
+
+(* Streamed strip telemetry for the stateful df farm family: each frame's
+   image is cut into horizontal strips whose pixel sums become the farm's
+   task list, and each state-access mode gets a small deterministic compute
+   function so the spec corpus and the conformance tests can pin
+   parallel == sequential-oracle equivalence per mode. *)
+
+let int_of v = V.to_int v
+let pair_of name v =
+  match v with
+  | V.Tuple [ a; b ] -> (a, b)
+  | _ -> raise (V.Type_error (name ^ " expects a pair"))
+
+let register ?(nstrips = 8) table =
+  let reg = Skel.Funtable.register table in
+  reg "strip_sums" ~arity:1
+    ~cost:(fun v ->
+      match v with
+      | V.Image img -> 200.0 +. float_of_int (Vision.Image.size img)
+      | _ -> 200.0)
+    (fun v ->
+      match v with
+      | V.Image img ->
+          V.List
+            (List.map
+               (fun band ->
+                 let strip = Vision.Image.extract_band img band in
+                 V.Int (Vision.Image.fold ( + ) 0 strip))
+               (Vision.Image.row_bands img nstrips))
+      | _ -> raise (V.Type_error "strip_sums expects an image"));
+  (* stateless / accumulator compute: coarse luminance bucket *)
+  reg "bucket" ~arity:1 ~cost:(fun _ -> 400.0) (fun v -> V.Int (int_of v / 16));
+  (* readonly compute: scale by the broadcast gain *)
+  reg "gain_scale" ~arity:1
+    ~cost:(fun _ -> 400.0)
+    (fun v ->
+      let g, x = pair_of "gain_scale" v in
+      V.Int (int_of g * int_of x));
+  (* owner compute: running per-partition peak, state travels with the task *)
+  reg "owner_peak" ~arity:1
+    ~cost:(fun _ -> 400.0)
+    (fun v ->
+      let s, x = pair_of "owner_peak" v in
+      let peak = max (int_of s) (int_of x) in
+      V.Tuple [ V.Int peak; V.Int peak ]);
+  (* resource compute: serial smoothing of successive sums *)
+  reg "res_smooth" ~arity:1
+    ~cost:(fun _ -> 400.0)
+    (fun v ->
+      let s, x = pair_of "res_smooth" v in
+      let s' = (int_of s + int_of x) / 2 in
+      V.Tuple [ V.Int s'; V.Int s' ]);
+  reg "add" ~arity:2
+    ~cost:(fun _ -> 50.0)
+    (fun v ->
+      let z, y = pair_of "add" v in
+      V.Int (int_of z + int_of y))
+
+let comp_for = function
+  | Skel.Ir.Stateless | Skel.Ir.Accumulator -> "bucket"
+  | Skel.Ir.Read_only -> "gain_scale"
+  | Skel.Ir.Owner -> "owner_peak"
+  | Skel.Ir.Resource -> "res_smooth"
+
+let init_for ?(nworkers = 4) mode =
+  match mode with
+  | Skel.Ir.Stateless | Skel.Ir.Accumulator -> V.Int 0
+  | Skel.Ir.Read_only -> V.Tuple [ V.Int 3; V.Int 0 ]
+  | Skel.Ir.Owner ->
+      V.Tuple [ V.List (List.init nworkers (fun _ -> V.Int 0)); V.Int 0 ]
+  | Skel.Ir.Resource -> V.Tuple [ V.Int 128; V.Int 0 ]
+
+let ir ?(frames = 1) ?(nworkers = 4) mode =
+  Skel.Ir.program ~frames
+    ("stateful_" ^ Skel.Ir.state_mode_name mode)
+    (Skel.Ir.Pipe
+       [
+         Skel.Ir.Seq "strip_sums";
+         Skel.Ir.Df
+           {
+             nworkers;
+             comp = comp_for mode;
+             acc = "add";
+             init = init_for ~nworkers mode;
+             state = mode;
+           };
+       ])
+
+let input_value ?(width = 64) ?(height = 64) () =
+  let img = Vision.Image.create width height in
+  V.Image (Vision.Image.mapi (fun x y _ -> ((7 * x) + (13 * y)) mod 251) img)

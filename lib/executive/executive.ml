@@ -29,6 +29,8 @@ type result = {
   reissues : int;
   reissue_times : float list;
   retired_workers : int;
+  checkpoints : int;
+  replayed_frames : int;
   sim : Machine.Sim.t;
 }
 
@@ -39,7 +41,17 @@ type collector = {
   mutable reissues : int;
   mutable reissue_rev : float list;
   mutable retired : int;
+  mutable checkpoints : int;
+  mutable replayed : int;
 }
+
+(* Stable storage for a durable control process (df master or itermem mem):
+   plain OCaml state outside the simulated machine, so it survives a
+   simulated processor crash. [snap] is the last checkpoint — the next frame
+   to run and the mode state to resume it with; [emitted] is a write-ahead
+   count of frames whose output was already sent downstream, so a replaying
+   incarnation recomputes them without re-emitting. *)
+type stable_cell = { mutable snap : (int * V.t) option; mutable emitted : int }
 
 (* A user-function call: charge its cost model, then produce its value. *)
 let call table fn v =
@@ -65,7 +77,7 @@ let worker_indices g =
   table
 
 let behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
-    ~widx_table ~recovery:recov (node : G.node) () =
+    ~widx_table ~recovery:recov ~checkpoint ~cells (node : G.node) () =
   let outs port =
     List.map (fun (e : G.edge) -> (e.dst, e.dst_port)) (G.out_edges_from_port g node.id port)
   in
@@ -120,7 +132,235 @@ let behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
             List.init nparts (fun i -> Machine.Sim.recv (Printf.sprintf "p%d" i))
           in
           emit "out" (call table fn (V.List results)))
-  | G.DfMaster { acc; init; nworkers } -> (
+  | G.DfMaster { acc; init; nworkers; state } when
+      state <> Skel.Ir.Stateless || checkpoint <> None ->
+      (* The stateful-farm engine: master-held state with a per-mode task
+         routing and merge discipline, plus optional checkpoint/replay.
+         Strictly opt-in — a stateless farm without checkpointing runs the
+         paper's original protocol below, byte-identical traces included.
+
+         Wire protocol (workers are mode-agnostic):
+         - env broadcast  [Tuple [Str "env"; env]]   (readonly mode only)
+         - task           [Tuple [Str "t"; Int frame; Int seq; payload]]
+         - reply          [Tuple [Int widx; Int frame; Int seq; y]]
+         Replies are buffered by [seq] and folded 0..n-1 once the frame
+         completes, so the merge order equals the sequential oracle's
+         regardless of arrival order; duplicates (same frame and seq — the
+         signature of a replay) are first-wins discarded. *)
+      let task_targets = Array.of_list (outs "task") in
+      if Array.length task_targets <> nworkers then
+        error "df master has %d task channels for %d workers"
+          (Array.length task_targets) nworkers;
+      if recov <> None then
+        error
+          "df recovery (reissue-on-timeout) is not supported together with \
+           stateful farms or checkpointing";
+      let cell = Hashtbl.find cells node.id in
+      let as_state_pair what = function
+        | V.Tuple [ a; b ] -> (a, b)
+        | other -> error "%s df init must be a pair, got %s" what (V.to_string other)
+      in
+      (* Mode state held by the master; [seed] restarts the fold each frame
+         (except accumulator mode, whose fold result is the carried state). *)
+      let owner_states =
+        match state with
+        | Skel.Ir.Owner -> (
+            match fst (as_state_pair "owner" init) with
+            | V.List ss -> Array.of_list ss
+            | other ->
+                error "owner df init must carry a state list, got %s"
+                  (V.to_string other))
+        | _ -> [||]
+      in
+      let resource =
+        ref
+          (match state with
+          | Skel.Ir.Resource -> fst (as_state_pair "resource" init)
+          | _ -> V.Unit)
+      in
+      let carry = ref init in
+      let seed =
+        match state with
+        | Skel.Ir.Stateless | Skel.Ir.Accumulator -> init
+        | Skel.Ir.Read_only | Skel.Ir.Owner | Skel.Ir.Resource ->
+            snd (as_state_pair (Skel.Ir.state_mode_name state) init)
+      in
+      let env =
+        match state with
+        | Skel.Ir.Read_only -> Some (fst (as_state_pair "readonly" init))
+        | _ -> None
+      in
+      let snapshot () =
+        match state with
+        | Skel.Ir.Stateless | Skel.Ir.Read_only -> V.Unit
+        | Skel.Ir.Accumulator -> !carry
+        | Skel.Ir.Owner -> V.List (Array.to_list owner_states)
+        | Skel.Ir.Resource -> !resource
+      in
+      let restore st =
+        match state with
+        | Skel.Ir.Stateless | Skel.Ir.Read_only -> ()
+        | Skel.Ir.Accumulator -> carry := st
+        | Skel.Ir.Owner -> (
+            match st with
+            | V.List ss -> List.iteri (fun i s -> owner_states.(i) <- s) ss
+            | _ -> ())
+        | Skel.Ir.Resource -> resource := st
+      in
+      let start_frame =
+        match cell.snap with
+        | Some (f0, st) ->
+            restore st;
+            f0
+        | None -> 0
+      in
+      (* Frames already emitted will be recomputed from the checkpoint but
+         not re-emitted: that is the replay work a restart costs. *)
+      collector.replayed <- collector.replayed + (cell.emitted - start_frame);
+      (match env with
+      | Some e ->
+          (* (Re)broadcast the shared environment — workers treat it as an
+             idempotent assignment, so a replaying master may repeat it. *)
+          Array.iter
+            (fun (dst, dport) ->
+              Machine.Sim.send dst dport (V.Tuple [ V.Str "env"; e ]))
+            task_targets
+      | None -> ());
+      for f = start_frame to frames - 1 do
+        let xs =
+          match Machine.Sim.recv "in" with
+          | V.List xs -> xs
+          | other -> error "df input is %s, not a list" (V.to_string other)
+        in
+        let items = Array.of_list xs in
+        let n = Array.length items in
+        let got = Array.make n None in
+        let ngot = ref 0 in
+        let send_task widx seq payload =
+          let dst, dport = task_targets.(widx) in
+          Machine.Sim.send dst dport
+            (V.Tuple [ V.Str "t"; V.Int f; V.Int seq; payload ])
+        in
+        (* Receive one reply; [accept widx seq y] is called exactly once per
+           fresh (frame, seq); duplicates invoke [dup widx] instead. *)
+        let receive ~accept ~dup =
+          match Machine.Sim.recv "result" with
+          | V.Tuple [ V.Int widx; V.Int rf; V.Int seq; y ] ->
+              if rf = f && seq >= 0 && seq < n && got.(seq) = None then
+                accept widx seq y
+              else if rf = f then dup widx
+              (* replies for earlier frames are replay leftovers: ignore *)
+          | other -> error "df master: bad result message %s" (V.to_string other)
+        in
+        (match state with
+        | Skel.Ir.Stateless | Skel.Ir.Accumulator | Skel.Ir.Read_only ->
+            (* Dynamically load-balanced, like the plain farm; the payload is
+               the bare item (the worker adds the env for readonly). *)
+            let queue = Queue.create () in
+            Array.iteri (fun seq _ -> Queue.add seq queue) items;
+            let feed widx =
+              if not (Queue.is_empty queue) then begin
+                let seq = Queue.pop queue in
+                send_task widx seq items.(seq)
+              end
+            in
+            for w = 0 to nworkers - 1 do
+              feed w
+            done;
+            while !ngot < n do
+              receive
+                ~accept:(fun widx seq y ->
+                  got.(seq) <- Some y;
+                  incr ngot;
+                  feed widx)
+                ~dup:feed
+            done
+        | Skel.Ir.Owner ->
+            (* Partitioned state: task [seq] belongs to partition
+               [seq mod nworkers], whose state threads through its worker
+               with at most one task of the partition outstanding. *)
+            let pending = Array.make nworkers [] in
+            for seq = n - 1 downto 0 do
+              let k = seq mod nworkers in
+              pending.(k) <- seq :: pending.(k)
+            done;
+            let feed k =
+              match pending.(k) with
+              | seq :: rest ->
+                  pending.(k) <- rest;
+                  send_task k seq (V.Tuple [ owner_states.(k); items.(seq) ])
+              | [] -> ()
+            in
+            for k = 0 to nworkers - 1 do
+              feed k
+            done;
+            while !ngot < n do
+              receive
+                ~accept:(fun _widx seq y ->
+                  match y with
+                  | V.Tuple [ s'; y ] ->
+                      let k = seq mod nworkers in
+                      owner_states.(k) <- s';
+                      got.(seq) <- Some y;
+                      incr ngot;
+                      feed k
+                  | other ->
+                      error "owner df compute must return (state', y), got %s"
+                        (V.to_string other))
+                ~dup:(fun _ -> ())
+            done
+        | Skel.Ir.Resource ->
+            (* Serialised shared resource: at most one task outstanding in
+               the whole farm, round-robin over the workers (the farm with
+               feedback — the state travels out with each task and back with
+               its reply). *)
+            let issue seq =
+              if seq < n then
+                send_task (seq mod nworkers) seq
+                  (V.Tuple [ !resource; items.(seq) ])
+            in
+            issue 0;
+            while !ngot < n do
+              receive
+                ~accept:(fun _widx seq y ->
+                  if seq <> !ngot then () (* out-of-order: replay leftover *)
+                  else
+                    match y with
+                    | V.Tuple [ s'; y ] ->
+                        resource := s';
+                        got.(seq) <- Some y;
+                        incr ngot;
+                        issue (seq + 1)
+                    | other ->
+                        error
+                          "resource df compute must return (state', y), got %s"
+                          (V.to_string other))
+                ~dup:(fun _ -> ())
+            done);
+        let z0 = match state with Skel.Ir.Accumulator -> !carry | _ -> seed in
+        let z =
+          Array.fold_left
+            (fun z y ->
+              match y with
+              | Some y -> call table acc (V.Tuple [ z; y ])
+              | None -> assert false)
+            z0 got
+        in
+        if state = Skel.Ir.Accumulator then carry := z;
+        if cell.emitted <= f then begin
+          (* Write-ahead: bump the count in the same zero-duration segment
+             as the send, so a crash cannot double-emit a frame. *)
+          cell.emitted <- f + 1;
+          emit "out" z
+        end;
+        match checkpoint with
+        | Some k when (f + 1) mod k = 0 ->
+            cell.snap <- Some (f + 1, snapshot ());
+            Machine.Sim.mark_stable ();
+            collector.checkpoints <- collector.checkpoints + 1
+        | _ -> ()
+      done
+  | G.DfMaster { acc; init; nworkers; state = _ } -> (
       let task_targets = Array.of_list (outs "task") in
       if Array.length task_targets <> nworkers then
         error "df master has %d task channels for %d workers"
@@ -289,25 +529,60 @@ let behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
         | Some i -> i
         | None -> error "df worker %s is not wired to a master" node.label
       in
-      let rec serve () =
-        (match recov with
-        | None ->
-            let v = Machine.Sim.recv "task" in
-            let y = call table comp v in
-            send_all "out" (V.Tuple [ V.Int my_index; y ])
-        | Some _ -> (
-            (* sequence-tagged protocol: echo the tag so the master can
-               discard stale duplicates *)
-            match Machine.Sim.recv "task" with
-            | V.Tuple [ V.Int seq; x ] ->
-                let y = call table comp x in
-                send_all "out"
-                  (V.Tuple [ V.Int my_index; V.Tuple [ V.Int seq; y ] ])
-            | other ->
-                error "df worker: bad task message %s" (V.to_string other)));
-        serve ()
+      (* A worker speaks the engine protocol exactly when its master does. *)
+      let engine_master =
+        List.exists
+          (fun (e : G.edge) ->
+            e.dst_port = "task"
+            &&
+            match (G.node g e.src).kind with
+            | G.DfMaster { state; _ } ->
+                state <> Skel.Ir.Stateless || checkpoint <> None
+            | _ -> false)
+          (G.in_edges g node.id)
       in
-      serve ()
+      if engine_master then begin
+        (* Mode-agnostic: remember the broadcast env (readonly mode) and
+           wrap it around each task payload; echo frame and seq so the
+           master can merge in order and discard replay duplicates. *)
+        let env = ref None in
+        let rec serve () =
+          (match Machine.Sim.recv "task" with
+          | V.Tuple [ V.Str "env"; e ] -> env := Some e
+          | V.Tuple [ V.Str "t"; V.Int frame; V.Int seq; payload ] ->
+              let arg =
+                match !env with
+                | Some e -> V.Tuple [ e; payload ]
+                | None -> payload
+              in
+              let y = call table comp arg in
+              send_all "out"
+                (V.Tuple [ V.Int my_index; V.Int frame; V.Int seq; y ])
+          | other -> error "df worker: bad task message %s" (V.to_string other));
+          serve ()
+        in
+        serve ()
+      end
+      else
+        let rec serve () =
+          (match recov with
+          | None ->
+              let v = Machine.Sim.recv "task" in
+              let y = call table comp v in
+              send_all "out" (V.Tuple [ V.Int my_index; y ])
+          | Some _ -> (
+              (* sequence-tagged protocol: echo the tag so the master can
+                 discard stale duplicates *)
+              match Machine.Sim.recv "task" with
+              | V.Tuple [ V.Int seq; x ] ->
+                  let y = call table comp x in
+                  send_all "out"
+                    (V.Tuple [ V.Int my_index; V.Tuple [ V.Int seq; y ] ])
+              | other ->
+                  error "df worker: bad task message %s" (V.to_string other)));
+          serve ()
+        in
+        serve ()
   | G.TfMaster { acc; init; nworkers } ->
       let task_targets = Array.of_list (outs "task") in
       if Array.length task_targets <> nworkers then
@@ -362,12 +637,39 @@ let behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
         serve ()
       in
       serve ()
-  | G.Mem { init } ->
-      let state = ref init in
-      each_frame (fun _ ->
-          send_all "out" !state;
-          state := Machine.Sim.recv "update");
-      collector.final_state <- Some !state
+  | G.Mem { init } -> (
+      match checkpoint with
+      | None ->
+          let state = ref init in
+          each_frame (fun _ ->
+              send_all "out" !state;
+              state := Machine.Sim.recv "update");
+          collector.final_state <- Some !state
+      | Some k ->
+          (* Durable mem: checkpoint the loop state every [k] frames; a
+             restarted incarnation resumes at the checkpoint, replaying the
+             journalled updates, and skips re-sending states it already
+             sent (write-ahead [emitted] count). *)
+          let cell = Hashtbl.find cells node.id in
+          let start_frame, st0 =
+            match cell.snap with Some (f0, st) -> (f0, st) | None -> (0, init)
+          in
+          collector.replayed <-
+            collector.replayed + (cell.emitted - start_frame);
+          let state = ref st0 in
+          for f = start_frame to frames - 1 do
+            if cell.emitted <= f then begin
+              cell.emitted <- f + 1;
+              send_all "out" !state
+            end;
+            state := Machine.Sim.recv "update";
+            if (f + 1) mod k = 0 then begin
+              cell.snap <- Some (f + 1, !state);
+              Machine.Sim.mark_stable ();
+              collector.checkpoints <- collector.checkpoints + 1
+            end
+          done;
+          collector.final_state <- Some !state)
   | G.Join ->
       each_frame (fun _ ->
           let s = Machine.Sim.recv "state" in
@@ -389,9 +691,12 @@ let is_itermem g =
     (G.nodes g)
 
 let run ?(trace = false) ?trace_limit ?input_period ?(faults = [])
-    ?(restores = []) ?(link_faults = []) ?recovery:recov ~table ~arch
-    ~placement ~graph:g ~frames ~input () =
+    ?(restores = []) ?(link_faults = []) ?recovery:recov ?checkpoint_every
+    ~table ~arch ~placement ~graph:g ~frames ~input () =
   if frames <= 0 then error "frames must be positive";
+  (match checkpoint_every with
+  | Some k when k <= 0 -> error "checkpoint_every must be positive, got %d" k
+  | _ -> ());
   if Array.length placement <> G.nnodes g then
     error "placement has %d entries for %d processes" (Array.length placement)
       (G.nnodes g);
@@ -406,15 +711,33 @@ let run ?(trace = false) ?trace_limit ?input_period ?(faults = [])
       reissues = 0;
       reissue_rev = [];
       retired = 0;
+      checkpoints = 0;
+      replayed = 0;
     }
   in
   let widx_table = worker_indices g in
+  (* Stable cells for the control processes that can be made durable; with
+     checkpointing enabled those processes survive a processor halt. *)
+  let cells = Hashtbl.create 8 in
+  Array.iter
+    (fun (node : G.node) ->
+      match node.kind with
+      | G.DfMaster _ | G.Mem _ ->
+          Hashtbl.replace cells node.id { snap = None; emitted = 0 }
+      | _ -> ())
+    (G.nodes g);
+  let durable (node : G.node) =
+    checkpoint_every <> None
+    && match node.kind with G.DfMaster _ | G.Mem _ -> true | _ -> false
+  in
   Array.iter
     (fun (node : G.node) ->
       let pid =
-        Machine.Sim.spawn sim ~name:node.label ~on:placement.(node.id)
+        Machine.Sim.spawn sim ~name:node.label ~durable:(durable node)
+          ~on:placement.(node.id)
           (behaviour ~table ~graph:g ~frames ~input ~input_period ~collector
-             ~widx_table ~recovery:recov node)
+             ~widx_table ~recovery:recov ~checkpoint:checkpoint_every ~cells
+             node)
       in
       if pid <> node.id then error "process ids out of sync with node ids")
     (G.nodes g);
@@ -470,13 +793,16 @@ let run ?(trace = false) ?trace_limit ?input_period ?(faults = [])
     reissues = collector.reissues;
     reissue_times = List.rev collector.reissue_rev;
     retired_workers = collector.retired;
+    checkpoints = collector.checkpoints;
+    replayed_frames = collector.replayed;
     sim;
   }
 
 let run_schedule ?trace ?trace_limit ?input_period ?faults ?restores
-    ?link_faults ?recovery ~table ~schedule ~frames ~input () =
+    ?link_faults ?recovery ?checkpoint_every ~table ~schedule ~frames ~input
+    () =
   run ?trace ?trace_limit ?input_period ?faults ?restores ?link_faults
-    ?recovery ~table
+    ?recovery ?checkpoint_every ~table
     ~arch:schedule.Syndex.Schedule.arch
     ~placement:schedule.Syndex.Schedule.placement
     ~graph:schedule.Syndex.Schedule.graph ~frames ~input ()
@@ -539,10 +865,16 @@ let summary r =
         dropped r.reissues r.retired_workers r.deadline_misses
     else ""
   in
+  let ckpt_s =
+    if r.checkpoints > 0 || r.replayed_frames > 0 then
+      Printf.sprintf "\ncheckpoints: %d taken, %d frames replayed"
+        r.checkpoints r.replayed_frames
+    else ""
+  in
   Printf.sprintf
-    "value: %s\nframes: %d (%s)\nfirst latency: %.2f ms, steady period: %s\nmessages: %d, bytes: %d%s"
+    "value: %s\nframes: %d (%s)\nfirst latency: %.2f ms, steady period: %s\nmessages: %d, bytes: %d%s%s"
     (Skel.Value.to_string r.value)
     (List.length r.outputs)
     outcome_s
     (r.first_latency *. 1e3) period_s
-    r.stats.Machine.Sim.messages r.stats.Machine.Sim.bytes fault_s
+    r.stats.Machine.Sim.messages r.stats.Machine.Sim.bytes fault_s ckpt_s

@@ -66,6 +66,10 @@ type result = {
       (** simulated time of each reissue, in occurrence order — the windowed
           series attributes recovery work to the window it happened in *)
   retired_workers : int;  (** df workers retired after repeated timeouts *)
+  checkpoints : int;
+      (** checkpoints taken by durable masters/mems ([checkpoint_every]) *)
+  replayed_frames : int;
+      (** frames recomputed (not re-emitted) by restarted durable processes *)
   sim : Machine.Sim.t;  (** the finished machine, for traces and Gantt *)
 }
 
@@ -79,6 +83,7 @@ val run :
   ?restores:(int * float) list ->
   ?link_faults:Machine.Sim.link_fault list ->
   ?recovery:recovery ->
+  ?checkpoint_every:int ->
   table:Skel.Funtable.t ->
   arch:Archi.t ->
   placement:int array ->
@@ -102,6 +107,24 @@ val run :
     timed-out tasks and retires repeatedly-failing workers, so a run can
     complete degraded.
 
+    Stateful farms ([DfMaster] with a non-[Stateless]
+    {!Skel.Ir.state_mode}) run the engine protocol: the master holds the
+    state, tags tasks with [(frame, seq)], merges replies in sequence order
+    (so any accumulation function agrees with the sequential oracle), and
+    enforces the mode's routing discipline — load-balanced for
+    readonly/accumulator, fixed partition routing with one outstanding task
+    per partition for owner, fully serialised round-robin (the farm with
+    feedback) for resource. [recovery] is rejected together with the
+    engine.
+
+    [checkpoint_every]: every [k] frames, durable control processes (df
+    masters and the itermem [Mem]) snapshot their state to stable storage
+    and truncate their replay journal ({!Machine.Sim.mark_stable}). A halt
+    of their processor then no longer loses the stream: deliveries spool,
+    and on restore the process replays from the checkpoint (recomputed
+    frames are counted in [replayed_frames], never re-emitted), so the run
+    [Completed]s where it would otherwise report [Stalled].
+
     Raises [Executive_error] on malformed graphs (e.g. explicit [Router]
     nodes, which only appear in the structural Fig. 1 template) and
     re-raises user-function exceptions wrapped in
@@ -115,6 +138,7 @@ val run_schedule :
   ?restores:(int * float) list ->
   ?link_faults:Machine.Sim.link_fault list ->
   ?recovery:recovery ->
+  ?checkpoint_every:int ->
   table:Skel.Funtable.t ->
   schedule:Syndex.Schedule.t ->
   frames:int ->

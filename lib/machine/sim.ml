@@ -42,10 +42,24 @@ type process = {
   pid : pid;
   name : string;
   on : int;
+  body : unit -> unit;  (* kept for durable restarts *)
+  durable : bool;
+      (* a durable process survives a processor halt: deliveries made while
+         its processor is down are spooled (not dropped), and on [Restore]
+         the body restarts from the top with its consumed-message journal
+         replayed ahead of the unconsumed and spooled messages *)
   mutable state : pstate;
   mutable blocked_at : float;  (* when the current Blocked episode began *)
   mutable blocked_total : float;  (* closed Blocked episodes, seconds *)
   mutable wait_seq : int;  (* monotonic token for deadline waits *)
+  mutable epoch : int;
+      (* incarnation counter; bumped at each durable restart so queued
+         [Step]/[Enqueue]/ready entries of the dead incarnation are stale *)
+  mutable journal : (string * float * int * Skel.Value.t) list;
+      (* consumed (port, delivery time, msg, payload) since the last
+         [mark_stable], most recent first; replayed on restart *)
+  mutable spooled : (string * float * int * Skel.Value.t) list;
+      (* deliveries that arrived while halted, most recent first *)
   mailboxes : (string, (float * int * Skel.Value.t) Queue.t) Hashtbl.t;
       (* (delivery time, message id, payload) *)
 }
@@ -112,8 +126,11 @@ and what =
 
 type event =
   | Dispatch of int  (** processor id: pull next ready process if CPU free *)
-  | Step of pid * resume  (** continue this process now (CPU already held) *)
-  | Enqueue of pid * resume  (** re-admit a sleeping process via the ready queue *)
+  | Step of pid * int * resume
+      (** continue this process now (CPU already held); the int is the
+          incarnation epoch the continuation belongs to *)
+  | Enqueue of pid * int * resume
+      (** re-admit a sleeping process via the ready queue (epoch-guarded) *)
   | Deliver_msg of {
       dst : pid;
       msg : int;
@@ -139,7 +156,7 @@ type t = {
   mutable dropped_msgs : int;
   mutable delayed_msgs : int;
   mutable dup_msgs : int;
-  ready : (pid * resume) Queue.t array;
+  ready : (pid * int * resume) Queue.t array;  (* (pid, epoch, resume) *)
   link_busy : (int * int, Support.Intervals.t ref) Hashtbl.t;
   link_transfers : (int * int, int) Hashtbl.t;
   port_depth : (pid * string, int) Hashtbl.t;  (* high-water queue depth *)
@@ -237,6 +254,15 @@ let recv port =
   let _, v = recv_any [ port ] in
   v
 
+(* Truncate the calling process's replay journal: everything consumed so far
+   is covered by a checkpoint the caller just took, so a restart no longer
+   needs to re-feed it. Takes effect within the current zero-duration
+   segment, which makes checkpoint-then-mark atomic with respect to halts
+   (those only land at event boundaries). *)
+let mark_stable () =
+  let _, proc = the_current () in
+  proc.journal <- []
+
 let cycle_time t p = (Archi.processors t.arch).(p).Archi.cycle_time
 
 let charge_busy ?pid t p dt =
@@ -266,13 +292,14 @@ let earliest_message (proc : process) ports =
 
 let pop_message (proc : process) port =
   let q = Hashtbl.find proc.mailboxes port in
-  let _, msg, v = Queue.pop q in
+  let at, msg, v = Queue.pop q in
+  if proc.durable then proc.journal <- (port, at, msg, v) :: proc.journal;
   (msg, v)
 
 let push_event t at ev = Support.Pqueue.push t.events at ev
 
 let make_ready t (proc : process) resume =
-  Queue.add (proc.pid, resume) t.ready.(proc.on);
+  Queue.add (proc.pid, proc.epoch, resume) t.ready.(proc.on);
   push_event t t.time (Dispatch proc.on)
 
 (* Reserve [duration] on link [key] no earlier than [earliest] (first-fit
@@ -366,7 +393,7 @@ let run_segment t (proc : process) resume =
                     };
                   charge_busy ~pid:proc.pid t p dt;
                   t.cpu_free.(p) <- t.time +. dt;
-                  push_event t (t.time +. dt) (Step (proc.pid, RUnit k)))
+                  push_event t (t.time +. dt) (Step (proc.pid, proc.epoch, RUnit k)))
           | E_send (dst, port, v) ->
               Some
                 (fun k ->
@@ -395,12 +422,13 @@ let run_segment t (proc : process) resume =
                   push_event t arrive
                     (Deliver_msg
                        { dst; msg; port; v; src = p; faultable = true });
-                  push_event t (t.time +. dt) (Step (proc.pid, RUnit k)))
+                  push_event t (t.time +. dt) (Step (proc.pid, proc.epoch, RUnit k)))
           | E_sleep at ->
               Some
                 (fun (k : (a, unit) continuation) ->
                   t.cpu_free.(p) <- t.time;
-                  push_event t (Float.max t.time at) (Enqueue (proc.pid, RUnit k));
+                  push_event t (Float.max t.time at)
+                    (Enqueue (proc.pid, proc.epoch, RUnit k));
                   push_event t t.time (Dispatch p))
           | E_recv ports ->
               Some
@@ -419,7 +447,8 @@ let run_segment t (proc : process) resume =
                           process = proc.name;
                           what = Recv { msg; port; dur = dt };
                         };
-                      push_event t (t.time +. dt) (Step (proc.pid, RMsg (k, port, v)))
+                      push_event t (t.time +. dt)
+                    (Step (proc.pid, proc.epoch, RMsg (k, port, v)))
                   | None ->
                       proc.state <- Blocked (ports, k);
                       proc.blocked_at <- t.time;
@@ -451,7 +480,7 @@ let run_segment t (proc : process) resume =
                           what = Recv { msg; port; dur = dt };
                         };
                       push_event t (t.time +. dt)
-                        (Step (proc.pid, ROpt (k, Some (port, v))))
+                        (Step (proc.pid, proc.epoch, ROpt (k, Some (port, v))))
                   | None ->
                       proc.wait_seq <- proc.wait_seq + 1;
                       proc.state <- BlockedOpt (ports, proc.wait_seq, k);
@@ -483,7 +512,7 @@ let run_segment t (proc : process) resume =
       | RMsg (k, port, v) -> continue k (port, v)
       | ROpt (k, r) -> continue k r)
 
-let spawn t ~name ~on body =
+let spawn t ~name ?(durable = false) ~on body =
   if t.ran then invalid_arg "Sim.spawn: machine already ran";
   if on < 0 || on >= Archi.nprocs t.arch then
     invalid_arg (Printf.sprintf "Sim.spawn: no processor %d" on);
@@ -493,10 +522,15 @@ let spawn t ~name ~on body =
       pid;
       name;
       on;
+      body;
+      durable;
       state = Runnable;
       blocked_at = 0.0;
       blocked_total = 0.0;
       wait_seq = 0;
+      epoch = 0;
+      journal = [];
+      spooled = [];
       mailboxes = Hashtbl.create 4;
     }
   in
@@ -508,7 +542,7 @@ let spawn t ~name ~on body =
   end;
   t.processes.(pid) <- proc;
   t.nprocesses <- t.nprocesses + 1;
-  Queue.add (pid, Start body) t.ready.(on);
+  Queue.add (pid, 0, Start body) t.ready.(on);
   push_event t 0.0 (Dispatch on);
   pid
 
@@ -630,14 +664,15 @@ let deliver t pid msg port v =
       make_ready t proc (ROpt (k, Some (port, v)))
   | Blocked _ | BlockedOpt _ | Runnable | Finished -> ()
 
-let dispatch t p =
+let rec dispatch t p =
   if t.halted.(p) then ()
   else if t.cpu_free.(p) > t.time then
     (* CPU still busy: retry when it frees. *)
     push_event t t.cpu_free.(p) (Dispatch p)
   else if not (Queue.is_empty t.ready.(p)) then begin
-    let pid, resume = Queue.pop t.ready.(p) in
-    run_segment t t.processes.(pid) resume
+    let pid, epoch, resume = Queue.pop t.ready.(p) in
+    if t.processes.(pid).epoch = epoch then run_segment t t.processes.(pid) resume
+    else dispatch t p (* stale incarnation: skip and try the next entry *)
   end
 
 let run ?(until = infinity) t =
@@ -679,23 +714,40 @@ let run ?(until = infinity) t =
         t.time <- Float.max t.time at;
         (match ev with
         | Dispatch p -> dispatch t p
-        | Step (pid, resume) ->
-            if not t.halted.(t.processes.(pid).on) then
-              run_segment t t.processes.(pid) resume
-        | Enqueue (pid, resume) -> make_ready t t.processes.(pid) resume
+        | Step (pid, epoch, resume) ->
+            let proc = t.processes.(pid) in
+            if (not t.halted.(proc.on)) && proc.epoch = epoch then
+              run_segment t proc resume
+        | Enqueue (pid, epoch, resume) ->
+            let proc = t.processes.(pid) in
+            if proc.epoch = epoch then make_ready t proc resume
         | Deliver_msg { dst; msg; port; v; src; faultable } ->
             let proc = t.processes.(dst) in
-            if t.halted.(proc.on) then begin
-              t.dropped_msgs <- t.dropped_msgs + 1;
-              record t
-                {
-                  time = t.time;
-                  proc = proc.on;
-                  pid = -1;
-                  process = proc.name;
-                  what = Fault { msg; action = "drop (processor halted)" };
-                }
-            end
+            if t.halted.(proc.on) then
+              if proc.durable then begin
+                (* A durable process loses no input to a halt: the delivery
+                   is spooled and re-delivered when the processor restores. *)
+                proc.spooled <- (port, t.time, msg, v) :: proc.spooled;
+                record t
+                  {
+                    time = t.time;
+                    proc = proc.on;
+                    pid = -1;
+                    process = proc.name;
+                    what = Fault { msg; action = "spool (processor halted)" };
+                  }
+              end
+              else begin
+                t.dropped_msgs <- t.dropped_msgs + 1;
+                record t
+                  {
+                    time = t.time;
+                    proc = proc.on;
+                    pid = -1;
+                    process = proc.name;
+                    what = Fault { msg; action = "drop (processor halted)" };
+                  }
+              end
             else begin
               match
                 if faultable then fault_for t ~src ~dst_proc:proc.on else None
@@ -759,12 +811,69 @@ let run ?(until = infinity) t =
         | Restore p ->
             if t.halted.(p) then begin
               t.halted.(p) <- false;
-              (match t.halted_since.(p) with
+              let halt_start = t.halted_since.(p) in
+              (match halt_start with
               | Some since -> t.halted_s.(p) <- t.halted_s.(p) +. (t.time -. since)
               | None -> ());
               t.halted_since.(p) <- None;
               record t
                 { time = t.time; proc = p; pid = -1; process = ""; what = Restored };
+              (* Durable processes restart from the top: their old
+                 continuations become stale (epoch bump) and their mailboxes
+                 are rebuilt so the fresh incarnation re-reads, per port, the
+                 journalled messages it had consumed since its last
+                 [mark_stable], then the unconsumed backlog, then the
+                 deliveries spooled during the outage. *)
+              for pid = 0 to t.nprocesses - 1 do
+                let proc = t.processes.(pid) in
+                if proc.on = p && proc.durable && proc.state <> Finished then begin
+                  (match proc.state with
+                  | Blocked _ | BlockedOpt _ ->
+                      (* The wait died with the processor: close the episode
+                         at the halt instant, not the restore. *)
+                      let upto =
+                        match halt_start with Some s -> s | None -> t.time
+                      in
+                      proc.blocked_total <-
+                        proc.blocked_total
+                        +. Float.max 0.0 (upto -. proc.blocked_at)
+                  | Runnable | Finished -> ());
+                  let rebuilt = Hashtbl.create 4 in
+                  let q_for port =
+                    match Hashtbl.find_opt rebuilt port with
+                    | Some q -> q
+                    | None ->
+                        let q = Queue.create () in
+                        Hashtbl.replace rebuilt port q;
+                        q
+                  in
+                  List.iter
+                    (fun (port, at, msg, v) -> Queue.add (at, msg, v) (q_for port))
+                    (List.rev proc.journal);
+                  Hashtbl.iter
+                    (fun port q -> Queue.transfer q (q_for port))
+                    proc.mailboxes;
+                  List.iter
+                    (fun (port, _at, msg, v) ->
+                      Queue.add (t.time, msg, v) (q_for port))
+                    (List.rev proc.spooled);
+                  Hashtbl.reset proc.mailboxes;
+                  Hashtbl.iter (Hashtbl.replace proc.mailboxes) rebuilt;
+                  proc.journal <- [];
+                  proc.spooled <- [];
+                  proc.epoch <- proc.epoch + 1;
+                  proc.state <- Runnable;
+                  record t
+                    {
+                      time = t.time;
+                      proc = p;
+                      pid = proc.pid;
+                      process = proc.name;
+                      what = Fault { msg = -1; action = "restart (replay)" };
+                    };
+                  Queue.add (proc.pid, proc.epoch, Start proc.body) t.ready.(p)
+                end
+              done;
               push_event t t.time (Dispatch p)
             end);
         loop ()

@@ -72,12 +72,34 @@ val sleep_until : float -> unit
     count as busy time; it models a process waiting on an external timer,
     e.g. a camera delivering frames at 25 Hz. *)
 
+val mark_stable : unit -> unit
+(** Truncates the calling durable process's replay journal: every message it
+    consumed so far is covered by a checkpoint the caller has just secured,
+    so a later restart replays only messages consumed after this point.
+    Takes effect within the current zero-duration execution segment —
+    processor halts only land at event boundaries, so saving a checkpoint
+    and calling [mark_stable] in the same segment is atomic with respect to
+    failures. A no-op for non-durable processes (their journal is never
+    written). *)
+
 (** {1 Building and running} *)
 
-val spawn : t -> name:string -> on:int -> (unit -> unit) -> pid
+val spawn : t -> name:string -> ?durable:bool -> on:int -> (unit -> unit) -> pid
 (** [spawn t ~name ~on body] places a process on processor [on]. Bodies
     start running at time 0. Raises [Invalid_argument] for a bad processor
-    id, or if the machine already ran. *)
+    id, or if the machine already ran.
+
+    With [~durable:true] the process survives processor halts: messages
+    delivered while its processor is down are spooled instead of dropped
+    (recorded as ["spool (processor halted)"] fault events, not counted in
+    [dropped_msgs]), and when the processor is {!restore_processor}d the
+    body restarts from the top (recorded as ["restart (replay)"]). The
+    restarted incarnation re-reads, per port and in the original order, the
+    messages consumed since its last {!mark_stable}, then the unconsumed
+    backlog, then the spooled deliveries — the classic checkpoint +
+    message-log replay discipline. State held in OCaml refs created outside
+    the body (stable storage) survives; refs created inside the body are
+    re-initialised by the restart. *)
 
 val inject : t -> ?at:float -> pid -> string -> Skel.Value.t -> unit
 (** [inject t pid port v] delivers an external message (e.g. the program
@@ -104,7 +126,9 @@ val halt_processor : t -> ?at:float -> int -> unit
 val restore_processor : t -> ?at:float -> int -> unit
 (** Lifts a {!halt_processor} at time [at]: the processor dispatches again.
     Messages dropped while halted stay lost; processes that were ready
-    resume, ones blocked in {!recv} keep waiting for a fresh message. *)
+    resume, ones blocked in {!recv} keep waiting for a fresh message.
+    Durable processes ({!spawn} with [~durable:true]) instead restart from
+    the top with their journal and spooled deliveries replayed. *)
 
 type fault_action =
   | Drop  (** the message never reaches the destination mailbox *)

@@ -182,10 +182,39 @@ and apply_builtin ctx name args =
   | "min", [ a; b ] -> if value_compare a b <= 0 then a else b
   | "max", [ a; b ] -> if value_compare a b >= 0 then a else b
   (* The skeletons, by their declarative definitions (paper §2). *)
-  | "df", [ _n; comp; acc; z; xs ] ->
+  | ("df" | "df_acc"), [ _n; comp; acc; z; xs ] ->
+      (* df_acc differs from df only across frames (the executive carries
+         the fold result into the next frame's seed); one application is
+         the same declarative fold. *)
       List.fold_left
         (fun z x -> apply ctx (apply ctx acc z) (apply ctx comp x))
         z (as_list xs)
+  | "df_ro", [ _n; comp; acc; z; xs ] ->
+      let env, seed = as_pair z in
+      List.fold_left
+        (fun z x -> apply ctx (apply ctx acc z) (apply ctx comp (Vtuple [ env; x ])))
+        seed (as_list xs)
+  | "df_own", [ n; comp; acc; z; xs ] ->
+      let states, seed = as_pair z in
+      let states = Array.of_list (as_list states) in
+      let n = as_int n in
+      fst
+        (List.fold_left
+           (fun (z, i) x ->
+             let k = i mod n in
+             let s', y = as_pair (apply ctx comp (Vtuple [ states.(k); x ])) in
+             states.(k) <- s';
+             (apply ctx (apply ctx acc z) y, i + 1))
+           (seed, 0) (as_list xs))
+  | "df_res", [ _n; comp; acc; z; xs ] ->
+      let s0, seed = as_pair z in
+      let s = ref s0 in
+      List.fold_left
+        (fun z x ->
+          let s', y = as_pair (apply ctx comp (Vtuple [ !s; x ])) in
+          s := s';
+          apply ctx (apply ctx acc z) y)
+        seed (as_list xs)
   | "scm", [ n; split; comp; merge; x ] ->
       let parts = as_list (apply ctx (apply ctx split n) x) in
       apply ctx merge (Vlist (List.map (apply ctx comp) parts))
@@ -323,7 +352,8 @@ let builtin_arities =
     ("map", 2); ("fold_left", 3); ("length", 1); ("rev", 1); ("fst", 1); ("snd", 1);
     ("not", 1); ("ignore", 1); ("print_int", 1); ("print_string", 1);
     ("string_of_int", 1); ("float_of_int", 1); ("int_of_float", 1); ("abs", 1);
-    ("min", 2); ("max", 2); ("df", 5); ("scm", 5); ("tf", 5); ("itermem", 5);
+    ("min", 2); ("max", 2); ("df", 5); ("df_ro", 5); ("df_own", 5);
+    ("df_acc", 5); ("df_res", 5); ("scm", 5); ("tf", 5); ("itermem", 5);
   ]
 
 let initial_env (_ : ctx) =

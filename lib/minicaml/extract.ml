@@ -107,20 +107,34 @@ let expect_int loc = function
 
 (* Translate one stage application. Returns the IR stage. The dataflow value
    enters the stage whole; [dataflow] describes its shape. *)
+(* The df surface family: each name is the same farm with a different
+   declared state-access mode (and thus a different init shape, checked by
+   Ir.validate). *)
+let df_family =
+  [
+    ("df", Skel.Ir.Stateless);
+    ("df_ro", Skel.Ir.Read_only);
+    ("df_own", Skel.Ir.Owner);
+    ("df_acc", Skel.Ir.Accumulator);
+    ("df_res", Skel.Ir.Resource);
+  ]
+
 let translate_stage table ctx genv dataflow rhs =
   let loc = Ast.expr_loc rhs in
   match spine rhs with
-  | Ast.Var ("df", _), [ n; comp; acc; z; xs ] ->
+  | Ast.Var (df, _), [ n; comp; acc; z; xs ]
+    when List.mem_assoc df df_family ->
       (match classify ctx genv dataflow xs with
       | Whole -> ()
-      | _ -> error loc "df must be applied to the current dataflow list");
+      | _ -> error loc "%s must be applied to the current dataflow list" df);
       let nworkers = expect_int loc (const_value ctx genv loc n) in
       Skel.Ir.Df
         {
           nworkers;
-          comp = expect_external_var table loc "df compute function" comp;
-          acc = expect_external_var table loc "df accumulation function" acc;
+          comp = expect_external_var table loc (df ^ " compute function") comp;
+          acc = expect_external_var table loc (df ^ " accumulation function") acc;
           init = const_value ctx genv loc z;
+          state = List.assoc df df_family;
         }
   | Ast.Var ("tf", _), [ n; work; acc; z; xs ] ->
       (match classify ctx genv dataflow xs with
@@ -146,7 +160,9 @@ let translate_stage table ctx genv dataflow rhs =
           compute = expect_external_var table loc "scm compute function" comp;
           merge = expect_external_var table loc "scm merge function" merge;
         }
-  | Ast.Var (skel, _), _ when List.mem skel [ "df"; "tf"; "scm"; "itermem" ] ->
+  | Ast.Var (skel, _), _
+    when List.mem skel [ "tf"; "scm"; "itermem" ]
+         || List.mem_assoc skel df_family ->
       error loc "%s used with the wrong number of arguments" skel
   | Ast.Var (f, floc), args ->
       let entry = external_entry table floc f in
@@ -269,7 +285,8 @@ let extract ?(frames = 1) ?(name = "main") table prog =
          whose input is the (constant) last argument when recognisable. *)
       let head, args = spine main_expr in
       (match (head, List.rev args) with
-      | Ast.Var (f, _), last :: _ when f = "df" || f = "tf" || f = "scm" ->
+      | Ast.Var (f, _), last :: _
+        when List.mem_assoc f df_family || f = "tf" || f = "scm" ->
           let input = const_value ctx genv main_loc last in
           let dataflow = Single "__input" in
           let rewritten =

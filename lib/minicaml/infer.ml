@@ -6,7 +6,8 @@ type env = Types.scheme Env.t
 
 let error loc fmt = Printf.ksprintf (fun m -> raise (Type_error (m, loc))) fmt
 
-let skeleton_names = [ "scm"; "df"; "tf"; "itermem" ]
+let skeleton_names =
+  [ "scm"; "df"; "df_ro"; "df_own"; "df_acc"; "df_res"; "tf"; "itermem" ]
 
 (* The published skeleton signatures. Schemes are built from parsed type
    expressions so the source of truth stays readable. *)
@@ -15,6 +16,15 @@ let scheme_of_string s = Types.of_type_expr (Parser.type_expression s)
 let builtin_schemes =
   [
     ("df", "int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c");
+    (* The stateful farm family: same farm, different state-access modes.
+       The init argument carries the state alongside the fold seed (a pair,
+       or a per-worker state list for the owner mode). *)
+    ("df_acc", "int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c");
+    ("df_ro", "int -> ('e * 'a -> 'b) -> ('c -> 'b -> 'c) -> 'e * 'c -> 'a list -> 'c");
+    ("df_own",
+     "int -> ('s * 'a -> 's * 'b) -> ('c -> 'b -> 'c) -> 's list * 'c -> 'a list -> 'c");
+    ("df_res",
+     "int -> ('s * 'a -> 's * 'b) -> ('c -> 'b -> 'c) -> 's * 'c -> 'a list -> 'c");
     ("scm", "int -> (int -> 'a -> 'b list) -> ('b -> 'c) -> ('c list -> 'd) -> 'a -> 'd");
     ("tf", "int -> ('a -> 'a list * 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c");
     ("itermem", "('a -> 'b) -> ('c * 'b -> 'c * 'd) -> ('d -> unit) -> 'c -> 'a -> unit");

@@ -43,9 +43,9 @@ let rec splice b stage =
         B.add_edge b ~dst_port:(Printf.sprintf "p%d" i) w m
       done;
       (s, m)
-  | Skel.Ir.Df { nworkers; comp; acc; init } ->
+  | Skel.Ir.Df { nworkers; comp; acc; init; state } ->
       let m =
-        B.add_node b ~label:("df:" ^ acc) (Graph.DfMaster { acc; init; nworkers })
+        B.add_node b ~label:("df:" ^ acc) (Graph.DfMaster { acc; init; nworkers; state })
       in
       for i = 0 to nworkers - 1 do
         let w =

@@ -5,7 +5,12 @@ type kind =
   | ScmCompute of { fn : string; part : int }
   | ScmSplit of { fn : string; nparts : int }
   | ScmMerge of { fn : string; nparts : int }
-  | DfMaster of { acc : string; init : Skel.Value.t; nworkers : int }
+  | DfMaster of {
+      acc : string;
+      init : Skel.Value.t;
+      nworkers : int;
+      state : Skel.Ir.state_mode;
+    }
   | DfWorker of { comp : string }
   | TfMaster of { acc : string; init : Skel.Value.t; nworkers : int }
   | TfWorker of { work : string }

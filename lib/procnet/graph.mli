@@ -16,7 +16,14 @@ type kind =
       (** one of the parallel compute processes of an scm instance *)
   | ScmSplit of { fn : string; nparts : int }
   | ScmMerge of { fn : string; nparts : int }
-  | DfMaster of { acc : string; init : Skel.Value.t; nworkers : int }
+  | DfMaster of {
+      acc : string;
+      init : Skel.Value.t;
+      nworkers : int;
+      state : Skel.Ir.state_mode;
+    }
+      (** farm master; [state] selects the state-access discipline the
+          executive runs (task routing, merge order, feedback) *)
   | DfWorker of { comp : string }
   | TfMaster of { acc : string; init : Skel.Value.t; nworkers : int }
   | TfWorker of { work : string }

@@ -7,7 +7,8 @@ let df_ring ~nworkers ~comp ~acc ~init =
   let n = nworkers in
   let b = B.create (Printf.sprintf "df-ring-%d" n) in
   let master =
-    B.add_node b ~label:"Master" (Graph.DfMaster { acc; init; nworkers = n })
+    B.add_node b ~label:"Master"
+      (Graph.DfMaster { acc; init; nworkers = n; state = Skel.Ir.Stateless })
   in
   let workers =
     Array.init n (fun i ->

@@ -22,7 +22,8 @@ let as_function ?name table stage =
   name
 
 let df ~table ~nworkers ~comp ~acc ~init =
-  Ir.Df { nworkers; comp = as_function table comp; acc; init }
+  Ir.Df
+    { nworkers; comp = as_function table comp; acc; init; state = Ir.Stateless }
 
 let scm ~table ~nparts ~split ~compute ~merge =
   Ir.Scm { nparts; split; compute = as_function table compute; merge }

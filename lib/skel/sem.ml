@@ -11,36 +11,101 @@ let as_pair what = function
   | v -> error "%s: expected a pair, got %s" what (Value.to_string v)
 
 (* The interpreter is parameterised by the function-application primitive so
-   the instrumented (cost-summing) variant shares the control structure. *)
-let rec eval_with apply table stage v =
+   the instrumented (cost-summing) variant shares the control structure.
+
+   Stages are compiled to closures once per run: a stateful farm closes over
+   the mutable cells holding its carried state, so driving the closure over
+   a stream of frames threads that state exactly as the mode's declarative
+   definition demands — this closure tree IS the sequential-emulation oracle
+   the parallel engine is tested against. *)
+let rec compile_with apply table stage =
   match stage with
-  | Ir.Seq f -> apply table f v
+  | Ir.Seq f -> fun v -> apply table f v
   | Ir.Pipe stages ->
-      List.fold_left (fun v stage -> eval_with apply table stage v) v stages
+      let fns = List.map (compile_with apply table) stages in
+      fun v -> List.fold_left (fun v fn -> fn v) v fns
   | Ir.Scm { nparts; split; compute; merge } ->
-      let parts =
-        as_list ("scm split " ^ split)
-          (apply table split (Value.Tuple [ Value.Int nparts; v ]))
-      in
-      let results = List.map (apply table compute) parts in
-      apply table merge (Value.List results)
-  | Ir.Df { comp; acc; init; _ } ->
-      let xs = as_list "df input" v in
-      (* Exactly the paper's declarative definition:
-         df n comp acc z xs = fold_left acc z (map comp xs). *)
-      List.fold_left
-        (fun z x -> apply table acc (Value.Tuple [ z; apply table comp x ]))
-        init xs
+      fun v ->
+        let parts =
+          as_list ("scm split " ^ split)
+            (apply table split (Value.Tuple [ Value.Int nparts; v ]))
+        in
+        let results = List.map (apply table compute) parts in
+        apply table merge (Value.List results)
+  | Ir.Df { comp; acc; init; state = Ir.Stateless; _ } ->
+      fun v ->
+        let xs = as_list "df input" v in
+        (* Exactly the paper's declarative definition:
+           df n comp acc z xs = fold_left acc z (map comp xs). *)
+        List.fold_left
+          (fun z x -> apply table acc (Value.Tuple [ z; apply table comp x ]))
+          init xs
+  | Ir.Df { comp; acc; init; state = Ir.Read_only; _ } ->
+      let env, seed = as_pair "readonly df init" init in
+      fun v ->
+        let xs = as_list "df input" v in
+        List.fold_left
+          (fun z x ->
+            apply table acc
+              (Value.Tuple [ z; apply table comp (Value.Tuple [ env; x ]) ]))
+          seed xs
+  | Ir.Df { comp; acc; init; state = Ir.Accumulator; _ } ->
+      let carry = ref init in
+      fun v ->
+        let xs = as_list "df input" v in
+        let z =
+          List.fold_left
+            (fun z x -> apply table acc (Value.Tuple [ z; apply table comp x ]))
+            !carry xs
+        in
+        carry := z;
+        z
+  | Ir.Df { nworkers; comp; acc; init; state = Ir.Owner } ->
+      let states, seed = as_pair "owner df init" init in
+      let states = Array.of_list (as_list "owner df partition states" states) in
+      fun v ->
+        let xs = as_list "df input" v in
+        List.fold_left
+          (fun (z, i) x ->
+            let k = i mod nworkers in
+            let s', y =
+              as_pair "owner df comp result"
+                (apply table comp (Value.Tuple [ states.(k); x ]))
+            in
+            states.(k) <- s';
+            (apply table acc (Value.Tuple [ z; y ]), i + 1))
+          (seed, 0) xs
+        |> fst
+  | Ir.Df { comp; acc; init; state = Ir.Resource; _ } ->
+      let s0, seed = as_pair "resource df init" init in
+      let res = ref s0 in
+      fun v ->
+        let xs = as_list "df input" v in
+        List.fold_left
+          (fun z x ->
+            let s', y =
+              as_pair "resource df comp result"
+                (apply table comp (Value.Tuple [ !res; x ]))
+            in
+            res := s';
+            apply table acc (Value.Tuple [ z; y ]))
+          seed xs
   | Ir.Tf { work; acc; init; _ } ->
-      let rec loop z = function
-        | [] -> z
-        | x :: rest ->
-            let subs, y = as_pair "tf work result" (apply table work x) in
-            let subs = as_list "tf new packets" subs in
-            loop (apply table acc (Value.Tuple [ z; y ])) (subs @ rest)
-      in
-      loop init (as_list "tf input" v)
-  | Ir.Itermem _ -> error "itermem inside eval_stage: stream loops are driven by run"
+      fun v ->
+        let rec loop z = function
+          | [] -> z
+          | x :: rest ->
+              let subs, y = as_pair "tf work result" (apply table work x) in
+              let subs = as_list "tf new packets" subs in
+              loop (apply table acc (Value.Tuple [ z; y ])) (subs @ rest)
+        in
+        loop init (as_list "tf input" v)
+  | Ir.Itermem _ ->
+      fun _ -> error "itermem inside eval_stage: stream loops are driven by run"
+
+(* Single-application view: fresh state per call, so a stateful stage
+   evaluated once behaves as its first frame. *)
+let eval_with apply table stage v = compile_with apply table stage v
 
 let eval_stage table stage v = eval_with Funtable.apply table stage v
 
@@ -56,22 +121,41 @@ let eval_stage_cost table stage v =
 let run_with apply table prog input =
   match prog.Ir.body with
   | Ir.Itermem { input = inp; loop; output; init } ->
+      let step = compile_with apply table loop in
       let rec drive state i outputs =
         if i >= prog.Ir.frames then
           Value.Tuple [ state; Value.List (List.rev outputs) ]
         else
           let x = apply table inp (Value.Tuple [ input; Value.Int i ]) in
           let state', y =
-            as_pair "itermem loop result"
-              (eval_with apply table loop (Value.Tuple [ state; x ]))
+            as_pair "itermem loop result" (step (Value.Tuple [ state; x ]))
           in
           let shown = apply table output y in
           drive state' (i + 1) (shown :: outputs)
       in
       drive init 0 []
+  | body when Ir.has_stateful body && prog.Ir.frames > 1 ->
+      (* A stateful farm outside itermem still streams: the executive feeds
+         the same input every frame and reports the last frame's output, so
+         the oracle drives the compiled body the same way. *)
+      let step = compile_with apply table body in
+      let rec drive i last =
+        if i >= prog.Ir.frames then last else drive (i + 1) (step input)
+      in
+      drive 1 (step input)
   | body -> eval_with apply table body input
 
 let run table prog input = run_with Funtable.apply table prog input
+
+(* Per-frame oracle outputs for a non-itermem program: what the executive's
+   [outputs] list must equal frame by frame. *)
+let run_stream table prog input =
+  match prog.Ir.body with
+  | Ir.Itermem _ ->
+      error "run_stream: itermem programs already stream (use run)"
+  | body ->
+      let step = compile_with Funtable.apply table body in
+      List.init prog.Ir.frames (fun _ -> step input)
 
 let run_cost table prog input =
   let cycles = ref 0.0 in

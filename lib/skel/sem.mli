@@ -39,7 +39,18 @@ val run : Funtable.t -> Ir.program -> Value.t -> Value.t
     return [Tuple [state'; y_i]], and the output function's results are
     collected. The overall result is [Tuple [final_state; List outputs]].
 
-    Otherwise the result is [eval_stage table prog.body input]. *)
+    Otherwise the result is [eval_stage table prog.body input] — except
+    when the body contains a stateful farm ({!Ir.has_stateful}) and
+    [prog.frames > 1]: then the body is driven [frames] times over the same
+    input with farm state carried across frames (matching the executive's
+    streaming semantics) and the last frame's output is returned. *)
+
+val run_stream : Funtable.t -> Ir.program -> Value.t -> Value.t list
+(** Per-frame outputs of a non-itermem program driven for [prog.frames]
+    frames over the same input, with stateful-farm state carried across
+    frames — the frame-by-frame oracle for the executive's [outputs] list.
+    Raises [Emulation_error] on an itermem program (those already stream
+    through {!run}). *)
 
 val run_cost : Funtable.t -> Ir.program -> Value.t -> Value.t * float
 (** [run] plus the total sequential cycle count — the paper's workstation

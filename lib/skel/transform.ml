@@ -77,7 +77,9 @@ let rewrite_pass table stage counters =
         in
         let fused = fuse stages in
         (match fused with [ s ] -> s | stages -> Ir.Pipe stages)
-    | Ir.Df { nworkers = 1; comp; acc; init } ->
+    | Ir.Df { nworkers = 1; comp; acc; init; state = Ir.Stateless } ->
+        (* Only the stateless farm serialises to a pure fold: a stateful
+           one carries state across frames, which a Seq function cannot. *)
         bump "serialise-df";
         Ir.Seq (serialise_df table ~comp ~acc ~init)
     | Ir.Tf { nworkers = 1; work; acc; init } ->

@@ -10,7 +10,7 @@ let error fmt = Printf.ksprintf (fun m -> raise (Pass_error m)) fmt
 (* Bump whenever the marshalled shape of cached front-end artifacts changes
    (Stage.artifact constructors, Funtable.derivation, or anything they
    embed): persisted entries written under another stamp read as misses. *)
-let artifact_format = "skipper-artifact-v1"
+let artifact_format = "skipper-artifact-v2"
 
 (* A cached pass result is the artifact plus the derived-function
    registrations the producing pass installed into its table — pure data
@@ -50,6 +50,8 @@ type ctx = {
   table : Skel.Funtable.t;
   frames : int;
   optimize : bool;
+  df_state : Skel.Ir.state_mode option;
+      (* compile-time override: rewrite every Df stage to this mode *)
   arch : Archi.t option;
   strategy : strategy;
   cost_model : Syndex.Cost.t option;
@@ -60,16 +62,18 @@ type ctx = {
   restores : (int * float) list;
   link_faults : Machine.Sim.link_fault list;
   recovery : Executive.recovery option;
+  checkpoint_every : int option;
   cache : cache option;
   mutable key : string;  (* running content hash; "" until the first pass *)
   reports : Stage.report list ref;  (* newest first; shared with retargets *)
 }
 
-let make_ctx ?cache ?(frames = 1) ?(optimize = false) table =
+let make_ctx ?cache ?(frames = 1) ?(optimize = false) ?df_state table =
   {
     table;
     frames;
     optimize;
+    df_state;
     arch = None;
     strategy = "canonical";
     cost_model = None;
@@ -80,13 +84,15 @@ let make_ctx ?cache ?(frames = 1) ?(optimize = false) table =
     restores = [];
     link_faults = [];
     recovery = None;
+    checkpoint_every = None;
     cache;
     key = "";
     reports = ref [];
   }
 
 let retarget ?cost ?input ?input_period ?(trace = false) ?(faults = [])
-    ?(restores = []) ?(link_faults = []) ?recovery ~strategy ctx arch =
+    ?(restores = []) ?(link_faults = []) ?recovery ?checkpoint_every ~strategy
+    ctx arch =
   {
     ctx with
     arch = Some arch;
@@ -99,6 +105,7 @@ let retarget ?cost ?input ?input_period ?(trace = false) ?(faults = [])
     restores;
     link_faults;
     recovery;
+    checkpoint_every;
   }
 
 let reports ctx = List.rev !(ctx.reports)
@@ -165,14 +172,44 @@ let transform =
   {
     name = "transform";
     cacheable = true;
-    token = (fun ctx -> string_of_bool ctx.optimize);
+    token =
+      (fun ctx ->
+        Printf.sprintf "%b/%s" ctx.optimize
+          (match ctx.df_state with
+          | None -> "-"
+          | Some m -> Skel.Ir.state_mode_name m));
     apply =
       (fun ctx -> function
         | Stage.Ir (prog, input) ->
-            if not ctx.optimize then (Stage.Ir (prog, input), "disabled")
+            (* The --df-state override rewrites every farm's declared mode
+               before normalisation; the program's init must already have
+               the target mode's shape (validate reports otherwise). *)
+            let prog, restate =
+              match ctx.df_state with
+              | None -> (prog, "")
+              | Some mode ->
+                  let prog =
+                    {
+                      prog with
+                      Skel.Ir.body =
+                        Skel.Ir.with_state_mode mode prog.Skel.Ir.body;
+                    }
+                  in
+                  (match Skel.Ir.validate ctx.table prog with
+                  | Ok () -> ()
+                  | Error msg ->
+                      error "df-state %s: %s" (Skel.Ir.state_mode_name mode)
+                        msg);
+                  (prog, "df-state=" ^ Skel.Ir.state_mode_name mode)
+            in
+            if not ctx.optimize then
+              ( Stage.Ir (prog, input),
+                if restate = "" then "disabled" else restate )
             else
               let prog', applied = Skel.Transform.normalize ctx.table prog in
-              (Stage.Ir (prog', input), Skel.Transform.applied_summary applied)
+              let summary = Skel.Transform.applied_summary applied in
+              ( Stage.Ir (prog', input),
+                if restate = "" then summary else restate ^ "; " ^ summary )
         | art -> mismatch "transform" art);
   }
 
@@ -274,6 +311,7 @@ let simulate =
               Executive.run ~trace:ctx.trace ?input_period:ctx.input_period
                 ~faults:ctx.faults ~restores:ctx.restores
                 ~link_faults:ctx.link_faults ?recovery:ctx.recovery
+                ?checkpoint_every:ctx.checkpoint_every
                 ~table:ctx.table ~arch:s.Syndex.Schedule.arch
                 ~placement:s.Syndex.Schedule.placement
                 ~graph:s.Syndex.Schedule.graph ~frames:ctx.frames ~input ()

@@ -69,9 +69,13 @@ val make_ctx :
   ?cache:cache ->
   ?frames:int ->
   ?optimize:bool ->
+  ?df_state:Skel.Ir.state_mode ->
   Skel.Funtable.t ->
   ctx
-(** Front-end context: default [frames] 1, [optimize] false, no cache. *)
+(** Front-end context: default [frames] 1, [optimize] false, no cache.
+    [df_state], when given, makes the transform pass rewrite every [Df]
+    stage's declared state-access mode (the [--df-state] override); the
+    program's [init] must already have the target mode's shape. *)
 
 val retarget :
   ?cost:Syndex.Cost.t ->
@@ -82,6 +86,7 @@ val retarget :
   ?restores:(int * float) list ->
   ?link_faults:Machine.Sim.link_fault list ->
   ?recovery:Executive.recovery ->
+  ?checkpoint_every:int ->
   strategy:strategy ->
   ctx ->
   Archi.t ->
@@ -89,9 +94,9 @@ val retarget :
 (** Derives a back-end context for one (architecture, strategy) target.
     The returned context shares the report list and cache with the parent,
     so per-stage timings accumulate across compile + map + execute.
-    [faults]/[restores]/[link_faults]/[recovery] (default: none) are the
-    fault-injection plan and recovery policy handed to {!Executive.run} by
-    the simulate pass. *)
+    [faults]/[restores]/[link_faults]/[recovery]/[checkpoint_every]
+    (default: none) are the fault-injection plan, recovery policy and
+    checkpoint cadence handed to {!Executive.run} by the simulate pass. *)
 
 val reports : ctx -> Stage.report list
 (** All reports recorded through this context (and its retargets), in
@@ -110,7 +115,8 @@ val typecheck : pass  (** [Ast] -> [Typed] *)
 val extract : pass  (** [Typed] -> [Ir] (reads [frames]) *)
 
 val transform : pass
-(** [Ir] -> [Ir]; applies {!Skel.Transform.normalize} when [optimize] is
+(** [Ir] -> [Ir]; applies the [df_state] mode override (when set, with
+    re-validation), then {!Skel.Transform.normalize} when [optimize] is
     set, otherwise the identity (reported as ["disabled"]). *)
 
 val expand : pass  (** [Ir] -> [Graph] *)

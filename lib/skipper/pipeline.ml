@@ -59,17 +59,19 @@ let of_stages ~table ~ctx stages =
     stages;
   }
 
-let compile_source ?(frames = 1) ?(optimize = false) ?cache ~table src =
-  let ctx = Passes.make_ctx ?cache ~frames ~optimize table in
+let compile_source ?(frames = 1) ?(optimize = false) ?df_state ?cache ~table
+    src =
+  let ctx = Passes.make_ctx ?cache ~frames ~optimize ?df_state table in
   let artifacts = Passes.run_trace ctx Passes.frontend (Stage.Source src) in
   of_stages ~table ~ctx (stage_outputs Passes.frontend artifacts)
 
-let compile_ir ?(optimize = false) ?cache ~table program =
+let compile_ir ?(optimize = false) ?df_state ?cache ~table program =
   (match Skel.Ir.validate table program with
   | Ok () -> ()
   | Error msg -> error "invalid program %s: %s" program.Skel.Ir.name msg);
   let ctx =
-    Passes.make_ctx ?cache ~frames:program.Skel.Ir.frames ~optimize table
+    Passes.make_ctx ?cache ~frames:program.Skel.Ir.frames ~optimize ?df_state
+      table
   in
   let passes = [ Passes.transform; Passes.expand ] in
   let artifacts = Passes.run_trace ctx passes (Stage.Ir (program, None)) in
@@ -95,11 +97,12 @@ let resolve_input compiled input =
       error "program %s needs an explicit input value" compiled.name
 
 let execute_with_schedule ?(trace = false) ?input_period ?faults ?restores
-    ?link_faults ?recovery ?(strategy = "canonical") ?cost ?input compiled arch =
+    ?link_faults ?recovery ?checkpoint_every ?(strategy = "canonical") ?cost
+    ?input compiled arch =
   let input = resolve_input compiled input in
   let ctx =
     Passes.retarget ?cost ~input ?input_period ~trace ?faults ?restores
-      ?link_faults ?recovery ~strategy compiled.ctx arch
+      ?link_faults ?recovery ?checkpoint_every ~strategy compiled.ctx arch
   in
   match
     Passes.run_trace ctx
@@ -110,10 +113,10 @@ let execute_with_schedule ?(trace = false) ?input_period ?faults ?restores
   | _ -> assert false
 
 let execute ?trace ?input_period ?faults ?restores ?link_faults ?recovery
-    ?strategy ?cost ?input compiled arch =
+    ?checkpoint_every ?strategy ?cost ?input compiled arch =
   snd
     (execute_with_schedule ?trace ?input_period ?faults ?restores ?link_faults
-       ?recovery ?strategy ?cost ?input compiled arch)
+       ?recovery ?checkpoint_every ?strategy ?cost ?input compiled arch)
 
 let check_equivalence ?input compiled arch =
   let input = resolve_input compiled input in

@@ -34,6 +34,7 @@ exception Compile_error of string
 val compile_source :
   ?frames:int ->
   ?optimize:bool ->
+  ?df_state:Skel.Ir.state_mode ->
   ?cache:Passes.cache ->
   table:Skel.Funtable.t ->
   string ->
@@ -41,18 +42,21 @@ val compile_source :
 (** Parse, type-check (with the skeleton signatures in scope), extract the
     skeletal program, optionally normalise it with the transformational
     rules ({!Skel.Transform}, default off), and expand to a process network.
-    Wrapper glue functions are registered into [table]. With [cache], every
-    front-end artifact is memoized on (content hash, pass, options, table
-    identity). *)
+    Wrapper glue functions are registered into [table]. [df_state] overrides
+    the declared state-access mode of every [df] farm (the [--df-state]
+    flag); the program's init value must already have the target mode's
+    shape. With [cache], every front-end artifact is memoized on (content
+    hash, pass, options, table identity). *)
 
 val compile_ir :
   ?optimize:bool ->
+  ?df_state:Skel.Ir.state_mode ->
   ?cache:Passes.cache ->
   table:Skel.Funtable.t ->
   Skel.Ir.program ->
   compiled
 (** The embedded-API entry: validates a hand-built program, then runs the
-    transform and expand passes. *)
+    transform and expand passes ([df_state] as in {!compile_source}). *)
 
 val emulate : compiled -> Skel.Value.t -> Skel.Value.t
 (** Sequential emulation via the declarative semantics ({!Skel.Sem}). *)
@@ -76,6 +80,7 @@ val execute :
   ?restores:(int * float) list ->
   ?link_faults:Machine.Sim.link_fault list ->
   ?recovery:Executive.recovery ->
+  ?checkpoint_every:int ->
   ?strategy:strategy ->
   ?cost:Syndex.Cost.t ->
   ?input:Skel.Value.t ->
@@ -85,9 +90,10 @@ val execute :
 (** Map then run on the simulated machine (the cost, map and simulate
     passes). [input] overrides the compiled input; raises [Compile_error]
     when neither is available. [faults]/[restores]/[link_faults] inject the
-    fault plan into the simulated machine and [recovery] enables the
-    fault-tolerant df farm (see {!Executive.run}); a stalled degraded run
-    comes back as a [Stalled] outcome, not an exception. *)
+    fault plan into the simulated machine, [recovery] enables the
+    fault-tolerant df farm and [checkpoint_every] the master
+    checkpoint/replay discipline (see {!Executive.run}); a stalled degraded
+    run comes back as a [Stalled] outcome, not an exception. *)
 
 val execute_with_schedule :
   ?trace:bool ->
@@ -96,6 +102,7 @@ val execute_with_schedule :
   ?restores:(int * float) list ->
   ?link_faults:Machine.Sim.link_fault list ->
   ?recovery:Executive.recovery ->
+  ?checkpoint_every:int ->
   ?strategy:strategy ->
   ?cost:Syndex.Cost.t ->
   ?input:Skel.Value.t ->

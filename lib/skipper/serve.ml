@@ -241,29 +241,51 @@ let serve cfg ~socket () =
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let state = { requests = 0; batches = 0; errors = 0 } in
+  let clients = ref [] in
+  let close_quietly c = try Unix.close c with Unix.Unix_error _ -> () in
+  let drop client =
+    clients := List.filter (fun c -> c <> client) !clients;
+    close_quietly client
+  in
   Fun.protect
     ~finally:(fun () ->
+      List.iter close_quietly !clients;
       Unix.close fd;
       try Unix.unlink socket with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.bind fd (Unix.ADDR_UNIX socket);
       Unix.listen fd 16;
       let stop = ref false in
+      (* The listener and every connected client are polled together with
+         select, and each readable client is served one frame per round.
+         An idle or slow client therefore never blocks another client's
+         connection or requests — only the frame actually being handled
+         occupies the server. Connection order still decides nothing;
+         frame arrival order does. *)
       while not !stop do
-        let client, _ = Unix.accept fd in
-        (try
-           while not !stop do
-             let frame = read_frame client in
-             let responses, shutdown = handle_batch cfg state frame in
-             write_frame client
-               (Json.to_string (Json.Obj [ ("responses", Json.Arr responses) ]));
-             if shutdown then stop := true
-           done
-         with
-        | End_of_file -> ()
-        | Protocol_error _ -> ()
-        | Unix.Unix_error _ -> ());
-        try Unix.close client with Unix.Unix_error _ -> ()
+        match Unix.select (fd :: !clients) [] [] (-1.0) with
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | readable, _, _ ->
+            List.iter
+              (fun r ->
+                if r = fd then begin
+                  let client, _ = Unix.accept fd in
+                  clients := !clients @ [ client ]
+                end
+                else if not !stop then
+                  match
+                    let frame = read_frame r in
+                    let responses, shutdown = handle_batch cfg state frame in
+                    write_frame r
+                      (Json.to_string
+                         (Json.Obj [ ("responses", Json.Arr responses) ]));
+                    shutdown
+                  with
+                  | shutdown -> if shutdown then stop := true
+                  | exception End_of_file -> drop r
+                  | exception Protocol_error _ -> drop r
+                  | exception Unix.Unix_error _ -> drop r)
+              readable
       done);
   state.requests
 

@@ -59,9 +59,11 @@ type request =
 val parse_request : Support.Json.t -> (request, string) result
 
 val serve : config -> socket:string -> unit -> int
-(** Binds [socket] (unlinking any stale file), accepts clients one at a
-    time, and serves batches until a [shutdown] request; returns the total
-    number of requests served. The socket file is removed on exit, also on
+(** Binds [socket] (unlinking any stale file) and serves batches until a
+    [shutdown] request; returns the total number of requests served.
+    Connected clients are multiplexed with [select] — an idle client never
+    blocks another client's connection or requests; one frame is handled at
+    a time, in arrival order. The socket file is removed on exit, also on
     exceptions. *)
 
 (** {1 Client side} *)

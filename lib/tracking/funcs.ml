@@ -153,6 +153,7 @@ let ir ?(frames = 1) config =
                    comp = "detect_mark";
                    acc = "accum_marks";
                    init = V.List [];
+                   state = Skel.Ir.Stateless;
                  };
                Skel.Ir.Seq "predict";
              ];

@@ -32,7 +32,13 @@ let run_farm ?link_faults p =
     P.compile_ir ~table
       (Skel.Ir.program "farm"
          (Skel.Ir.Df
-            { nworkers = p.nworkers; comp = "w"; acc = "k"; init = V.Int 0 }))
+            {
+              nworkers = p.nworkers;
+              comp = "w";
+              acc = "k";
+              init = V.Int 0;
+              state = Skel.Ir.Stateless;
+            }))
   in
   let arch = Archi.ring (p.nworkers + 1) in
   P.execute_with_schedule ~trace:true ?link_faults

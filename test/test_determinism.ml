@@ -32,7 +32,19 @@ type params = {
   frames : int;
   plan : plan;
   recover : bool;
+  mode : Skel.Ir.state_mode;  (* stateful farms must be as invisible *)
+  checkpoint : int option;  (* durable master changes the wire protocol *)
 }
+
+(* The identity comp happens to satisfy every mode's contract: a
+   [(state, x)] payload comes back as a [(state', y)] pair unchanged. *)
+let init_for p =
+  match p.mode with
+  | Skel.Ir.Stateless | Skel.Ir.Accumulator -> V.Int 0
+  | Skel.Ir.Read_only -> V.Tuple [ V.Int 1; V.Int 0 ]
+  | Skel.Ir.Owner ->
+      V.Tuple [ V.List (List.init p.nworkers (fun _ -> V.Int 0)); V.Int 0 ]
+  | Skel.Ir.Resource -> V.Tuple [ V.Int 0; V.Int 0 ]
 
 let run_job p =
   let table = Skel.Funtable.create () in
@@ -41,7 +53,7 @@ let run_job p =
       fst (V.to_pair v));
   let prog =
     Skel.Ir.program "p"
-      (Skel.Ir.Df { nworkers = p.nworkers; comp = "w"; acc = "k"; init = V.Int 0 })
+      (Skel.Ir.Df { nworkers = p.nworkers; comp = "w"; acc = "k"; init = init_for p; state = p.mode })
   in
   let g = Procnet.Expand.expand table prog in
   let arch = Archi.ring (p.nworkers + 1) in
@@ -55,7 +67,8 @@ let run_job p =
         [ Sim.link_fault ~schedule:(Sim.Prob (pr, seed)) Sim.Drop ]
   in
   let recovery = if p.recover then Some (Executive.recovery 5e-3) else None in
-  Executive.run ~trace:true ~link_faults ?recovery ~table ~arch
+  Executive.run ~trace:true ~link_faults ?recovery
+    ?checkpoint_every:p.checkpoint ~table ~arch
     ~placement:(Syndex.Place.canonical g arch)
     ~graph:g ~frames:p.frames
     ?input_period:(if p.frames > 1 then Some 0.01 else None)
@@ -134,10 +147,25 @@ let gen_params =
             (int_range 0 15) (int_range 0 999);
         ]
     in
+    let mode =
+      oneofl
+        [
+          Skel.Ir.Stateless; Skel.Ir.Read_only; Skel.Ir.Owner;
+          Skel.Ir.Accumulator; Skel.Ir.Resource;
+        ]
+    in
+    let checkpoint = oneof [ return None; map Option.some (int_range 1 3) ] in
     map
-      (fun (nworkers, nitems, frames, recover, plan) ->
-        { nworkers; nitems; frames; plan; recover })
-      (tup5 (int_range 1 4) (int_range 1 12) (int_range 1 2) bool plan))
+      (fun ((nworkers, nitems, frames, recover, plan), (mode, checkpoint)) ->
+        (* reissue-on-timeout recovery composes with neither the stateful
+           engine nor checkpointing; the executive rejects the pair *)
+        let recover =
+          recover && mode = Skel.Ir.Stateless && checkpoint = None
+        in
+        { nworkers; nitems; frames; plan; recover; mode; checkpoint })
+      (tup2
+         (tup5 (int_range 1 4) (int_range 1 12) (int_range 1 2) bool plan)
+         (tup2 mode checkpoint)))
 
 let print_params p =
   let plan =
@@ -148,8 +176,10 @@ let print_params p =
     | Delay_every k -> Printf.sprintf "delay-every %d" k
     | Prob_drop (pr, seed) -> Printf.sprintf "prob-drop %.2f seed %d" pr seed
   in
-  Printf.sprintf "{workers=%d; items=%d; frames=%d; %s; recover=%b}" p.nworkers
-    p.nitems p.frames plan p.recover
+  Printf.sprintf "{workers=%d; items=%d; frames=%d; %s; recover=%b; %s; ckpt=%s}"
+    p.nworkers p.nitems p.frames plan p.recover
+    (Skel.Ir.state_mode_name p.mode)
+    (match p.checkpoint with None -> "-" | Some k -> string_of_int k)
 
 let prop_pool_run_byte_identical =
   QCheck.Test.make ~name:"pooled run == sequential run (trace+metrics bytes)"
@@ -170,7 +200,7 @@ let prop_pool_run_byte_identical =
 let test_seeded_fault_tally_reproducible () =
   let p =
     { nworkers = 3; nitems = 10; frames = 1; plan = Prob_drop (0.25, 7);
-      recover = false }
+      recover = false; mode = Skel.Ir.Stateless; checkpoint = None }
   in
   let a = run_job p and b = run_job p in
   let ta = Sim.fault_tally a.Executive.sim
@@ -228,7 +258,8 @@ let timing_fields keys = List.filter (fun k -> k = "wall_ms" || k = "wall_s") ke
 let deterministic_fields keys = List.filter (fun k -> not (List.mem k (timing_fields keys))) keys
 
 let healthy =
-  { nworkers = 3; nitems = 8; frames = 1; plan = Healthy; recover = false }
+  { nworkers = 3; nitems = 8; frames = 1; plan = Healthy; recover = false;
+    mode = Skel.Ir.Stateless; checkpoint = None }
 
 let test_golden_metrics_json () =
   let json = Machine.Metrics.to_json (Executive.metrics (run_job healthy)) in
@@ -260,6 +291,36 @@ let test_golden_summary_json () =
   Alcotest.(check (list string))
     "bench --json entry carries no wall-clock field" [] (timing_fields keys)
 
+(* The E17 entry carries the checkpoint/replay counters CI gates exactly
+   (bench/baseline.json): pin its full field list so a renamed or dropped
+   counter cannot silently weaken the gate. *)
+let test_golden_e17_summary_json () =
+  let rep =
+    Executive.metrics
+      (run_job { healthy with mode = Skel.Ir.Accumulator; checkpoint = Some 2 })
+  in
+  let extras =
+    [
+      ("checkpoints", 2.0); ("replayed_frames", 1.0); ("stall_collected", 5.0);
+      ("outage_p50_ms", 1.0); ("outage_p95_ms", 1.0); ("outage_p99_ms", 1.0);
+      ("recovery_overhead_ms", 1.0);
+    ]
+  in
+  let json = Machine.Metrics.summary_json ~extras ~experiment:"e17" rep in
+  let keys = top_keys json in
+  Alcotest.(check (list string))
+    "e17 bench --json entry deterministic fields"
+    [
+      "experiment"; "finish_time"; "utilisation"; "messages"; "bytes";
+      "imbalance"; "dropped_msgs"; "deadline_misses"; "reissues";
+      "trace_truncated"; "checkpoints"; "replayed_frames"; "stall_collected";
+      "outage_p50_ms"; "outage_p95_ms"; "outage_p99_ms";
+      "recovery_overhead_ms";
+    ]
+    (deterministic_fields keys);
+  Alcotest.(check (list string))
+    "e17 entry carries no wall-clock field" [] (timing_fields keys)
+
 let test_golden_series_json () =
   let r = run_job healthy in
   let series =
@@ -287,7 +348,7 @@ let test_golden_stage_report_json () =
   let c =
     Skipper_lib.Pipeline.compile_ir ~table
       (Skel.Ir.program "p"
-         (Skel.Ir.Df { nworkers = 2; comp = "w"; acc = "k"; init = V.Int 0 }))
+         (Skel.Ir.Df { nworkers = 2; comp = "w"; acc = "k"; init = V.Int 0; state = Skel.Ir.Stateless }))
   in
   let json = Skipper_lib.Stage.reports_to_json (Skipper_lib.Pipeline.reports c) in
   let keys = top_keys json in
@@ -322,6 +383,8 @@ let () =
         [
           Alcotest.test_case "Metrics.to_json" `Quick test_golden_metrics_json;
           Alcotest.test_case "bench --json entry" `Quick test_golden_summary_json;
+          Alcotest.test_case "e17 bench entry" `Quick
+            test_golden_e17_summary_json;
           Alcotest.test_case "series" `Quick test_golden_series_json;
           Alcotest.test_case "stage report" `Quick test_golden_stage_report_json;
         ] );

@@ -74,7 +74,7 @@ let run_both ?(frames = 1) ?(arch = Archi.ring 4) program input =
 
 let test_df_equivalence () =
   let program =
-    Ir.program "df" (Ir.Df { nworkers = 3; comp = "sq"; acc = "add"; init = V.Int 0 })
+    Ir.program "df" (Ir.Df { nworkers = 3; comp = "sq"; acc = "add"; init = V.Int 0; state = Ir.Stateless })
   in
   let input = V.List (List.init 10 (fun i -> V.Int i)) in
   let seq, par = run_both program input in
@@ -82,14 +82,14 @@ let test_df_equivalence () =
 
 let test_df_more_workers_than_items () =
   let program =
-    Ir.program "df" (Ir.Df { nworkers = 8; comp = "sq"; acc = "add"; init = V.Int 0 })
+    Ir.program "df" (Ir.Df { nworkers = 8; comp = "sq"; acc = "add"; init = V.Int 0; state = Ir.Stateless })
   in
   let seq, par = run_both program (V.List [ V.Int 3; V.Int 4 ]) in
   Alcotest.(check value_testable) "partial farm" seq par.Executive.value
 
 let test_df_empty_input () =
   let program =
-    Ir.program "df" (Ir.Df { nworkers = 4; comp = "sq"; acc = "add"; init = V.Int 7 })
+    Ir.program "df" (Ir.Df { nworkers = 4; comp = "sq"; acc = "add"; init = V.Int 7; state = Ir.Stateless })
   in
   let seq, par = run_both program (V.List []) in
   Alcotest.(check value_testable) "empty farm gives init" seq par.Executive.value;
@@ -124,7 +124,7 @@ let test_itermem_equivalence () =
              Ir.Pipe
                [
                  Ir.Seq "unpack";
-                 Ir.Df { nworkers = 3; comp = "sq"; acc = "add"; init = V.Int 0 };
+                 Ir.Df { nworkers = 3; comp = "sq"; acc = "add"; init = V.Int 0; state = Ir.Stateless };
                  Ir.Seq "mkstate";
                ];
            output = "sink";
@@ -168,7 +168,7 @@ let test_dynamic_load_balancing () =
     ~cost:(fun _ -> 100.0)
     (fun v -> V.Int (V.to_int (fst (V.to_pair v)) + 1));
   let program =
-    Ir.program "lb" (Ir.Df { nworkers = 4; comp = "work"; acc = "keep"; init = V.Int 0 })
+    Ir.program "lb" (Ir.Df { nworkers = 4; comp = "work"; acc = "keep"; init = V.Int 0; state = Ir.Stateless })
   in
   let input = V.List (List.init 17 (fun i -> V.Int i)) in
   let g = Procnet.Expand.expand table program in
@@ -244,7 +244,7 @@ let test_macro_code_content () =
       (Ir.Itermem
          {
            input = "src";
-           loop = Ir.Df { nworkers = 2; comp = "sq"; acc = "add"; init = V.Int 0 };
+           loop = Ir.Df { nworkers = 2; comp = "sq"; acc = "add"; init = V.Int 0; state = Ir.Stateless };
            output = "sink";
            init = V.Int 0;
          })
@@ -264,7 +264,7 @@ let test_macro_code_content () =
 let test_channel_table () =
   let table = base_table () in
   let program =
-    Ir.program "p" (Ir.Df { nworkers = 2; comp = "sq"; acc = "add"; init = V.Int 0 })
+    Ir.program "p" (Ir.Df { nworkers = 2; comp = "sq"; acc = "add"; init = V.Int 0; state = Ir.Stateless })
   in
   let g = Procnet.Expand.expand table program in
   let placement = [| 0; 1; 2 |] in
@@ -276,7 +276,7 @@ let prop_df_parallel_equals_sequential =
     QCheck.(triple (int_range 1 6) (int_range 1 6) (small_list small_signed_int))
     (fun (nworkers, nprocs, xs) ->
       let program =
-        Ir.program "q" (Ir.Df { nworkers; comp = "sq"; acc = "add"; init = V.Int 0 })
+        Ir.program "q" (Ir.Df { nworkers; comp = "sq"; acc = "add"; init = V.Int 0; state = Ir.Stateless })
       in
       let input = V.List (List.map (fun x -> V.Int x) xs) in
       let seq, par = run_both ~arch:(Archi.ring nprocs) program input in
@@ -300,7 +300,7 @@ let test_fault_stalls_pipeline () =
      [Stalled] outcome with the partial counts — never an exception. *)
   let table = base_table () in
   let program =
-    Ir.program "f" (Ir.Df { nworkers = 3; comp = "sq"; acc = "add"; init = V.Int 0 })
+    Ir.program "f" (Ir.Df { nworkers = 3; comp = "sq"; acc = "add"; init = V.Int 0; state = Ir.Stateless })
   in
   let g = Procnet.Expand.expand table program in
   let arch = Archi.ring 4 in

@@ -316,7 +316,7 @@ let ft_table () =
 
 let df_program nworkers =
   Ir.program "df"
-    (Ir.Df { nworkers; comp = "sq"; acc = "add"; init = V.Int 0 })
+    (Ir.Df { nworkers; comp = "sq"; acc = "add"; init = V.Int 0; state = Ir.Stateless })
 
 (* Run the farm on a ring with one processor per worker plus the master,
    under canonical placement (worker i lives on P(i+1)). *)
@@ -427,6 +427,108 @@ let prop_df_halt_without_recovery_never_raises =
           && collected = List.length r.Executive.outputs
           && collected < expected)
 
+(* ------------------------------------------------------------------ *)
+(* Master checkpoint / replay                                          *)
+
+(* An accumulator farm whose carry crosses frames: the master is the sole
+   holder of the fold state, so a halt of its processor is the worst-case
+   fault — without checkpointing the stream dies with it, with
+   checkpointing the restarted master replays from the last stable
+   snapshot. The sum-based acc makes any double-counted contribution (a
+   replayed reply folded twice) show up as a wrong value against the
+   sequential oracle. *)
+let acc_program ~frames nworkers =
+  Ir.program ~frames "df_acc"
+    (Ir.Df
+       { nworkers; comp = "sq"; acc = "add"; init = V.Int 0; state = Ir.Accumulator })
+
+let acc_run ?faults ?restores ?checkpoint_every ~frames ~nworkers items =
+  let table = ft_table () in
+  let program = acc_program ~frames nworkers in
+  let g = Procnet.Expand.expand table program in
+  let arch = Archi.ring (nworkers + 1) in
+  let placement = Syndex.Place.canonical g arch in
+  let input = V.List (List.map (fun i -> V.Int i) items) in
+  let r =
+    Executive.run ?faults ?restores ?checkpoint_every ~table ~arch ~placement
+      ~graph:g ~frames ~input ()
+  in
+  (Skel.Sem.run table program input, r)
+
+let test_master_halt_stalls_without_checkpoint () =
+  let items = List.init 12 (fun i -> i) in
+  let nworkers = 3 and frames = 4 in
+  let _, healthy = acc_run ~frames ~nworkers items in
+  let times = Array.of_list healthy.Executive.output_times in
+  (* halt the master's processor (P0 under canonical placement) between
+     the second and third frame outputs; restoring the processor does not
+     revive the non-durable master *)
+  let halt_at = (times.(1) +. times.(2)) /. 2.0 in
+  let _, r =
+    acc_run ~frames ~nworkers
+      ~faults:[ (0, halt_at) ]
+      ~restores:[ (0, 2.0 *. halt_at) ]
+      items
+  in
+  (match r.Executive.outcome with
+  | Executive.Stalled { collected; expected } ->
+      Alcotest.(check int) "expected the full stream" frames expected;
+      Alcotest.(check bool) "a strict prefix came out" true
+        (collected >= 1 && collected < frames);
+      Alcotest.(check int) "outputs match the count" collected
+        (List.length r.Executive.outputs)
+  | Executive.Completed ->
+      Alcotest.fail "master halt without checkpointing must stall");
+  Alcotest.(check int) "no checkpoints were taken" 0 r.Executive.checkpoints
+
+let test_master_checkpoint_replay_completes () =
+  let items = List.init 12 (fun i -> i) in
+  let nworkers = 3 and frames = 4 in
+  let _, healthy = acc_run ~frames ~nworkers ~checkpoint_every:2 items in
+  let times = Array.of_list healthy.Executive.output_times in
+  (* Halt while frame 3 is in flight: the last stable snapshot covers
+     frames 0-1 and frame 2 is already emitted, so the restarted master
+     must recompute frame 2 (without re-emitting it — the write-ahead
+     emitted count) before finishing the stream. *)
+  let halt_at = (times.(2) +. times.(3)) /. 2.0 in
+  let oracle, r =
+    acc_run ~frames ~nworkers ~checkpoint_every:2
+      ~faults:[ (0, halt_at) ]
+      ~restores:[ (0, 2.0 *. halt_at) ]
+      items
+  in
+  Alcotest.(check bool) "completed despite the master outage" true
+    (r.Executive.outcome = Executive.Completed);
+  Alcotest.(check value_testable) "no contribution double-counted" oracle
+    r.Executive.value;
+  (* every frame of the degraded run equals the streamed oracle *)
+  let stream =
+    Skel.Sem.run_stream (ft_table ())
+      (acc_program ~frames nworkers)
+      (V.List (List.map (fun i -> V.Int i) items))
+  in
+  Alcotest.(check (list value_testable)) "per-frame outputs" stream
+    r.Executive.outputs;
+  Alcotest.(check bool) "checkpoints were taken" true
+    (r.Executive.checkpoints >= 2);
+  Alcotest.(check int) "frame 2 replayed, not re-emitted" 1
+    r.Executive.replayed_frames;
+  Alcotest.(check int) "replay is not a reissue" 0 r.Executive.reissues
+
+let test_master_checkpoint_no_fault_is_free () =
+  (* Checkpointing without a fault changes nothing observable except the
+     checkpoint count: same value, same per-frame outputs. *)
+  let items = List.init 10 (fun i -> i) in
+  let nworkers = 2 and frames = 4 in
+  let oracle, plain = acc_run ~frames ~nworkers items in
+  let _, ckpt = acc_run ~frames ~nworkers ~checkpoint_every:1 items in
+  Alcotest.(check value_testable) "same value" oracle ckpt.Executive.value;
+  Alcotest.(check (list value_testable)) "same outputs"
+    plain.Executive.outputs ckpt.Executive.outputs;
+  Alcotest.(check int) "one checkpoint per frame" frames
+    ckpt.Executive.checkpoints;
+  Alcotest.(check int) "nothing replayed" 0 ckpt.Executive.replayed_frames
+
 let test_single_frame_period_is_none () =
   let _, r = df_run ~nworkers:2 [ 1; 2; 3 ] in
   Alcotest.(check bool) "one frame has no period" true
@@ -482,5 +584,14 @@ let () =
             test_df_recovery_absorbs_duplicates;
           QCheck_alcotest.to_alcotest prop_df_single_fault_recovery;
           QCheck_alcotest.to_alcotest prop_df_halt_without_recovery_never_raises;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "master halt stalls without checkpoint" `Quick
+            test_master_halt_stalls_without_checkpoint;
+          Alcotest.test_case "checkpoint + replay completes" `Quick
+            test_master_checkpoint_replay_completes;
+          Alcotest.test_case "checkpointing alone is free" `Quick
+            test_master_checkpoint_no_fault_is_free;
         ] );
     ]

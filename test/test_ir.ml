@@ -26,10 +26,10 @@ let test_validate_pipe () =
 
 let test_validate_df () =
   let t = table_with [ "comp"; "acc" ] in
-  let df n = Ir.Df { nworkers = n; comp = "comp"; acc = "acc"; init = V.Int 0 } in
+  let df n = Ir.Df { nworkers = n; comp = "comp"; acc = "acc"; init = V.Int 0; state = Ir.Stateless } in
   ok (is_valid t (Ir.program "p" (df 3)));
   bad (is_valid t (Ir.program "p" (df 0)));
-  bad (is_valid t (Ir.program "p" (Ir.Df { nworkers = 2; comp = "x"; acc = "acc"; init = V.Unit })))
+  bad (is_valid t (Ir.program "p" (Ir.Df { nworkers = 2; comp = "x"; acc = "acc"; init = V.Unit; state = Ir.Stateless })))
 
 let test_validate_scm () =
   let t = table_with [ "split"; "comp"; "merge" ] in
@@ -64,7 +64,7 @@ let test_skeleton_instances () =
           Ir.Pipe
             [
               Ir.Seq "a";
-              Ir.Df { nworkers = 2; comp = "c"; acc = "k"; init = V.Unit };
+              Ir.Df { nworkers = 2; comp = "c"; acc = "k"; init = V.Unit; state = Ir.Stateless };
               Ir.Seq "b";
             ];
         output = "out";

@@ -35,7 +35,7 @@ let inner =
   Ir.Pipe
     [
       Ir.Seq "enlist";
-      Ir.Df { nworkers = 2; comp = "sq"; acc = "add"; init = V.Int 0 };
+      Ir.Df { nworkers = 2; comp = "sq"; acc = "add"; init = V.Int 0; state = Ir.Stateless };
     ]
 
 let with_enlist t =

@@ -309,7 +309,7 @@ let unit_gen =
             Ir.Pipe
               [
                 Ir.Seq "enlist";
-                Ir.Df { nworkers = 1 + n; comp = "inc"; acc = "add"; init = V.Int 0 };
+                Ir.Df { nworkers = 1 + n; comp = "inc"; acc = "add"; init = V.Int 0; state = Ir.Stateless };
               ])
           (int_bound 3);
         map

@@ -6,7 +6,7 @@ module V = Skel.Value
 let count_kind g pred =
   Array.to_list (G.nodes g) |> List.filter (fun n -> pred n.G.kind) |> List.length
 
-let df_stage n = Skel.Ir.Df { nworkers = n; comp = "c"; acc = "a"; init = V.Int 0 }
+let df_stage n = Skel.Ir.Df { nworkers = n; comp = "c"; acc = "a"; init = V.Int 0; state = Skel.Ir.Stateless }
 
 let scm_stage n = Skel.Ir.Scm { nparts = n; split = "s"; compute = "c"; merge = "m" }
 

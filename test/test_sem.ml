@@ -69,13 +69,13 @@ let test_pipe () =
 
 let test_df () =
   let t = arith_table () in
-  let stage = Ir.Df { nworkers = 3; comp = "double"; acc = "add"; init = V.Int 100 } in
+  let stage = Ir.Df { nworkers = 3; comp = "double"; acc = "add"; init = V.Int 100; state = Ir.Stateless } in
   Alcotest.(check value_testable) "df" (V.Int 112)
     (Skel.Sem.eval_stage t stage (V.list [ V.Int 1; V.Int 2; V.Int 3 ]))
 
 let test_df_rejects_non_list () =
   let t = arith_table () in
-  let stage = Ir.Df { nworkers = 2; comp = "double"; acc = "add"; init = V.Int 0 } in
+  let stage = Ir.Df { nworkers = 2; comp = "double"; acc = "add"; init = V.Int 0; state = Ir.Stateless } in
   Alcotest.(check bool) "raises" true
     (try
        ignore (Skel.Sem.eval_stage t stage (V.Int 1));
@@ -139,7 +139,7 @@ let prop_df_matches_skeleton =
     QCheck.(pair (int_range 1 8) (small_list small_signed_int))
     (fun (n, xs) ->
       let t = arith_table () in
-      let stage = Ir.Df { nworkers = n; comp = "double"; acc = "add"; init = V.Int 0 } in
+      let stage = Ir.Df { nworkers = n; comp = "double"; acc = "add"; init = V.Int 0; state = Ir.Stateless } in
       let via_ir =
         Skel.Sem.eval_stage t stage (V.list (List.map (fun x -> V.Int x) xs))
       in
@@ -156,7 +156,7 @@ let test_run_cost_accounts_cycles () =
 
 let test_eval_stage_cost_df () =
   let t = arith_table () in
-  let stage = Ir.Df { nworkers = 3; comp = "double"; acc = "add"; init = V.Int 0 } in
+  let stage = Ir.Df { nworkers = 3; comp = "double"; acc = "add"; init = V.Int 0; state = Ir.Stateless } in
   let v, cycles =
     Skel.Sem.eval_stage_cost t stage (V.list [ V.Int 1; V.Int 2; V.Int 3 ])
   in

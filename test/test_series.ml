@@ -30,7 +30,7 @@ let run_farm ?(trace = true) ?(faults = []) ?(restores = []) ?recovery
       fst (V.to_pair v));
   let prog =
     Skel.Ir.program "p"
-      (Skel.Ir.Df { nworkers = p.nworkers; comp = "w"; acc = "k"; init = V.Int 0 })
+      (Skel.Ir.Df { nworkers = p.nworkers; comp = "w"; acc = "k"; init = V.Int 0; state = Skel.Ir.Stateless })
   in
   let g = Procnet.Expand.expand table prog in
   let arch = Archi.ring (p.nworkers + 1) in

@@ -158,6 +158,82 @@ let test_serve_end_to_end () =
   let served = Domain.join daemon in
   Alcotest.(check int) "every request counted" 7 served
 
+(* Regression for the one-client-at-a-time accept loop: a connected but
+   idle client must not block other clients. Client A connects first and
+   sends nothing; client B then completes a full round-trip; finally A
+   speaks on its original connection and is still served. Under the old
+   sequential loop this test hangs at B's call. *)
+let test_concurrent_clients () =
+  let socket = tmp_name "skipper-test-serve-conc.sock" in
+  let cfg =
+    {
+      Serve.table_of = (fun _ -> simple_table ());
+      input_of = (fun _ -> None);
+      arch_of = Archi.ring;
+      store = None;
+      jobs = 1;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Serve.serve cfg ~socket ()) in
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let rec retry n =
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> ()
+      | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when n > 0 ->
+          Unix.sleepf 0.05;
+          retry (n - 1)
+    in
+    retry 100;
+    fd
+  in
+  let send_frame fd j =
+    let body = Bytes.of_string (Json.to_string j) in
+    let hdr = Bytes.create 4 in
+    Bytes.set_int32_be hdr 0 (Int32.of_int (Bytes.length body));
+    ignore (Unix.write fd hdr 0 4);
+    ignore (Unix.write fd body 0 (Bytes.length body))
+  in
+  let read_exact fd n =
+    let b = Bytes.create n in
+    let rec go off =
+      if off < n then begin
+        let k = Unix.read fd b off (n - off) in
+        if k = 0 then Alcotest.fail "server closed the connection early";
+        go (off + k)
+      end
+    in
+    go 0;
+    b
+  in
+  let read_frame fd =
+    let len = Int32.to_int (Bytes.get_int32_be (read_exact fd 4) 0) in
+    match Json.parse (Bytes.to_string (read_exact fd len)) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "bad response frame: %s" m
+  in
+  (* A connects and goes idle *)
+  let a = connect () in
+  (* B connects later and must be served while A still holds its
+     connection open *)
+  (match Serve.call ~socket [ Serve.req_stats ] with
+  | Ok [ r ] ->
+      Alcotest.(check string) "B served while A idles" "ok" (str "status" r)
+  | Ok rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+  | Error m -> Alcotest.failf "client B failed: %s" m);
+  (* A finally speaks — its original connection still works *)
+  send_frame a (Json.Obj [ ("requests", Json.Arr [ Serve.req_stats ]) ]);
+  (match Json.member "responses" (read_frame a) with
+  | Some (Json.Arr [ r ]) ->
+      Alcotest.(check string) "A served after B" "ok" (str "status" r)
+  | _ -> Alcotest.fail "A's batch got no response list");
+  Unix.close a;
+  (match Serve.call ~socket [ Serve.req_shutdown ] with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "shutdown failed: %s" m);
+  let served = Domain.join daemon in
+  Alcotest.(check int) "all three batches counted" 3 served
+
 let () =
   Alcotest.run "serve"
     [
@@ -165,5 +241,7 @@ let () =
         [
           Alcotest.test_case "parse_request" `Quick test_parse_request;
           Alcotest.test_case "end to end" `Quick test_serve_end_to_end;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_concurrent_clients;
         ] );
     ]

@@ -45,6 +45,12 @@ let harness_for = function
       let t = Skel.Funtable.create () in
       Apps.Quadtree.register t;
       Some (t, Some (V.Image (Apps.Ccl_scm.blobs_image ~nblobs:5 48 48)), 1)
+  (* The stateful-farm family: one spec per state-access mode, several
+     frames each so cross-frame state carry is actually exercised. *)
+  | "histacc.mls" | "expgain.mls" | "ownerpeak.mls" | "resmooth.mls" ->
+      let t = Skel.Funtable.create () in
+      Apps.Stateful.register t;
+      Some (t, Some (Apps.Stateful.input_value ()), 3)
   | _ -> None
 
 let spec_files () =

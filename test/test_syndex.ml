@@ -13,7 +13,7 @@ let tracking_like_graph ?(nworkers = 4) () =
            Skel.Ir.Pipe
              [
                Skel.Ir.Seq "pre";
-               Skel.Ir.Df { nworkers; comp = "c"; acc = "a"; init = V.Int 0 };
+               Skel.Ir.Df { nworkers; comp = "c"; acc = "a"; init = V.Int 0; state = Skel.Ir.Stateless };
                Skel.Ir.Seq "post";
              ];
          output = "out";
@@ -222,7 +222,7 @@ let prop_all_mappers_valid =
           (Skel.Ir.Pipe
              [
                Skel.Ir.Scm { nparts; split = "s"; compute = "c"; merge = "m" };
-               Skel.Ir.Df { nworkers; comp = "c2"; acc = "a"; init = V.Int 0 };
+               Skel.Ir.Df { nworkers; comp = "c2"; acc = "a"; init = V.Int 0; state = Skel.Ir.Stateless };
              ])
       in
       let arch = Archi.ring nprocs in
@@ -356,7 +356,7 @@ let prop_heft_always_valid =
           (Skel.Ir.Pipe
              [
                Skel.Ir.Scm { nparts; split = "s"; compute = "c"; merge = "m" };
-               Skel.Ir.Df { nworkers; comp = "c2"; acc = "a"; init = V.Int 0 };
+               Skel.Ir.Df { nworkers; comp = "c2"; acc = "a"; init = V.Int 0; state = Skel.Ir.Stateless };
              ])
       in
       let s = Syndex.Heft.map cost (Archi.ring nprocs) g in

@@ -18,7 +18,7 @@ let farm_run ?(trace = true) ?trace_limit ?(nworkers = 3) ?(nitems = 8) () =
       fst (V.to_pair v));
   let prog =
     Skel.Ir.program "p"
-      (Skel.Ir.Df { nworkers; comp = "w"; acc = "k"; init = V.Int 0 })
+      (Skel.Ir.Df { nworkers; comp = "w"; acc = "k"; init = V.Int 0; state = Skel.Ir.Stateless })
   in
   let g = Procnet.Expand.expand table prog in
   let arch = Archi.ring (nworkers + 1) in

@@ -94,7 +94,7 @@ let test_fused_cost_is_summed () =
 let test_serialise_df () =
   let t = table () in
   let prog =
-    Ir.program "p" (Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0 })
+    Ir.program "p" (Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0; state = Ir.Stateless })
   in
   let input = V.List [ V.Int 1; V.Int 2; V.Int 3 ] in
   let before = Skel.Sem.run t prog input in
@@ -132,7 +132,7 @@ let test_serialise_scm () =
 let test_multi_worker_farms_untouched () =
   let t = table () in
   let prog =
-    Ir.program "p" (Ir.Df { nworkers = 4; comp = "dbl"; acc = "add"; init = V.Int 0 })
+    Ir.program "p" (Ir.Df { nworkers = 4; comp = "dbl"; acc = "add"; init = V.Int 0; state = Ir.Stateless })
   in
   let prog', applied = T.normalize t prog in
   Alcotest.(check bool) "df unchanged" true (prog'.Ir.body = prog.Ir.body);
@@ -150,7 +150,7 @@ let test_normalized_program_validates () =
                [
                  Ir.Seq "inc";
                  Ir.Pipe [ Ir.Seq "dbl" ];
-                 Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0 };
+                 Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0; state = Ir.Stateless };
                ];
            output = "inc";
            init = V.Int 0;
@@ -171,7 +171,7 @@ let test_normalization_reduces_processes () =
          [
            Ir.Seq "inc";
            Ir.Seq "dbl";
-           Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0 };
+           Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0; state = Ir.Stateless };
          ])
   in
   let before = Procnet.Graph.nnodes (Procnet.Expand.expand t prog) in
@@ -188,7 +188,7 @@ let test_executive_agrees_after_normalization () =
   let prog =
     Ir.program "p"
       (Ir.Pipe
-         [ Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0 } ])
+         [ Ir.Df { nworkers = 1; comp = "dbl"; acc = "add"; init = V.Int 0; state = Ir.Stateless } ])
   in
   let seq = Skel.Sem.run t1 prog input in
   let t2 = table () in
@@ -211,7 +211,7 @@ let stage_gen =
           return (Ir.Seq "inc");
           return (Ir.Seq "dbl");
           map
-            (fun n -> Ir.Df { nworkers = 1 + n; comp = "dbl"; acc = "add"; init = V.Int 0 })
+            (fun n -> Ir.Df { nworkers = 1 + n; comp = "dbl"; acc = "add"; init = V.Int 0; state = Ir.Stateless })
             (int_bound 2);
         ]
     in
