@@ -131,7 +131,13 @@ let exact_baseline_fields =
 (* Wall-clock-shaped fields (E9's serve latency percentiles): the gate
    checks they are present and numeric, never their values. *)
 let volatile_baseline_fields =
-  [ "serve_p50_ms"; "serve_p95_ms"; "serve_p99_ms"; "serve_throughput_rps" ]
+  [
+    "serve_p50_ms";
+    "serve_p95_ms";
+    "serve_p99_ms";
+    "serve_throughput_rps";
+    "serve_hit_ratio";
+  ]
 
 let check_against_baseline path =
   let parse label s =
@@ -677,6 +683,7 @@ let e9 () =
      over the server-measured per-request wall times. jobs = 1 keeps the
      batch order (and so the cold-batch miss count) deterministic. *)
   let socket = tmp_name "skipper-bench-serve" ^ ".sock" in
+  let registry = Support.Metrics.create () in
   let cfg =
     {
       Skipper_lib.Serve.table_of = (fun _ -> Tracking.Funcs.table config);
@@ -684,6 +691,9 @@ let e9 () =
       arch_of = Archi.ring;
       store = Some store;
       jobs = 1;
+      log = Support.Log.null;
+      metrics = Some registry;
+      timeline = None;
     }
   in
   let daemon =
@@ -694,7 +704,6 @@ let e9 () =
     List.init batch (fun _ ->
         Skipper_lib.Serve.req_compile ~frames:7 ~app:"tracking" src)
   in
-  let field name r = Option.bind (Support.Json.member name r) Support.Json.to_float in
   let cache_field name r =
     Option.bind (Support.Json.member "cache" r) (Support.Json.member name)
     |> Fun.flip Option.bind Support.Json.to_float
@@ -705,43 +714,51 @@ let e9 () =
     | Error msg -> failwith (Printf.sprintf "e9 serve (%s): %s" label msg)
     | Ok responses ->
         let wall_s = Unix.gettimeofday () -. t0 in
-        let lat_s =
-          List.filter_map (fun r -> Option.map (fun v -> v /. 1e3) (field "wall_ms" r))
-            responses
-        in
         let misses =
           List.fold_left ( +. ) 0.0
             (List.filter_map (cache_field "misses") responses)
         in
-        (wall_s, lat_s, misses)
+        (wall_s, misses)
   in
   (* frames:7 differs from the compiles above, so the daemon's first
      request really is cold for the extract/transform/expand suffix *)
-  let _, cold_lat, serve_cold_misses = send "cold" in
-  let warm_wall, warm_lat, serve_warm_misses = send "warm" in
+  let _, serve_cold_misses = send "cold" in
+  let warm_wall, serve_warm_misses = send "warm" in
   (match Skipper_lib.Serve.call ~socket [ Skipper_lib.Serve.req_shutdown ] with
   | Ok _ -> ()
   | Error msg -> failwith (Printf.sprintf "e9 serve shutdown: %s" msg));
   let served = Domain.join daemon in
-  let stats l =
-    match Machine.Metrics.latency_stats l with
-    | Some s -> s
-    | None -> failwith "e9 serve: no latencies"
+  (* Quantiles straight from the daemon's own metrics registry (the
+     shared-bucket latency histogram), not from re-measured wall times —
+     the bench reads the same numbers a `metrics` scrape would. *)
+  let compile_hist =
+    Support.Metrics.snapshot
+      (Support.Metrics.histogram registry ~labels:[ ("op", "compile") ]
+         "skipper_serve_request_seconds")
   in
-  let cold_stats = stats cold_lat and warm_stats = stats warm_lat in
+  if Support.Histogram.count compile_hist = 0 then
+    failwith "e9 serve: empty compile latency histogram";
+  let q p = Support.Histogram.quantile compile_hist p in
+  let cache_counter name =
+    Support.Metrics.value (Support.Metrics.counter registry name)
+  in
+  let reg_hits = cache_counter "skipper_serve_cache_hits_total" in
+  let reg_misses = cache_counter "skipper_serve_cache_misses_total" in
+  let hit_ratio =
+    if reg_hits + reg_misses = 0 then 0.0
+    else float_of_int reg_hits /. float_of_int (reg_hits + reg_misses)
+  in
   let throughput = float_of_int batch /. warm_wall in
   Printf.printf
     "serve sweep: %d requests served; cold batch misses %.0f, warm batch \
      misses %.0f\n"
     served serve_cold_misses serve_warm_misses;
   Printf.printf
-    "serve warm latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms \
-     (cold p50 %.3f ms); throughput %.0f req/s\n"
-    (ms warm_stats.Machine.Metrics.p50)
-    (ms warm_stats.Machine.Metrics.p95)
-    (ms warm_stats.Machine.Metrics.p99)
-    (ms cold_stats.Machine.Metrics.p50)
-    throughput;
+    "serve compile latency (registry): p50 %.3f ms, p95 %.3f ms, p99 %.3f \
+     ms over %d requests; cache hit ratio %.2f; throughput %.0f req/s\n"
+    (ms (q 0.50)) (ms (q 0.95)) (ms (q 0.99))
+    (Support.Histogram.count compile_hist)
+    hit_ratio throughput;
   record_extras ~experiment:"e9"
     [
       (* deterministic: protocol and cache behaviour *)
@@ -750,10 +767,11 @@ let e9 () =
       ("serve_warm_misses", serve_warm_misses);
       ("store_warm_misses", float_of_int warm_misses);
       (* volatile: wall-clock shaped, gated for presence only *)
-      ("serve_p50_ms", ms warm_stats.Machine.Metrics.p50);
-      ("serve_p95_ms", ms warm_stats.Machine.Metrics.p95);
-      ("serve_p99_ms", ms warm_stats.Machine.Metrics.p99);
+      ("serve_p50_ms", ms (q 0.50));
+      ("serve_p95_ms", ms (q 0.95));
+      ("serve_p99_ms", ms (q 0.99));
       ("serve_throughput_rps", throughput);
+      ("serve_hit_ratio", hit_ratio);
     ]
 
 

@@ -988,27 +988,77 @@ let socket_arg =
               to (client).")
 
 let serve_cmd =
-  let run socket cache_dir jobs =
+  let run socket cache_dir jobs log_file log_level metrics_out =
     wrap (fun () ->
-        let cfg =
-          {
-            Skipper_lib.Serve.table_of = app_table;
-            input_of = default_input;
-            arch_of = Archi.ring;
-            store = Option.map open_cache_store cache_dir;
-            jobs;
-          }
+        let level =
+          match Support.Log.level_of_string log_level with
+          | Ok l -> l
+          | Error m -> failwith m
         in
-        let served = Skipper_lib.Serve.serve cfg ~socket () in
-        Printf.eprintf "skipperc: serve: %d request(s) served\n" served)
+        let with_log k =
+          match log_file with
+          | None -> k (Support.Log.to_channel ~level stderr)
+          | Some path ->
+              Out_channel.with_open_gen
+                [ Open_wronly; Open_creat; Open_append ] 0o644 path
+                (fun oc -> k (Support.Log.to_channel ~level oc))
+        in
+        with_log (fun log ->
+            let metrics = Support.Metrics.create () in
+            let cfg =
+              {
+                Skipper_lib.Serve.table_of = app_table;
+                input_of = default_input;
+                arch_of = Archi.ring;
+                store = Option.map open_cache_store cache_dir;
+                jobs;
+                log;
+                metrics = Some metrics;
+                timeline = None;
+              }
+            in
+            let served = Skipper_lib.Serve.serve cfg ~socket () in
+            Option.iter
+              (fun path ->
+                Out_channel.with_open_text path (fun oc ->
+                    Out_channel.output_string oc
+                      (Support.Metrics.to_prometheus metrics)))
+              metrics_out;
+            Printf.eprintf "skipperc: serve: %d request(s) served\n" served))
+  in
+  let log_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-file" ] ~docv:"PATH"
+          ~doc:"Append the structured JSONL log to $(docv) (default: \
+                stderr).")
+  in
+  let log_level_arg =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Minimum level to log: debug, info, warn or error.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"PATH"
+          ~doc:"Write the final Prometheus metrics exposition to $(docv) at \
+                shutdown.")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the compile daemon: a long-lived process on a Unix socket \
              accepting batched compile/run requests (length-prefixed JSON), \
              with warm in-process caches and an optional shared --cache-dir \
-             store. Stops on a shutdown request.")
-    Term.(const run $ socket_arg $ cache_dir_arg $ jobs_arg)
+             store. Every request is logged (JSONL) and measured into a \
+             metrics registry; scrape it live with the metrics op or watch \
+             it with skipperc top. Stops on a shutdown request.")
+    Term.(
+      const run $ socket_arg $ cache_dir_arg $ jobs_arg $ log_file_arg
+      $ log_level_arg $ metrics_out_arg)
 
 let client_cmd =
   let run socket op app frames optimize procs strat file =
@@ -1026,11 +1076,24 @@ let client_cmd =
               Skipper_lib.Serve.req_run ~frames ~optimize
                 ~strategy:(strategy_of strat) ~procs ~app (source ())
           | "stats" -> Skipper_lib.Serve.req_stats
+          | "metrics" -> Skipper_lib.Serve.req_metrics
           | "shutdown" -> Skipper_lib.Serve.req_shutdown
           | other -> failwith (Printf.sprintf "unknown op %S" other)
         in
         match Skipper_lib.Serve.call ~socket [ req ] with
-        | Ok [ resp ] -> print_endline (Support.Json.to_string resp)
+        | Ok [ resp ] ->
+            (* the metrics exposition is text, not JSON: print it raw so the
+               output pipes straight into a Prometheus scrape file *)
+            let exposition =
+              if op = "metrics" then
+                Option.bind
+                  (Support.Json.member "exposition" resp)
+                  Support.Json.to_str
+              else None
+            in
+            (match exposition with
+            | Some text -> print_string text
+            | None -> print_endline (Support.Json.to_string resp))
         | Ok _ -> failwith "unexpected response count"
         | Error msg -> failwith msg)
   in
@@ -1038,7 +1101,8 @@ let client_cmd =
     Arg.(
       value & opt string "run"
       & info [ "op" ] ~docv:"OP"
-          ~doc:"Request to send: run (default), compile, stats or shutdown.")
+          ~doc:"Request to send: run (default), compile, stats, metrics or \
+                shutdown.")
   in
   let file_opt_arg =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -1051,10 +1115,45 @@ let client_cmd =
       const run $ socket_arg $ op_arg $ app_arg $ frames_arg $ optimize_arg
       $ procs_arg $ strategy_arg $ file_opt_arg)
 
+let top_cmd =
+  let run socket watch =
+    wrap (fun () ->
+        let once () =
+          match Skipper_lib.Serve.call ~socket [ Skipper_lib.Serve.req_stats ] with
+          | Ok [ resp ] -> print_string (Skipper_lib.Serve.render_top resp)
+          | Ok _ -> failwith "unexpected response count"
+          | Error msg -> failwith msg
+        in
+        match watch with
+        | None -> once ()
+        | Some period ->
+            while true do
+              (* clear screen + home, like watch(1) *)
+              print_string "\027[2J\027[H";
+              once ();
+              Out_channel.flush stdout;
+              Unix.sleepf period
+            done)
+  in
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECONDS"
+          ~doc:"Refresh every $(docv) seconds until interrupted (default: \
+                print one snapshot and exit).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"One-screen live view of a running serve daemon: uptime, request \
+             rate, per-op latency quantiles, cache hit ratio and per-domain \
+             busy fractions, from the daemon's stats op.")
+    Term.(const run $ socket_arg $ watch_arg)
+
 let main =
   let doc = "SKiPPER: skeleton-based parallel programming environment" in
   Cmd.group (Cmd.info "skipperc" ~doc ~version:"1.0.0")
     [ check_cmd; graph_cmd; map_cmd; macro_cmd; emulate_cmd; run_cmd; equiv_cmd;
-      repl_cmd; demo_cmd; serve_cmd; client_cmd ]
+      repl_cmd; demo_cmd; serve_cmd; client_cmd; top_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,4 +1,7 @@
 module Json = Support.Json
+module Metrics = Support.Metrics
+module Log = Support.Log
+module Event = Skipper_trace.Event
 
 exception Protocol_error of string
 
@@ -44,6 +47,41 @@ let write_frame fd payload =
   write_all fd (Bytes.to_string hdr);
   write_all fd payload
 
+(* The server-side read distinguishes a clean close (EOF exactly on a
+   frame boundary) from a client vanishing mid-frame — a partial length
+   prefix or a truncated payload. The latter is an aborted frame: logged,
+   counted, and never allowed to take the serve loop down. *)
+
+type incoming = Frame of string | Closed | Aborted of string
+
+type chunk = Complete of bytes | Empty | Short
+
+let read_chunk fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Complete buf
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> if off = 0 then Empty else Short
+      | k -> go (off + k)
+  in
+  go 0
+
+let recv fd =
+  match read_chunk fd 4 with
+  | Empty -> Closed
+  | Short -> Aborted "partial length prefix"
+  | Complete hdr ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_frame then
+        protocol_error "frame length %d out of range" len;
+      if len = 0 then Frame ""
+      else (
+        match read_chunk fd len with
+        | Complete b -> Frame (Bytes.to_string b)
+        | Empty | Short ->
+            Aborted (Printf.sprintf "truncated payload (expected %d bytes)" len))
+
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
@@ -53,6 +91,9 @@ type config = {
   arch_of : int -> Archi.t;
   store : Support.Store.t option;
   jobs : int;
+  log : Log.t;
+  metrics : Metrics.t option;
+  timeline : Event.timeline option;
 }
 
 type request =
@@ -66,6 +107,7 @@ type request =
       strategy : string;
     }
   | Stats
+  | Metrics_dump
   | Shutdown
 
 let str_field j k = Option.bind (Json.member k j) Json.to_str
@@ -108,12 +150,20 @@ let parse_request j =
                })
       | _ -> Error "run needs \"app\" and \"src\" fields")
   | Some "stats" -> Ok Stats
+  | Some "metrics" -> Ok Metrics_dump
   | Some "shutdown" -> Ok Shutdown
   | Some op -> Error (Printf.sprintf "unknown op %S" op)
   | None -> Error "request without an \"op\" field"
 
+let op_name = function
+  | Compile _ -> "compile"
+  | Run _ -> "run"
+  | Stats -> "stats"
+  | Metrics_dump -> "metrics"
+  | Shutdown -> "shutdown"
+
 (* ------------------------------------------------------------------ *)
-(* Handlers                                                            *)
+(* Server state and instruments                                        *)
 
 let num n = Json.Num (float_of_int n)
 let ok fields = Json.Obj (("status", Json.Str "ok") :: fields)
@@ -138,15 +188,138 @@ let store_json = function
         [
           ("hits", num c.Support.Store.hits);
           ("misses", num c.Support.Store.misses);
-          ("writes", num c.Support.Store.writes);
+          ("absent", num c.Support.Store.absent);
           ("corrupt", num c.Support.Store.corrupt);
+          ("stamp_mismatch", num c.Support.Store.stamp_mismatch);
+          ("writes", num c.Support.Store.writes);
           ("evictions", num c.Support.Store.evictions);
+          ("bytes_read", num c.Support.Store.bytes_read);
+          ("bytes_written", num c.Support.Store.bytes_written);
         ]
 
-type server_state = {
+type server = {
+  cfg : config;
+  reg : Metrics.t;
+  start_s : float;  (** daemon start, [Unix.gettimeofday] *)
   mutable requests : int;
   mutable batches : int;
   mutable errors : int;
+  mutable aborted : int;
+  mutable nclients : int;
+  mutable next_req : int;  (** request-id counter; ids are ["r<N>"] *)
+  c_requests : Metrics.counter;
+  c_errors : Metrics.counter;
+  c_batches : Metrics.counter;
+  c_aborted : Metrics.counter;
+  c_bytes_read : Metrics.counter;
+  c_bytes_written : Metrics.counter;
+  c_cache_hits : Metrics.counter;
+  c_cache_misses : Metrics.counter;
+  c_cache_store_hits : Metrics.counter;
+  g_clients : Metrics.gauge;
+  g_queue : Metrics.gauge;
+}
+
+let make_server cfg =
+  let reg = match cfg.metrics with Some r -> r | None -> Metrics.create () in
+  let c = Metrics.counter reg and g = Metrics.gauge reg in
+  {
+    cfg;
+    reg;
+    start_s = Unix.gettimeofday ();
+    requests = 0;
+    batches = 0;
+    errors = 0;
+    aborted = 0;
+    nclients = 0;
+    next_req = 0;
+    c_requests =
+      c ~help:"Requests received (including unparseable ones)"
+        "skipper_serve_requests_total";
+    c_errors = c ~help:"Requests answered with an error" "skipper_serve_errors_total";
+    c_batches = c ~help:"Frames (batches) handled" "skipper_serve_batches_total";
+    c_aborted =
+      c ~help:"Frames dropped because the client vanished mid-frame"
+        "skipper_serve_aborted_frames";
+    c_bytes_read = c ~help:"Frame bytes read, headers included"
+        "skipper_serve_bytes_read_total";
+    c_bytes_written = c ~help:"Frame bytes written, headers included"
+        "skipper_serve_bytes_written_total";
+    c_cache_hits =
+      c ~help:"In-memory pass-cache hits across requests"
+        "skipper_serve_cache_hits_total";
+    c_cache_misses =
+      c ~help:"In-memory pass-cache misses across requests"
+        "skipper_serve_cache_misses_total";
+    c_cache_store_hits =
+      c ~help:"Pass-cache misses answered by the persistent store"
+        "skipper_serve_cache_store_hits_total";
+    g_clients = g ~help:"Connected clients" "skipper_serve_clients";
+    g_queue =
+      g ~help:"Requests of the batch currently being farmed"
+        "skipper_serve_queue_depth";
+  }
+
+(* Mirror the shared store's own atomic counters into the registry, so one
+   scrape carries both serve- and store-side tallies. Called right before
+   each snapshot (stats/metrics responses and shutdown). *)
+let sync_store s =
+  match s.cfg.store with
+  | None -> ()
+  | Some store ->
+      let c = Support.Store.counters store in
+      let set name help v =
+        Metrics.set (Metrics.counter s.reg ~help name) v
+      in
+      set "skipper_store_hits_total" "Store lookups served from disk"
+        c.Support.Store.hits;
+      set "skipper_store_misses_total" "Store lookups that found no usable entry"
+        c.Support.Store.misses;
+      set "skipper_store_absent_total" "Store misses: no entry file"
+        c.Support.Store.absent;
+      set "skipper_store_corrupt_total" "Store misses: entry unreadable"
+        c.Support.Store.corrupt;
+      set "skipper_store_stamp_mismatch_total"
+        "Store misses: entry from another format stamp"
+        c.Support.Store.stamp_mismatch;
+      set "skipper_store_writes_total" "Store entries written"
+        c.Support.Store.writes;
+      set "skipper_store_evictions_total" "Store entries evicted over the size limit"
+        c.Support.Store.evictions;
+      set "skipper_store_bytes_read_total" "Store payload bytes read by hits"
+        c.Support.Store.bytes_read;
+      set "skipper_store_bytes_written_total" "Store payload bytes written"
+        c.Support.Store.bytes_written
+
+let uptime_s s = Unix.gettimeofday () -. s.start_s
+
+let stats_fields s =
+  sync_store s;
+  [
+    ("requests", num s.requests);
+    ("batches", num s.batches);
+    ("errors", num s.errors);
+    ("aborted_frames", num s.aborted);
+    ("clients", num s.nclients);
+    ("uptime_s", Json.Num (uptime_s s));
+    ("store", store_json s.cfg.store);
+    ("metrics", Metrics.json s.reg);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Handlers                                                            *)
+
+(* What a worker returns: the response plus everything the dispatcher
+   needs to account for the request. All registry, log and timeline
+   updates happen on the dispatching domain, in submit order, so the
+   daemon's deterministic observability surfaces (log bytes under a
+   pinned clock, histogram sums) do not depend on [--jobs]. *)
+type outcome = {
+  resp : Json.t;
+  out_op : string;
+  out_ok : bool;
+  out_wall : float;  (** seconds *)
+  out_cache : (int * int * int) option;  (** hits, misses, store hits *)
 }
 
 let compile_fields cfg ~app ~src ~frames ~optimize =
@@ -159,57 +332,137 @@ let compile_fields cfg ~app ~src ~frames ~optimize =
       ("cache", cache_json cache);
     ]
   in
-  (compiled, fields)
+  (compiled, fields, cache)
 
-let handle_request cfg state req =
+let handle_request s req =
+  let cfg = s.cfg in
   let t0 = Unix.gettimeofday () in
+  let cache_taken = ref None in
   let timed op fields =
     ok
       (("op", Json.Str op) :: fields
       @ [ ("wall_ms", Json.Num ((Unix.gettimeofday () -. t0) *. 1e3)) ])
   in
-  try
-    match req with
-    | Compile { app; src; frames; optimize } ->
-        let _, fields = compile_fields cfg ~app ~src ~frames ~optimize in
-        timed "compile" fields
-    | Run { app; src; frames; optimize; procs; strategy } ->
-        let compiled, fields = compile_fields cfg ~app ~src ~frames ~optimize in
-        let input = cfg.input_of app in
-        let result =
-          Pipeline.execute ?input ~strategy compiled (cfg.arch_of procs)
-        in
-        timed "run"
-          (fields
-          @ [
-              ("value", Json.Str (Skel.Value.to_string result.Executive.value));
-              ("frames", num (List.length result.Executive.outputs));
-              ( "messages",
-                num result.Executive.stats.Machine.Sim.messages );
-            ])
-    | Stats ->
-        timed "stats"
-          [
-            ("requests", num state.requests);
-            ("batches", num state.batches);
-            ("errors", num state.errors);
-            ("store", store_json cfg.store);
-          ]
-    | Shutdown -> timed "shutdown" []
-  with
-  | Passes.Pass_error m -> err ("compile error: " ^ m)
-  | Executive.Executive_error m -> err ("executive error: " ^ m)
-  | Failure m | Invalid_argument m -> err m
+  let resp =
+    try
+      match req with
+      | Compile { app; src; frames; optimize } ->
+          let _, fields, cache = compile_fields cfg ~app ~src ~frames ~optimize in
+          cache_taken := Some cache;
+          timed "compile" fields
+      | Run { app; src; frames; optimize; procs; strategy } ->
+          let compiled, fields, cache =
+            compile_fields cfg ~app ~src ~frames ~optimize
+          in
+          cache_taken := Some cache;
+          let input = cfg.input_of app in
+          let result =
+            Pipeline.execute ?input ~strategy compiled (cfg.arch_of procs)
+          in
+          timed "run"
+            (fields
+            @ [
+                ("value", Json.Str (Skel.Value.to_string result.Executive.value));
+                ("frames", num (List.length result.Executive.outputs));
+                ( "messages",
+                  num result.Executive.stats.Machine.Sim.messages );
+              ])
+      | Stats -> timed "stats" (stats_fields s)
+      | Metrics_dump ->
+          sync_store s;
+          timed "metrics" [ ("exposition", Json.Str (Metrics.to_prometheus s.reg)) ]
+      | Shutdown -> timed "shutdown" []
+    with
+    | Passes.Pass_error m -> err ("compile error: " ^ m)
+    | Executive.Executive_error m -> err ("executive error: " ^ m)
+    | Failure m | Invalid_argument m -> err m
+  in
+  let is_ok =
+    match Json.member "status" resp with Some (Json.Str "ok") -> true | _ -> false
+  in
+  {
+    resp;
+    out_op = op_name req;
+    out_ok = is_ok;
+    out_wall = Unix.gettimeofday () -. t0;
+    out_cache =
+      Option.map
+        (fun c ->
+          let h, m = Passes.cache_stats c in
+          (h, m, Passes.store_hits c))
+        !cache_taken;
+  }
 
-let is_error r =
-  match Json.member "status" r with Some (Json.Str "error") -> true | _ -> false
+let latency_hist s op =
+  Metrics.histogram s.reg
+    ~help:"Request handling latency by op, seconds"
+    ~labels:[ ("op", op) ] "skipper_serve_request_seconds"
+
+(* Dispatcher-side accounting for one finished request. *)
+let account s ~req_id (o : outcome) =
+  Metrics.observe (latency_hist s o.out_op) o.out_wall;
+  if not o.out_ok then begin
+    s.errors <- s.errors + 1;
+    Metrics.incr s.c_errors
+  end;
+  Option.iter
+    (fun (h, m, sh) ->
+      Metrics.add s.c_cache_hits h;
+      Metrics.add s.c_cache_misses m;
+      Metrics.add s.c_cache_store_hits sh)
+    o.out_cache;
+  Log.info s.cfg.log ~req:req_id
+    ~fields:
+      [
+        ("op", Json.Str o.out_op);
+        ("status", Json.Str (if o.out_ok then "ok" else "error"));
+        ("wall_ms", Json.Num (o.out_wall *. 1e3));
+      ]
+    "request"
+
+(* Lay the batch's per-request spans on the unified timeline, one lane per
+   pool domain, times relative to daemon start — the daemon counterpart of
+   [Skipper_trace.Pool.emit]. *)
+let emit_spans s ~t0 ~ids ~ops (stats : Support.Domain_pool.stats) =
+  match s.cfg.timeline with
+  | None -> ()
+  | Some tl ->
+      let off = t0 -. s.start_s in
+      List.iter
+        (fun (sp : Support.Domain_pool.span) ->
+          let id = List.nth_opt ids sp.Support.Domain_pool.job in
+          let op = List.nth_opt ops sp.Support.Domain_pool.job in
+          Event.span tl
+            ~lane:(Event.pool_lane sp.Support.Domain_pool.domain)
+            ~cat:"serve"
+            ~args:
+              [
+                ("req", Event.Str (Option.value id ~default:"?"));
+                ("op", Event.Str (Option.value op ~default:"?"));
+              ]
+            ~name:
+              (Printf.sprintf "%s:%s"
+                 (Option.value id ~default:"?")
+                 (Option.value op ~default:"?"))
+            ~time:(off +. sp.Support.Domain_pool.start_s)
+            ~dur:
+              (sp.Support.Domain_pool.finish_s
+              -. sp.Support.Domain_pool.start_s)
+            ())
+        stats.Support.Domain_pool.spans
 
 (* One frame = one batch. Requests are independent, so they are farmed on
    the domain pool; responses come back in request order (Domain_pool's
    submit-order guarantee), which is the protocol's pairing rule. *)
-let handle_batch cfg state payload =
+let handle_batch s ~client payload =
   match Json.parse payload with
-  | Error m -> ([ err ("bad request: " ^ m) ], false)
+  | Error m ->
+      s.batches <- s.batches + 1;
+      Metrics.incr s.c_batches;
+      Log.warn s.cfg.log
+        ~fields:[ ("client", Json.Str client); ("error", Json.Str m) ]
+        "bad_batch";
+      ([ err ("bad request: " ^ m) ], false)
   | Ok json ->
       let reqs =
         match Option.bind (Json.member "requests" json) Json.to_list with
@@ -217,22 +470,66 @@ let handle_batch cfg state payload =
         | None -> [ json ] (* a bare request is a batch of one *)
       in
       let parsed = List.map parse_request reqs in
-      state.batches <- state.batches + 1;
-      state.requests <- state.requests + List.length reqs;
-      let responses =
-        Support.Domain_pool.run ~jobs:cfg.jobs
+      let ids =
+        List.map
+          (fun _ ->
+            let id = Printf.sprintf "r%d" s.next_req in
+            s.next_req <- s.next_req + 1;
+            id)
+          parsed
+      in
+      let ops =
+        List.map
+          (function Ok r -> op_name r | Error _ -> "invalid")
+          parsed
+      in
+      s.batches <- s.batches + 1;
+      s.requests <- s.requests + List.length reqs;
+      Metrics.incr s.c_batches;
+      Metrics.add s.c_requests (List.length reqs);
+      Log.debug s.cfg.log
+        ~fields:
+          [
+            ("client", Json.Str client);
+            ("requests", num (List.length reqs));
+            ("ids", Json.Arr (List.map (fun i -> Json.Str i) ids));
+          ]
+        "batch_parsed";
+      Metrics.set_gauge s.g_queue (float_of_int (List.length reqs));
+      let t0 = Unix.gettimeofday () in
+      let outcomes, pool_stats =
+        Support.Domain_pool.run_stats ~jobs:s.cfg.jobs
           (List.map
              (fun p () ->
                match p with
-               | Error m -> err m
-               | Ok req -> handle_request cfg state req)
+               | Error m ->
+                   let t = Unix.gettimeofday () in
+                   {
+                     resp = err m;
+                     out_op = "invalid";
+                     out_ok = false;
+                     out_wall = Unix.gettimeofday () -. t;
+                     out_cache = None;
+                   }
+               | Ok req -> handle_request s req)
              parsed)
       in
-      state.errors <- state.errors + List.length (List.filter is_error responses);
+      Metrics.set_gauge s.g_queue 0.0;
+      List.iter2 (fun id o -> account s ~req_id:id o) ids outcomes;
+      let domains = pool_stats.Support.Domain_pool.domains in
+      for d = 0 to domains - 1 do
+        Metrics.add_gauge
+          (Metrics.gauge s.reg
+             ~help:"Cumulative busy seconds per pool domain"
+             ~labels:[ ("domain", string_of_int d) ]
+             "skipper_serve_domain_busy_seconds")
+          pool_stats.Support.Domain_pool.busy_s.(d)
+      done;
+      emit_spans s ~t0 ~ids ~ops pool_stats;
       let shutdown =
         List.exists (function Ok Shutdown -> true | _ -> false) parsed
       in
-      (responses, shutdown)
+      (List.map (fun o -> o.resp) outcomes, shutdown)
 
 (* ------------------------------------------------------------------ *)
 (* Server loop                                                         *)
@@ -240,21 +537,38 @@ let handle_batch cfg state payload =
 let serve cfg ~socket () =
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let state = { requests = 0; batches = 0; errors = 0 } in
+  let s = make_server cfg in
+  (* clients carry a stable id for the log ("c0", "c1", ...) *)
   let clients = ref [] in
+  let next_client = ref 0 in
   let close_quietly c = try Unix.close c with Unix.Unix_error _ -> () in
-  let drop client =
-    clients := List.filter (fun c -> c <> client) !clients;
+  let client_id c =
+    match List.assq_opt c !clients with Some id -> id | None -> "c?"
+  in
+  let set_clients () =
+    s.nclients <- List.length !clients;
+    Metrics.set_gauge s.g_clients (float_of_int s.nclients)
+  in
+  let drop ?(reason = "eof") client =
+    Log.info cfg.log
+      ~fields:
+        [ ("client", Json.Str (client_id client)); ("reason", Json.Str reason) ]
+      "client_disconnected";
+    clients := List.filter (fun (c, _) -> c != client) !clients;
+    set_clients ();
     close_quietly client
   in
   Fun.protect
     ~finally:(fun () ->
-      List.iter close_quietly !clients;
+      List.iter (fun (c, _) -> close_quietly c) !clients;
       Unix.close fd;
       try Unix.unlink socket with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.bind fd (Unix.ADDR_UNIX socket);
       Unix.listen fd 16;
+      Log.info cfg.log
+        ~fields:[ ("socket", Json.Str socket); ("jobs", num cfg.jobs) ]
+        "listening";
       let stop = ref false in
       (* The listener and every connected client are polled together with
          select, and each readable client is served one frame per round.
@@ -263,31 +577,99 @@ let serve cfg ~socket () =
          occupies the server. Connection order still decides nothing;
          frame arrival order does. *)
       while not !stop do
-        match Unix.select (fd :: !clients) [] [] (-1.0) with
+        match Unix.select (fd :: List.map fst !clients) [] [] (-1.0) with
         | exception Unix.Unix_error (EINTR, _, _) -> ()
         | readable, _, _ ->
             List.iter
               (fun r ->
                 if r = fd then begin
                   let client, _ = Unix.accept fd in
-                  clients := !clients @ [ client ]
+                  let id = Printf.sprintf "c%d" !next_client in
+                  incr next_client;
+                  clients := !clients @ [ (client, id) ];
+                  set_clients ();
+                  Log.info cfg.log
+                    ~fields:[ ("client", Json.Str id) ]
+                    "client_connected"
                 end
                 else if not !stop then
-                  match
-                    let frame = read_frame r in
-                    let responses, shutdown = handle_batch cfg state frame in
-                    write_frame r
-                      (Json.to_string
-                         (Json.Obj [ ("responses", Json.Arr responses) ]));
-                    shutdown
-                  with
-                  | shutdown -> if shutdown then stop := true
-                  | exception End_of_file -> drop r
-                  | exception Protocol_error _ -> drop r
-                  | exception Unix.Unix_error _ -> drop r)
+                  let id = client_id r in
+                  match recv r with
+                  | Closed -> drop r
+                  | Aborted reason ->
+                      s.aborted <- s.aborted + 1;
+                      Metrics.incr s.c_aborted;
+                      Log.warn cfg.log
+                        ~fields:
+                          [
+                            ("client", Json.Str id);
+                            ("reason", Json.Str reason);
+                          ]
+                        "aborted_frame";
+                      drop ~reason:"aborted_frame" r
+                  | exception Protocol_error m ->
+                      Log.warn cfg.log
+                        ~fields:
+                          [ ("client", Json.Str id); ("error", Json.Str m) ]
+                        "protocol_error";
+                      drop ~reason:"protocol_error" r
+                  | exception Unix.Unix_error (e, _, _) ->
+                      Log.warn cfg.log
+                        ~fields:
+                          [
+                            ("client", Json.Str id);
+                            ("error", Json.Str (Unix.error_message e));
+                          ]
+                        "client_io_error";
+                      drop ~reason:"io_error" r
+                  | Frame frame -> (
+                      Metrics.add s.c_bytes_read (4 + String.length frame);
+                      Log.debug cfg.log
+                        ~fields:
+                          [
+                            ("client", Json.Str id);
+                            ("bytes", num (String.length frame));
+                          ]
+                        "batch_accepted";
+                      let t0 = Unix.gettimeofday () in
+                      match
+                        let responses, shutdown = handle_batch s ~client:id frame in
+                        let reply =
+                          Json.to_string
+                            (Json.Obj [ ("responses", Json.Arr responses) ])
+                        in
+                        write_frame r reply;
+                        Metrics.add s.c_bytes_written (4 + String.length reply);
+                        Log.debug cfg.log
+                          ~fields:
+                            [
+                              ("client", Json.Str id);
+                              ("bytes", num (String.length reply));
+                              ( "wall_ms",
+                                Json.Num ((Unix.gettimeofday () -. t0) *. 1e3)
+                              );
+                            ]
+                          "batch_replied";
+                        shutdown
+                      with
+                      | shutdown -> if shutdown then stop := true
+                      | exception Unix.Unix_error (e, _, _) ->
+                          Log.warn cfg.log
+                            ~fields:
+                              [
+                                ("client", Json.Str id);
+                                ("error", Json.Str (Unix.error_message e));
+                              ]
+                            "client_io_error";
+                          drop ~reason:"io_error" r))
               readable
-      done);
-  state.requests
+      done;
+      sync_store s;
+      Log.info cfg.log
+        ~fields:
+          [ ("requests", num s.requests); ("uptime_s", Json.Num (uptime_s s)) ]
+        "shutdown");
+  s.requests
 
 (* ------------------------------------------------------------------ *)
 (* Client                                                              *)
@@ -350,4 +732,122 @@ let req_run ?(frames = 1) ?(optimize = false) ?(strategy = "canonical") ~procs
     ]
 
 let req_stats = Json.Obj [ ("op", Json.Str "stats") ]
+let req_metrics = Json.Obj [ ("op", Json.Str "metrics") ]
 let req_shutdown = Json.Obj [ ("op", Json.Str "shutdown") ]
+
+(* ------------------------------------------------------------------ *)
+(* The `skipperc top` view                                             *)
+
+(* Renders a stats response (the ok/"op":"stats" object) as a one-screen
+   text dashboard. Pure function of the JSON, so it is unit-testable and
+   `skipperc top` is a thin fetch-and-print loop around it. *)
+let render_top stats =
+  let buf = Buffer.create 1024 in
+  let fnum j k = match Option.bind (Json.member k j) Json.to_float with
+    | Some f -> f
+    | None -> 0.0
+  in
+  let inum j k = int_of_float (fnum j k) in
+  let uptime = fnum stats "uptime_s" in
+  let requests = inum stats "requests" in
+  let rate = if uptime > 0.0 then float_of_int requests /. uptime else 0.0 in
+  Buffer.add_string buf
+    (Printf.sprintf "skipperc serve — up %.1fs, %d client(s)\n" uptime
+       (inum stats "clients"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "requests %d (%.1f/s)   batches %d   errors %d   aborted frames %d\n"
+       requests rate (inum stats "batches") (inum stats "errors")
+       (inum stats "aborted_frames"));
+  let metrics =
+    Option.value (Json.member "metrics" stats) ~default:(Json.Obj [])
+  in
+  let section k =
+    match Option.bind (Json.member k metrics) Json.to_list with
+    | Some l -> l
+    | None -> []
+  in
+  let counter_value name =
+    List.fold_left
+      (fun acc j ->
+        match Option.bind (Json.member "name" j) Json.to_str with
+        | Some n when n = name -> int_of_float (fnum j "value")
+        | _ -> acc)
+      0 (section "counters")
+  in
+  let ch = counter_value "skipper_serve_cache_hits_total" in
+  let cm = counter_value "skipper_serve_cache_misses_total" in
+  let csh = counter_value "skipper_serve_cache_store_hits_total" in
+  let ratio =
+    if ch + cm > 0 then 100.0 *. float_of_int ch /. float_of_int (ch + cm)
+    else 0.0
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "cache: hits %d   misses %d   store hits %d   hit ratio %.1f%%\n" ch cm
+       csh ratio);
+  (match Json.member "store" stats with
+  | Some (Json.Obj _ as st) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "store: hits %d   absent %d   corrupt %d   stale %d   writes %d   evictions %d\n"
+           (inum st "hits") (inum st "absent") (inum st "corrupt")
+           (inum st "stamp_mismatch") (inum st "writes") (inum st "evictions"))
+  | _ -> ());
+  let hists =
+    List.filter
+      (fun j ->
+        match Option.bind (Json.member "name" j) Json.to_str with
+        | Some "skipper_serve_request_seconds" -> true
+        | _ -> false)
+      (section "histograms")
+  in
+  if hists <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-10s %8s %10s %10s %10s\n" "op" "count" "p50_ms"
+         "p95_ms" "p99_ms");
+    List.iter
+      (fun h ->
+        let op =
+          match
+            Option.bind (Json.member "labels" h) (Json.member "op")
+            |> Fun.flip Option.bind Json.to_str
+          with
+          | Some o -> o
+          | None -> "?"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-10s %8d %10.2f %10.2f %10.2f\n" op
+             (inum h "count")
+             (fnum h "p50" *. 1e3)
+             (fnum h "p95" *. 1e3)
+             (fnum h "p99" *. 1e3)))
+      hists
+  end;
+  let busy =
+    List.filter_map
+      (fun j ->
+        match Option.bind (Json.member "name" j) Json.to_str with
+        | Some "skipper_serve_domain_busy_seconds" ->
+            let d =
+              match
+                Option.bind (Json.member "labels" j) (Json.member "domain")
+                |> Fun.flip Option.bind Json.to_str
+              with
+              | Some d -> d
+              | None -> "?"
+            in
+            Some (d, fnum j "value")
+        | _ -> None)
+      (section "gauges")
+  in
+  if busy <> [] && uptime > 0.0 then begin
+    Buffer.add_string buf "domains:";
+    List.iter
+      (fun (d, b) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  d%s %.1f%%" d (100.0 *. b /. uptime)))
+      busy;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf

@@ -11,9 +11,10 @@
       request object is accepted as a batch of one);
     - the server replies with one frame [{"responses": [...]}], responses
       in request order;
-    - request ops: ["compile"], ["run"], ["stats"], ["shutdown"]. Compile
-      and run carry [app] (names the function table) and [src] (the source
-      text) plus optional [frames]/[optimize]/[procs]/[strategy].
+    - request ops: ["compile"], ["run"], ["stats"], ["metrics"],
+      ["shutdown"]. Compile and run carry [app] (names the function table)
+      and [src] (the source text) plus optional
+      [frames]/[optimize]/[procs]/[strategy].
 
     Requests within a batch are independent, so the server farms them on
     {!Support.Domain_pool} ([config.jobs] workers); each request compiles
@@ -23,6 +24,31 @@
     [{"status": "error"}] response; it never takes the batch or the server
     down.
 
+    {2 Observability}
+
+    The daemon is fully instrumented:
+    - every request gets an id ([r0], [r1], ...) and a structured
+      {!Support.Log} record (level [info], event ["request"], fields
+      op/status/wall_ms), with batch- and connection-lifecycle records
+      around it at [debug]/[info]/[warn];
+    - a {!Support.Metrics} registry carries request/error/batch/byte
+      counters, client and queue-depth gauges, per-op latency histograms
+      ([skipper_serve_request_seconds{op=...}], sharing
+      {!Support.Histogram}'s buckets with the windowed series), per-domain
+      cumulative busy seconds, pass-cache counters, the
+      [skipper_serve_aborted_frames] count of clients vanishing mid-frame,
+      and — mirrored at snapshot time — every {!Support.Store} counter;
+    - with a [timeline], each request lands as a span on its pool domain's
+      lane ({!Skipper_trace.Event.pool_lane}), times relative to daemon
+      start, like {!Skipper_trace.Pool.emit} does for sweeps.
+
+    Workers return pure outcomes; the dispatching domain applies all log,
+    registry and timeline updates in submit order. Under a pinned log clock
+    the daemon's log bytes and histogram contents are therefore identical
+    at any [--jobs] level. A [stats] or [metrics] request observes the
+    totals as of the {e previous} batch plus the current batch's arrival
+    counts — a batch does not see its own latency observations.
+
     The library stays application-agnostic: callers inject how an [app]
     name maps to a function table and an input value, and how a processor
     count maps to an architecture. *)
@@ -30,7 +56,9 @@
 exception Protocol_error of string
 (** Malformed framing (oversized or negative length). Malformed JSON or
     requests inside a well-framed batch produce error {e responses}
-    instead. *)
+    instead. A client that disconnects mid-frame is not a protocol error:
+    the server logs it, bumps [skipper_serve_aborted_frames] and keeps
+    serving everyone else. *)
 
 type config = {
   table_of : string -> Skel.Funtable.t;
@@ -41,6 +69,13 @@ type config = {
   arch_of : int -> Archi.t;  (** architecture for a [run] at [procs] *)
   store : Support.Store.t option;  (** shared across all requests *)
   jobs : int;  (** domain-pool width for batch requests *)
+  log : Support.Log.t;  (** structured log; [Support.Log.null] to disable *)
+  metrics : Support.Metrics.t option;
+      (** registry to instrument; [None] uses a private one (still served
+          by [stats]/[metrics] requests, but not visible to the caller
+          after {!serve} returns) *)
+  timeline : Skipper_trace.Event.timeline option;
+      (** unified timeline for per-request pool spans *)
 }
 
 type request =
@@ -54,6 +89,12 @@ type request =
       strategy : string;
     }
   | Stats
+      (** Deep snapshot: request/batch/error/aborted-frame counts, uptime,
+          client count, the shared store's full counters and the whole
+          registry as JSON ({!Support.Metrics.json}). *)
+  | Metrics_dump
+      (** The registry as a Prometheus text exposition, in the response's
+          ["exposition"] field. *)
   | Shutdown
 
 val parse_request : Support.Json.t -> (request, string) result
@@ -64,7 +105,15 @@ val serve : config -> socket:string -> unit -> int
     Connected clients are multiplexed with [select] — an idle client never
     blocks another client's connection or requests; one frame is handled at
     a time, in arrival order. The socket file is removed on exit, also on
-    exceptions. *)
+    exceptions. Store counters are mirrored into the registry one last time
+    before returning, so a caller-supplied [config.metrics] is
+    scrape-ready after shutdown. *)
+
+val render_top : Support.Json.t -> string
+(** Renders a [stats] response as the one-screen [skipperc top] dashboard:
+    uptime, request rate, error/aborted counts, cache hit ratio, store
+    counters, per-op latency quantiles and per-domain busy fractions. Pure
+    function of the JSON (tested without a daemon). *)
 
 (** {1 Client side} *)
 
@@ -91,4 +140,5 @@ val req_run :
   Support.Json.t
 
 val req_stats : Support.Json.t
+val req_metrics : Support.Json.t
 val req_shutdown : Support.Json.t

@@ -15,10 +15,14 @@ let magic = "SKIPSTORE1"
 
 type counters = {
   hits : int;
-  misses : int;
-  writes : int;
+  misses : int;  (** [absent + corrupt + stamp_mismatch] *)
+  absent : int;
   corrupt : int;  (** entries present but unreadable (treated as misses) *)
+  stamp_mismatch : int;  (** well-formed entries written under another stamp *)
+  writes : int;
   evictions : int;
+  bytes_read : int;  (** payload bytes returned by hits *)
+  bytes_written : int;  (** payload bytes stored by writes *)
 }
 
 type t = {
@@ -26,10 +30,13 @@ type t = {
   stamp : string;
   limit_bytes : int option;
   hits : int Atomic.t;
-  misses : int Atomic.t;
+  absent : int Atomic.t;
   writes : int Atomic.t;
   corrupt : int Atomic.t;
+  stamp_mismatch : int Atomic.t;
   evictions : int Atomic.t;
+  bytes_read : int Atomic.t;
+  bytes_written : int Atomic.t;
 }
 
 let default_dir () =
@@ -58,10 +65,13 @@ let open_store ?dir ?(stamp = "skipper-store-v1") ?limit_bytes () =
       stamp;
       limit_bytes;
       hits = Atomic.make 0;
-      misses = Atomic.make 0;
+      absent = Atomic.make 0;
       writes = Atomic.make 0;
       corrupt = Atomic.make 0;
+      stamp_mismatch = Atomic.make 0;
       evictions = Atomic.make 0;
+      bytes_read = Atomic.make 0;
+      bytes_written = Atomic.make 0;
     }
   in
   mkdir_p (objects_dir t);
@@ -72,18 +82,34 @@ let dir t = t.dir
 let stamp t = t.stamp
 
 let counters t =
+  let absent = Atomic.get t.absent in
+  let corrupt = Atomic.get t.corrupt in
+  let stamp_mismatch = Atomic.get t.stamp_mismatch in
   {
     hits = Atomic.get t.hits;
-    misses = Atomic.get t.misses;
+    misses = absent + corrupt + stamp_mismatch;
+    absent;
+    corrupt;
+    stamp_mismatch;
     writes = Atomic.get t.writes;
-    corrupt = Atomic.get t.corrupt;
     evictions = Atomic.get t.evictions;
+    bytes_read = Atomic.get t.bytes_read;
+    bytes_written = Atomic.get t.bytes_written;
   }
 
 let reset_counters t =
   List.iter
     (fun c -> Atomic.set c 0)
-    [ t.hits; t.misses; t.writes; t.corrupt; t.evictions ]
+    [
+      t.hits;
+      t.absent;
+      t.writes;
+      t.corrupt;
+      t.stamp_mismatch;
+      t.evictions;
+      t.bytes_read;
+      t.bytes_written;
+    ]
 
 (* Keys are hashed into the file name (two-level fan-out), so arbitrary key
    strings work and directories stay small. *)
@@ -161,12 +187,17 @@ let put t ~key payload =
       Out_channel.output_string oc (render_entry t ~key payload));
   Unix.rename tmp target;
   Atomic.incr t.writes;
+  ignore (Atomic.fetch_and_add t.bytes_written (String.length payload));
   Option.iter (evict_over_limit t) t.limit_bytes
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
 
 exception Bad_entry
+exception Stale_entry
+(* [Stale_entry]: magic line fine but the stamp differs — a well-formed
+   entry from another format generation, worth counting apart from real
+   corruption when deciding whether a cache is damaged or merely old. *)
 
 let read_entry t ~key path =
   In_channel.with_open_bin path (fun ic ->
@@ -187,7 +218,7 @@ let read_entry t ~key path =
         | None -> raise Bad_entry
       in
       if line () <> magic then raise Bad_entry;
-      if line () <> t.stamp then raise Bad_entry;
+      if line () <> t.stamp then raise Stale_entry;
       let klen = int_line () in
       if exact klen <> key then raise Bad_entry;
       if exact 1 <> "\n" then raise Bad_entry;
@@ -202,18 +233,21 @@ let read_entry t ~key path =
 let get t ~key =
   let path = entry_path t ~key in
   if not (Sys.file_exists path) then begin
-    Atomic.incr t.misses;
+    Atomic.incr t.absent;
     None
   end
   else
     match read_entry t ~key path with
     | payload ->
         Atomic.incr t.hits;
+        ignore (Atomic.fetch_and_add t.bytes_read (String.length payload));
         Some payload
+    | exception Stale_entry ->
+        Atomic.incr t.stamp_mismatch;
+        None
     | exception _ ->
         (* a bad entry is a miss, never a crash *)
         Atomic.incr t.corrupt;
-        Atomic.incr t.misses;
         None
 
 let mem t ~key = Sys.file_exists (entry_path t ~key)

@@ -29,10 +29,16 @@ type t
 
 type counters = {
   hits : int;
-  misses : int;  (** includes corrupt entries *)
-  writes : int;
+  misses : int;  (** by construction [absent + corrupt + stamp_mismatch] *)
+  absent : int;  (** lookups that found no entry file at all *)
   corrupt : int;  (** entries present but unreadable *)
+  stamp_mismatch : int;
+      (** well-formed entries written under a different format stamp —
+          orphaned by a stamp bump, not damaged *)
+  writes : int;
   evictions : int;
+  bytes_read : int;  (** payload bytes returned by hits *)
+  bytes_written : int;  (** payload bytes stored by writes *)
 }
 
 val open_store :

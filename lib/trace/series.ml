@@ -3,93 +3,10 @@
    deterministic function of the simulated run, and (b) windows built from a
    window-partition of the observation stream merge back byte-identically. *)
 
-module Hist = struct
-  (* Geometric buckets, ratio 2^(1/8), from 1 microsecond. 2^(1/8) is
-     computed by three correctly-rounded square roots — no [log]/[Float.pow],
-     whose last bits vary across libm implementations and would break the
-     cross-platform byte-identity of bucket assignment. *)
-  let ratio = sqrt (sqrt (sqrt 2.0))
-  let lowest = 1e-6
-  let nbuckets = 248 (* 31 octaves above 1 us: covers ~2000 s *)
-
-  let bounds =
-    let b = Array.make nbuckets lowest in
-    for i = 1 to nbuckets - 1 do
-      b.(i) <- b.(i - 1) *. ratio
-    done;
-    b
-
-  type t = {
-    counts : int array; (* one slot per bound; last slot absorbs overflow *)
-    mutable n : int;
-    mutable total : float; (* exact sum of samples, not bucket-quantised *)
-  }
-
-  let create () = { counts = Array.make nbuckets 0; n = 0; total = 0.0 }
-
-  (* Smallest bucket whose upper bound contains [v] (v <= bounds.(i));
-     values at or below the lowest bound land in bucket 0, values beyond
-     the last bound clamp into it. *)
-  let bucket_of v =
-    if v <= bounds.(0) then 0
-    else if v > bounds.(nbuckets - 1) then nbuckets - 1
-    else begin
-      let lo = ref 0 and hi = ref (nbuckets - 1) in
-      (* invariant: bounds.(lo) < v <= bounds.(hi) *)
-      while !hi - !lo > 1 do
-        let mid = (!lo + !hi) / 2 in
-        if v <= bounds.(mid) then hi := mid else lo := mid
-      done;
-      !hi
-    end
-
-  let add t v =
-    let v = Float.max v 0.0 in
-    let b = bucket_of v in
-    t.counts.(b) <- t.counts.(b) + 1;
-    t.n <- t.n + 1;
-    t.total <- t.total +. v
-
-  let merge a b =
-    let t = create () in
-    for i = 0 to nbuckets - 1 do
-      t.counts.(i) <- a.counts.(i) + b.counts.(i)
-    done;
-    t.n <- a.n + b.n;
-    t.total <- a.total +. b.total;
-    t
-
-  let count t = t.n
-  let sum t = t.total
-  let mean t = if t.n = 0 then 0.0 else t.total /. float_of_int t.n
-
-  let quantile t q =
-    if t.n = 0 then 0.0
-    else begin
-      let rank =
-        max 1 (int_of_float (Float.ceil (q *. float_of_int t.n)))
-      in
-      let rank = min rank t.n in
-      let seen = ref 0 and result = ref bounds.(nbuckets - 1) in
-      (try
-         for i = 0 to nbuckets - 1 do
-           seen := !seen + t.counts.(i);
-           if !seen >= rank then begin
-             result := bounds.(i);
-             raise Exit
-           end
-         done
-       with Exit -> ());
-      !result
-    end
-
-  let buckets t =
-    let acc = ref [] in
-    for i = nbuckets - 1 downto 0 do
-      if t.counts.(i) > 0 then acc := (bounds.(i), t.counts.(i)) :: !acc
-    done;
-    !acc
-end
+(* The histogram implementation moved to [Support.Histogram] so the daemon
+   metrics registry shares the very same buckets; the alias keeps every
+   existing [Series.Hist] caller and the byte-identity of all exports. *)
+module Hist = Support.Histogram
 
 type window = {
   index : int;

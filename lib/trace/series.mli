@@ -16,38 +16,12 @@
     very bytes of a single build (the window-merge invariant pinned in
     [test_series]). *)
 
-(** Mergeable log-bucketed latency histogram.
-
-    Buckets are geometric with ratio [2^(1/8)] (eight per octave, ≤ 9%
-    relative resolution) from 1 µs upward; every bound is derived by IEEE
-    multiplication from the base, so bucket assignment is deterministic
-    across platforms. [merge] adds counts bucket-wise — it is associative
-    and commutative, which is what lets per-window histograms from
-    partitioned streams combine exactly. *)
-module Hist : sig
-  type t
-
-  val create : unit -> t
-  val add : t -> float -> unit
-  val merge : t -> t -> t
-  (** Fresh histogram holding both operands' samples. *)
-
-  val count : t -> int
-  val sum : t -> float
-  (** Exact sum of the samples (not bucket-quantised). *)
-
-  val mean : t -> float
-  (** [sum / count]; [0.0] when empty. *)
-
-  val quantile : t -> float -> float
-  (** Nearest-rank quantile ([rank = max 1 (ceil (q * count))]) reported as
-      the containing bucket's upper bound — conservative by at most one
-      bucket ratio. [0.0] when empty. *)
-
-  val buckets : t -> (float * int) list
-  (** Non-empty buckets as (upper bound seconds, count), ascending —
-      Prometheus [le] semantics. *)
-end
+module Hist = Support.Histogram
+(** Mergeable log-bucketed latency histogram — an alias of
+    {!Support.Histogram}, which the daemon metrics registry
+    ({!Support.Metrics}) shares, so series exports and daemon expositions
+    are bucket-for-bucket comparable. See {!Support.Histogram} for the
+    bucket layout and determinism guarantees. *)
 
 type window = {
   index : int;

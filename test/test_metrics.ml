@@ -1,0 +1,278 @@
+(* Tests for the daemon observability primitives: the metrics registry
+   (domain-safe counters/gauges/histograms, deterministic snapshots, the
+   Prometheus exposition) and the structured JSONL logger (levels, pinned
+   clocks, atomic sequence numbering under concurrent writers). The two
+   concurrency properties the daemon leans on are pinned by qcheck: no
+   increment is ever lost across an 8-domain pool, and a histogram fed
+   from many domains exposes byte-identical text to a single-domain build
+   of the same samples. *)
+
+module Metrics = Support.Metrics
+module Histogram = Support.Histogram
+module Log = Support.Log
+module Json = Support.Json
+module Pool = Support.Domain_pool
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Registry basics                                                     *)
+
+let test_registry_basics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~help:"a counter" "requests_total" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter accumulates" 5 (Metrics.value c);
+  (* registration is idempotent: same (name, labels) is the same cell *)
+  let c' = Metrics.counter reg "requests_total" in
+  Metrics.incr c';
+  Alcotest.(check int) "re-registration aliases" 6 (Metrics.value c);
+  (* distinct labels are distinct cells *)
+  let cl = Metrics.counter reg ~labels:[ ("op", "run") ] "requests_total" in
+  Metrics.incr cl;
+  Alcotest.(check int) "labelled sibling independent" 6 (Metrics.value c);
+  Alcotest.(check int) "labelled cell counted" 1 (Metrics.value cl);
+  let g = Metrics.gauge reg "depth" in
+  Metrics.set_gauge g 2.0;
+  Metrics.add_gauge g 1.5;
+  Alcotest.(check (float 1e-9)) "gauge arithmetic" 3.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram reg "latency_seconds" in
+  Metrics.observe h 0.001;
+  Metrics.observe h 0.002;
+  Alcotest.(check int) "histogram count" 2
+    (Histogram.count (Metrics.snapshot h));
+  (* asking for an existing name as another kind is a programming error *)
+  (match Metrics.gauge reg "requests_total" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind conflict must raise")
+
+let test_exposition_format () =
+  let reg = Metrics.create () in
+  (* register in an order that sorting must undo *)
+  let z = Metrics.counter reg ~help:"last by name" "z_total" in
+  Metrics.add z 7;
+  let h = Metrics.histogram reg ~labels:[ ("op", "compile") ] "lat_seconds" in
+  Metrics.observe h 0.5;
+  let g = Metrics.gauge reg "clients" in
+  Metrics.set_gauge g 2.0;
+  let text = Metrics.to_prometheus reg in
+  Alcotest.(check bool) "help line" true (contains text "# HELP z_total last by name\n");
+  Alcotest.(check bool) "counter type" true (contains text "# TYPE z_total counter\n");
+  Alcotest.(check bool) "counter value" true (contains text "z_total 7\n");
+  Alcotest.(check bool) "gauge rendered" true
+    (contains text "clients 2.000000000\n");
+  Alcotest.(check bool) "histogram sum" true
+    (contains text "lat_seconds_sum{op=\"compile\"} 0.500000000\n");
+  Alcotest.(check bool) "histogram count" true
+    (contains text "lat_seconds_count{op=\"compile\"} 1\n");
+  Alcotest.(check bool) "+Inf bucket" true
+    (contains text "_bucket{op=\"compile\",le=\"+Inf\"} 1\n");
+  (* sorted: clients before lat_seconds before z_total *)
+  let idx needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then Alcotest.failf "missing %S in exposition" needle
+      else if String.sub text i nn = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "instruments sorted by name" true
+    (idx "# TYPE clients" < idx "# TYPE lat_seconds"
+    && idx "# TYPE lat_seconds" < idx "# TYPE z_total");
+  (* json snapshot carries the same values *)
+  let j = Metrics.json reg in
+  match Option.bind (Json.member "counters" j) Json.to_list with
+  | Some [ c ] ->
+      Alcotest.(check (option (float 0.0))) "json counter value" (Some 7.0)
+        (Option.bind (Json.member "value" c) Json.to_float)
+  | _ -> Alcotest.fail "expected exactly one counter in the json snapshot"
+
+(* Two registries given the same values in different orders render the
+   same bytes. *)
+let test_snapshot_determinism () =
+  let build order =
+    let reg = Metrics.create () in
+    List.iter
+      (fun (name, v) -> Metrics.add (Metrics.counter reg name) v)
+      order;
+    Metrics.observe (Metrics.histogram reg "h_seconds") 0.25;
+    Metrics.to_prometheus reg
+  in
+  let a = build [ ("alpha", 1); ("beta", 2); ("gamma", 3) ] in
+  let b = build [ ("gamma", 3); ("alpha", 1); ("beta", 2) ] in
+  Alcotest.(check string) "exposition independent of registration order" a b
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency properties                                              *)
+
+(* No lost counts: 8 pool domains hammering one counter (and one labelled
+   sibling each) always sum exactly. *)
+let prop_no_lost_counts =
+  QCheck.Test.make ~count:20 ~name:"no counter increment lost across 8 domains"
+    QCheck.(pair (int_range 1 500) (int_range 1 8))
+    (fun (per_domain, step) ->
+      let reg = Metrics.create () in
+      let shared = Metrics.counter reg "shared_total" in
+      let domains = 8 in
+      ignore
+        (Pool.run ~jobs:domains
+           (List.init domains (fun d () ->
+                let own =
+                  Metrics.counter reg
+                    ~labels:[ ("domain", string_of_int d) ]
+                    "own_total"
+                in
+                for _ = 1 to per_domain do
+                  Metrics.incr shared;
+                  Metrics.add own step
+                done)));
+      Metrics.value shared = domains * per_domain
+      && List.for_all
+           (fun d ->
+             Metrics.value
+               (Metrics.counter reg
+                  ~labels:[ ("domain", string_of_int d) ]
+                  "own_total")
+             = per_domain * step)
+           (List.init domains Fun.id))
+
+(* Histogram exposition byte-identity: the same multiset of samples fed
+   from 8 domains and from 1 domain renders the same text. Samples are
+   dyadic rationals, so even the float sum is exact and order-free. *)
+let prop_histogram_merge_identity =
+  QCheck.Test.make ~count:20
+    ~name:"histogram exposition identical: 8-domain vs single-domain"
+    QCheck.(list_of_size (Gen.int_range 8 64) (int_range 0 4096))
+    (fun samples ->
+      let to_value i = float_of_int i /. 1024.0 in
+      let build jobs chunks =
+        let reg = Metrics.create () in
+        let h = Metrics.histogram reg ~labels:[ ("op", "x") ] "lat_seconds" in
+        ignore
+          (Pool.run ~jobs
+             (List.map
+                (fun chunk () ->
+                  List.iter (fun s -> Metrics.observe h (to_value s)) chunk)
+                chunks));
+        Metrics.to_prometheus reg
+      in
+      (* deal samples round-robin over 8 workers *)
+      let chunks = Array.make 8 [] in
+      List.iteri (fun i s -> chunks.(i mod 8) <- s :: chunks.(i mod 8)) samples;
+      let parallel = build 8 (Array.to_list chunks) in
+      let sequential = build 1 [ samples ] in
+      String.equal parallel sequential)
+
+(* ------------------------------------------------------------------ *)
+(* Structured log                                                      *)
+
+let test_log_determinism () =
+  let capture () =
+    let buf = Buffer.create 256 in
+    let log =
+      Log.create ~level:Log.Debug
+        ~clock:(fun () -> 12.5)
+        (fun l ->
+          Buffer.add_string buf l;
+          Buffer.add_char buf '\n')
+    in
+    (log, buf)
+  in
+  let log, buf = capture () in
+  Log.info log ~req:"r0" ~fields:[ ("op", Json.Str "compile") ] "request";
+  Log.warn log "aborted_frame";
+  Log.debug log ~fields:[ ("n", Json.Num 3.0) ] "batch_parsed";
+  let expected =
+    "{\"seq\":0,\"ts_s\":12.5,\"level\":\"info\",\"event\":\"request\",\"req\":\"r0\",\"op\":\"compile\"}\n"
+    ^ "{\"seq\":1,\"ts_s\":12.5,\"level\":\"warn\",\"event\":\"aborted_frame\"}\n"
+    ^ "{\"seq\":2,\"ts_s\":12.5,\"level\":\"debug\",\"event\":\"batch_parsed\",\"n\":3}\n"
+  in
+  Alcotest.(check string) "pinned clock pins the bytes" expected
+    (Buffer.contents buf);
+  Alcotest.(check int) "sequence counts emitted lines" 3 (Log.sequence log);
+  (* every line is machine-parseable *)
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun l ->
+         match Json.parse l with
+         | Ok _ -> ()
+         | Error m -> Alcotest.failf "unparseable log line (%s): %s" m l)
+
+let test_log_levels () =
+  let count = ref 0 in
+  let log = Log.create ~level:Log.Warn (fun _ -> incr count) in
+  Log.debug log "dropped";
+  Log.info log "dropped";
+  Log.warn log "kept";
+  Log.error log "kept";
+  Alcotest.(check int) "below-level records dropped" 2 !count;
+  Alcotest.(check int) "dropped records do not consume seqs" 2
+    (Log.sequence log);
+  Alcotest.(check bool) "enabled reflects the level" false
+    (Log.enabled log Log.Info);
+  Alcotest.(check bool) "null logs nothing" false
+    (Log.enabled Log.null Log.Error);
+  (match Log.level_of_string "warning" with
+  | Ok Log.Warn -> ()
+  | _ -> Alcotest.fail "\"warning\" must parse as Warn");
+  match Log.level_of_string "loud" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown level must be rejected"
+
+(* Concurrent writers: lines never tear and seqs are a permutation of
+   0..n-1 (the logger's mutex covers seq assignment and the sink call). *)
+let test_log_concurrent_writers () =
+  let lines = ref [] in
+  let log = Log.create ~level:Log.Info (fun l -> lines := l :: !lines) in
+  let domains = 8 and per_domain = 100 in
+  ignore
+    (Pool.run ~jobs:domains
+       (List.init domains (fun d () ->
+            for i = 1 to per_domain do
+              Log.info log
+                ~fields:[ ("d", Json.Num (float_of_int d)) ]
+                (Printf.sprintf "w%d" i)
+            done)));
+  let seqs =
+    List.map
+      (fun l ->
+        match Json.parse l with
+        | Ok j -> (
+            match Option.bind (Json.member "seq" j) Json.to_float with
+            | Some f -> int_of_float f
+            | None -> Alcotest.failf "line without seq: %s" l)
+        | Error m -> Alcotest.failf "torn line (%s): %s" m l)
+      !lines
+  in
+  let n = domains * per_domain in
+  Alcotest.(check int) "every line landed" n (List.length seqs);
+  Alcotest.(check (list int)) "seqs are a permutation of 0..n-1"
+    (List.init n Fun.id)
+    (List.sort compare seqs)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "basics" `Quick test_registry_basics;
+          Alcotest.test_case "exposition format" `Quick test_exposition_format;
+          Alcotest.test_case "snapshot determinism" `Quick
+            test_snapshot_determinism;
+          QCheck_alcotest.to_alcotest prop_no_lost_counts;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_identity;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "pinned-clock determinism" `Quick
+            test_log_determinism;
+          Alcotest.test_case "levels" `Quick test_log_levels;
+          Alcotest.test_case "concurrent writers" `Quick
+            test_log_concurrent_writers;
+        ] );
+    ]

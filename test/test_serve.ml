@@ -72,12 +72,25 @@ let test_parse_request () =
                     procs = 8; strategy = "canonical" }) -> ()
   | _ -> Alcotest.fail "builder output must parse back"
 
+(* A capturing logger with a pinned clock: lines land in a shared list
+   (the logger's own mutex serialises the sink), readable after the server
+   domain is joined. *)
+let capture_log () =
+  let lines = ref [] in
+  let log =
+    Support.Log.create ~level:Support.Log.Debug
+      ~clock:(fun () -> 0.0)
+      (fun l -> lines := l :: !lines)
+  in
+  (log, fun () -> List.rev !lines)
+
 let test_serve_end_to_end () =
   let socket = tmp_name "skipper-test-serve.sock" in
   let store_dir = tmp_name "skipper-test-serve-store" in
   let store =
     Support.Store.open_store ~dir:store_dir ~stamp:Passes.artifact_format ()
   in
+  let log, log_lines = capture_log () in
   let cfg =
     {
       Serve.table_of = (fun _ -> simple_table ());
@@ -85,6 +98,9 @@ let test_serve_end_to_end () =
       arch_of = Archi.ring;
       store = Some store;
       jobs = 2;
+      log;
+      metrics = None;
+      timeline = None;
     }
   in
   let daemon = Domain.spawn (fun () -> Serve.serve cfg ~socket ()) in
@@ -151,12 +167,55 @@ let test_serve_end_to_end () =
       Alcotest.(check bool) "store counters exposed" true
         (numf "hits" (field "store" stats) > 0.0)
   | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  (* the deepened stats response carries the whole registry snapshot *)
+  (match call [ Serve.req_stats ] with
+  | [ stats ] ->
+      Alcotest.(check bool) "uptime exposed" true (numf "uptime_s" stats >= 0.0);
+      Alcotest.(check (float 0.0)) "no aborted frames in a clean run" 0.0
+        (numf "aborted_frames" stats);
+      let st = field "store" stats in
+      Alcotest.(check bool) "store bytes surfaced" true
+        (numf "bytes_written" st > 0.0);
+      Alcotest.(check (float 0.0)) "store misses decompose" (numf "misses" st)
+        (numf "absent" st +. numf "corrupt" st +. numf "stamp_mismatch" st);
+      let metrics = field "metrics" stats in
+      (match Json.member "histograms" metrics with
+      | Some (Json.Arr (_ :: _)) -> ()
+      | _ -> Alcotest.fail "stats must embed registry histograms")
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
   (* shutdown, then the server domain returns its request count *)
   (match call [ Serve.req_shutdown ] with
   | [ r ] -> Alcotest.(check string) "shutdown ok" "ok" (str "status" r)
   | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
   let served = Domain.join daemon in
-  Alcotest.(check int) "every request counted" 7 served
+  Alcotest.(check int) "every request counted" 8 served;
+  (* the captured log is parseable JSONL with monotonic seqs and
+     per-request ids on every "request" record *)
+  let lines = log_lines () in
+  Alcotest.(check bool) "log captured lines" true (List.length lines > 0);
+  List.iteri
+    (fun i line ->
+      match Json.parse line with
+      | Error m -> Alcotest.failf "log line %d is not JSON (%s): %s" i m line
+      | Ok j ->
+          Alcotest.(check (float 0.0))
+            "log seq matches line position" (float_of_int i) (numf "seq" j);
+          if str "event" j = "request" then
+            Alcotest.(check bool) "request record has an id" true
+              (String.length (str "req" j) > 0))
+    lines;
+  let request_lines =
+    List.filter
+      (fun l ->
+        match Json.parse l with
+        | Ok j -> (match Json.member "event" j with
+            | Some (Json.Str "request") -> true
+            | _ -> false)
+        | Error _ -> false)
+      lines
+  in
+  Alcotest.(check int) "one log record per request" served
+    (List.length request_lines)
 
 (* Regression for the one-client-at-a-time accept loop: a connected but
    idle client must not block other clients. Client A connects first and
@@ -172,6 +231,9 @@ let test_concurrent_clients () =
       arch_of = Archi.ring;
       store = None;
       jobs = 1;
+      log = Support.Log.null;
+      metrics = None;
+      timeline = None;
     }
   in
   let daemon = Domain.spawn (fun () -> Serve.serve cfg ~socket ()) in
@@ -234,6 +296,232 @@ let test_concurrent_clients () =
   let served = Domain.join daemon in
   Alcotest.(check int) "all three batches counted" 3 served
 
+(* Regression: a client vanishing mid-frame — after a partial length
+   prefix, or after a length prefix promising more payload than it sends —
+   must be logged and counted as an aborted frame, and must never take the
+   serve loop down. Under the old exception-only read path these close as
+   anonymous End_of_file drops; worse, a blocking read could wedge. *)
+let test_aborted_frames () =
+  let socket = tmp_name "skipper-test-serve-abort.sock" in
+  let log, log_lines = capture_log () in
+  let cfg =
+    {
+      Serve.table_of = (fun _ -> simple_table ());
+      input_of = (fun _ -> None);
+      arch_of = Archi.ring;
+      store = None;
+      jobs = 1;
+      log;
+      metrics = None;
+      timeline = None;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Serve.serve cfg ~socket ()) in
+  let call reqs =
+    match Serve.call ~socket reqs with
+    | Ok rs -> rs
+    | Error m -> Alcotest.failf "client call failed: %s" m
+  in
+  (* wait for the daemon before writing raw garbage at it *)
+  (match call [ Serve.req_stats ] with
+  | [ r ] -> Alcotest.(check string) "daemon up" "ok" (str "status" r)
+  | _ -> Alcotest.fail "stats before the aborts failed");
+  let raw_connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    fd
+  in
+  (* abort 1: two bytes of the four-byte length prefix, then gone *)
+  let a = raw_connect () in
+  ignore (Unix.write a (Bytes.make 2 '\001') 0 2);
+  Unix.close a;
+  (* abort 2: a header promising 64 bytes, then only 10 of them *)
+  let b = raw_connect () in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 64l;
+  ignore (Unix.write b hdr 0 4);
+  ignore (Unix.write b (Bytes.make 10 'x') 0 10);
+  Unix.close b;
+  (* the daemon keeps serving; poll stats until both aborts are counted *)
+  let rec poll n =
+    match call [ Serve.req_stats ] with
+    | [ stats ] when numf "aborted_frames" stats >= 2.0 -> stats
+    | [ _ ] when n > 0 ->
+        Unix.sleepf 0.05;
+        poll (n - 1)
+    | [ stats ] ->
+        Alcotest.failf "aborted frames never counted: %s" (Json.to_string stats)
+    | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+  in
+  let stats = poll 100 in
+  Alcotest.(check (float 0.0)) "both aborts counted" 2.0
+    (numf "aborted_frames" stats);
+  (* still compiling after the aborts *)
+  (match call [ Serve.req_compile ~frames:2 ~app:"simple" simple_src ] with
+  | [ r ] -> Alcotest.(check string) "daemon survives aborts" "ok" (str "status" r)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  ignore (call [ Serve.req_shutdown ]);
+  ignore (Domain.join daemon);
+  let aborted_logged =
+    List.filter
+      (fun l ->
+        match Json.parse l with
+        | Ok j -> (match Json.member "event" j with
+            | Some (Json.Str "aborted_frame") -> true
+            | _ -> false)
+        | Error _ -> false)
+      (log_lines ())
+  in
+  Alcotest.(check int) "both aborts logged" 2 (List.length aborted_logged)
+
+(* The metrics op: a Prometheus exposition whose per-op request histogram
+   counts exactly the requests served, plus the skipperc-top rendering of
+   the stats snapshot. *)
+let test_metrics_op () =
+  let socket = tmp_name "skipper-test-serve-metrics.sock" in
+  let cfg =
+    {
+      Serve.table_of = (fun _ -> simple_table ());
+      input_of = (fun _ -> None);
+      arch_of = Archi.ring;
+      store = None;
+      jobs = 2;
+      log = Support.Log.null;
+      metrics = None;
+      timeline = None;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Serve.serve cfg ~socket ()) in
+  let call reqs =
+    match Serve.call ~socket reqs with
+    | Ok rs -> rs
+    | Error m -> Alcotest.failf "client call failed: %s" m
+  in
+  let compiles = 3 in
+  let rs =
+    call
+      (List.init compiles (fun _ ->
+           Serve.req_compile ~frames:2 ~app:"simple" simple_src))
+  in
+  List.iter
+    (fun r -> Alcotest.(check string) "compile ok" "ok" (str "status" r))
+    rs;
+  let exposition =
+    match call [ Serve.req_metrics ] with
+    | [ r ] ->
+        Alcotest.(check string) "metrics ok" "ok" (str "status" r);
+        str "exposition" r
+    | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "histogram count equals compile requests" true
+    (contains exposition
+       (Printf.sprintf "skipper_serve_request_seconds_count{op=\"compile\"} %d"
+          compiles));
+  Alcotest.(check bool) "request counter exposed" true
+    (contains exposition "skipper_serve_requests_total 4\n");
+  Alcotest.(check bool) "type lines present" true
+    (contains exposition "# TYPE skipper_serve_request_seconds histogram");
+  (* one-screen top rendering from the stats snapshot *)
+  (match call [ Serve.req_stats ] with
+  | [ stats ] ->
+      let top = Serve.render_top stats in
+      Alcotest.(check bool) "top shows requests" true
+        (contains top "requests 5");
+      Alcotest.(check bool) "top shows the compile op row" true
+        (contains top "compile");
+      Alcotest.(check bool) "top shows the cache line" true
+        (contains top "hit ratio")
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  (match Serve.call ~socket [ Serve.req_shutdown ] with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "shutdown failed: %s" m);
+  ignore (Domain.join daemon)
+
+(* Determinism across pool widths: the same request sequence against a
+   --jobs 1 and a --jobs 4 daemon yields byte-identical responses once the
+   wall-clock fields are stripped, and (under a pinned log clock)
+   structurally identical logs — dispatcher-side accounting in submit
+   order is what makes this hold. *)
+let test_jobs_determinism () =
+  let strip_volatile j =
+    let rec go = function
+      | Json.Obj kvs ->
+          Json.Obj
+            (List.filter_map
+               (fun (k, v) ->
+                 if k = "wall_ms" || k = "uptime_s" then None
+                 else Some (k, go v))
+               kvs)
+      | Json.Arr l -> Json.Arr (List.map go l)
+      | j -> j
+    in
+    go j
+  in
+  let run_with jobs =
+    let socket = tmp_name (Printf.sprintf "skipper-test-serve-det%d.sock" jobs) in
+    let log, log_lines = capture_log () in
+    let cfg =
+      {
+        Serve.table_of = (fun _ -> simple_table ());
+        input_of = (fun _ -> Some (V.List [ V.Int 1; V.Int 2; V.Int 3 ]));
+        arch_of = Archi.ring;
+        store = None;
+        jobs;
+        log;
+        metrics = None;
+        timeline = None;
+      }
+    in
+    let daemon = Domain.spawn (fun () -> Serve.serve cfg ~socket ()) in
+    let rs =
+      match
+        Serve.call ~socket
+          [
+            Serve.req_compile ~frames:2 ~app:"simple" simple_src;
+            Serve.req_run ~frames:2 ~procs:4 ~app:"simple" simple_src;
+            Serve.req_compile ~frames:3 ~app:"simple" simple_src;
+            Json.Obj [ ("op", Json.Str "frobnicate") ];
+          ]
+      with
+      | Ok rs -> rs
+      | Error m -> Alcotest.failf "jobs=%d call failed: %s" jobs m
+    in
+    (match Serve.call ~socket [ Serve.req_shutdown ] with
+    | Ok _ -> ()
+    | Error m -> Alcotest.failf "jobs=%d shutdown failed: %s" jobs m);
+    ignore (Domain.join daemon);
+    let responses =
+      List.map (fun r -> Json.to_string (strip_volatile r)) rs
+    in
+    let log_skeleton =
+      (* event/req/op/status per line; byte counts and wall times vary *)
+      List.filter_map
+        (fun l ->
+          match Json.parse l with
+          | Error _ -> None
+          | Ok j ->
+              let f k =
+                match Json.member k j with
+                | Some (Json.Str s) -> s
+                | _ -> ""
+              in
+              Some (Printf.sprintf "%s/%s/%s/%s" (f "event") (f "req")
+                      (f "op") (f "status")))
+        (log_lines ())
+    in
+    (responses, log_skeleton)
+  in
+  let r1, l1 = run_with 1 in
+  let r4, l4 = run_with 4 in
+  Alcotest.(check (list string))
+    "responses byte-identical across jobs (wall-clock stripped)" r1 r4;
+  Alcotest.(check (list string)) "log skeleton identical across jobs" l1 l4
+
 let () =
   Alcotest.run "serve"
     [
@@ -243,5 +531,8 @@ let () =
           Alcotest.test_case "end to end" `Quick test_serve_end_to_end;
           Alcotest.test_case "concurrent clients" `Quick
             test_concurrent_clients;
+          Alcotest.test_case "aborted frames" `Quick test_aborted_frames;
+          Alcotest.test_case "metrics op and top" `Quick test_metrics_op;
+          Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
         ] );
     ]

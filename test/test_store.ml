@@ -37,7 +37,14 @@ let test_roundtrip () =
   let c = Store.counters store in
   Alcotest.(check int) "hits" 2 c.Store.hits;
   Alcotest.(check int) "misses" 1 c.Store.misses;
+  Alcotest.(check int) "the one miss was an absent entry" 1 c.Store.absent;
   Alcotest.(check int) "writes" 2 c.Store.writes;
+  Alcotest.(check int) "payload bytes written"
+    (String.length payload + String.length "second")
+    c.Store.bytes_written;
+  Alcotest.(check int) "payload bytes read by the hits"
+    (String.length payload + String.length "second")
+    c.Store.bytes_read;
   Store.reset_counters store;
   Alcotest.(check int) "counters reset" 0 (Store.counters store).Store.hits
 
@@ -58,7 +65,8 @@ let test_stamp_mismatch () =
   Alcotest.(check (option string)) "stamp bump orphans old entries" None
     (Store.get s2 ~key:"k");
   let c = Store.counters s2 in
-  Alcotest.(check int) "counted as corrupt" 1 c.Store.corrupt;
+  Alcotest.(check int) "counted as a stamp mismatch" 1 c.Store.stamp_mismatch;
+  Alcotest.(check int) "not as corruption" 0 c.Store.corrupt;
   Alcotest.(check int) "and as a miss" 1 c.Store.misses
 
 let corrupt_with mutate () =
